@@ -1,0 +1,44 @@
+//! Criterion bench behind Table 2: full co-synthesis of the two smallest
+//! reconstructed examples, with and without dynamic reconfiguration (the
+//! larger examples run in the `table2` binary; benching them would take
+//! minutes per iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crusade_core::{CoSynthesis, CosynOptions};
+use crusade_workloads::{paper_examples, paper_library};
+
+fn bench_cosynthesis(c: &mut Criterion) {
+    let lib = paper_library();
+    let mut group = c.benchmark_group("table2/cosynthesis");
+    group.sample_size(10);
+    for ex in paper_examples().into_iter().take(2) {
+        let spec = ex.build(&lib);
+        group.bench_with_input(
+            BenchmarkId::new("without-reconfig", ex.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    CoSynthesis::new(spec, &lib.lib)
+                        .with_options(CosynOptions::without_reconfiguration())
+                        .run()
+                        .expect("synthesis succeeds")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("with-reconfig", ex.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    CoSynthesis::new(spec, &lib.lib)
+                        .run()
+                        .expect("synthesis succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosynthesis);
+criterion_main!(benches);

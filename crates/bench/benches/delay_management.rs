@@ -1,0 +1,35 @@
+//! Criterion bench behind Table 1: place-and-route delay measurement of
+//! the reconstructed functional blocks at the co-synthesis caps
+//! (ERUF = 0.70, EPUF = 0.80) and at full utilisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crusade_fabric::UtilisationExperiment;
+use crusade_workloads::table1_circuits;
+
+fn bench_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/delay_measurement");
+    group.sample_size(10);
+    for circuit in table1_circuits() {
+        let netlist = circuit.netlist();
+        group.bench_with_input(
+            BenchmarkId::new("eruf-0.70", circuit.name),
+            &netlist,
+            |b, nl| {
+                let exp = UtilisationExperiment::new(nl, circuit.tracks, circuit.seed);
+                b.iter(|| exp.measure(0.70, 0.80).expect("baseline routes"));
+            },
+        );
+    }
+    // Full-utilisation point on a representative circuit (may be slower:
+    // more negotiation iterations).
+    let c95 = &table1_circuits()[4]; // rnvk
+    let nl = c95.netlist();
+    group.bench_function("eruf-0.95/rnvk", |b| {
+        let exp = UtilisationExperiment::new(&nl, c95.tracks, c95.seed);
+        b.iter(|| exp.measure(0.95, 0.80).expect("routes at 95%"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_delay);
+criterion_main!(benches);

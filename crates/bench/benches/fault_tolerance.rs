@@ -1,0 +1,36 @@
+//! Criterion bench behind Table 3: fault-tolerant co-synthesis
+//! (CRUSADE-FT) of the smallest reconstructed example.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crusade_core::CosynOptions;
+use crusade_ft::CrusadeFt;
+use crusade_workloads::{paper_examples, paper_ft_annotations, paper_ft_config, paper_library};
+
+fn bench_ft(c: &mut Criterion) {
+    let lib = paper_library();
+    let ex = &paper_examples()[0]; // A1TR
+    let spec = ex.build(&lib);
+    let ann = paper_ft_annotations(&spec, &lib, ex.seed);
+    let cfg = paper_ft_config(&spec, &lib);
+    let mut group = c.benchmark_group("table3/fault_tolerance");
+    group.sample_size(10);
+    for (label, options) in [
+        ("without-reconfig", CosynOptions::without_reconfiguration()),
+        ("with-reconfig", CosynOptions::default()),
+    ] {
+        group.bench_function(BenchmarkId::new(label, ex.name), |b| {
+            b.iter(|| {
+                CrusadeFt::new(&spec, &lib.lib)
+                    .with_options(options.clone())
+                    .with_annotations(ann.clone())
+                    .with_config(cfg.clone())
+                    .run()
+                    .expect("FT synthesis succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ft);
+criterion_main!(benches);

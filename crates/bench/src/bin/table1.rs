@@ -1,0 +1,13 @@
+//! Regenerates Table 1 of the paper: delay increase (%) through
+//! programmable devices as effective resource utilisation (ERUF) rises,
+//! at EPUF = 0.80. "NR" marks not-routable points.
+
+use crusade_bench::{delay_header, table1_rows};
+
+fn main() {
+    println!("Table 1: delay management through FPGAs/CPLDs (EPUF = 0.80)");
+    println!("{}", delay_header());
+    for row in table1_rows() {
+        println!("{}", row.format());
+    }
+}

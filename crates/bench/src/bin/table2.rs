@@ -1,0 +1,20 @@
+//! Regenerates Table 2 of the paper: efficacy of CRUSADE with and without
+//! dynamic reconfiguration on the eight reconstructed examples.
+
+use crusade_bench::{synthesis_header, table2_rows};
+
+fn main() {
+    println!("Table 2: efficacy of CRUSADE");
+    println!("{}", synthesis_header("CRUSADE"));
+    match table2_rows() {
+        Ok(rows) => {
+            for row in &rows {
+                println!("{}", row.format());
+            }
+        }
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

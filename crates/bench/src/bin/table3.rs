@@ -1,0 +1,20 @@
+//! Regenerates Table 3 of the paper: efficacy of CRUSADE-FT (fault
+//! tolerance) with and without dynamic reconfiguration.
+
+use crusade_bench::{synthesis_header, table3_rows};
+
+fn main() {
+    println!("Table 3: efficacy of CRUSADE-FT");
+    println!("{}", synthesis_header("FT"));
+    match table3_rows() {
+        Ok(rows) => {
+            for row in &rows {
+                println!("{}", row.format());
+            }
+        }
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

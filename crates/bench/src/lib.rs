@@ -1,0 +1,249 @@
+//! Shared experiment runners behind the table binaries and Criterion
+//! benches.
+//!
+//! Each function regenerates one table of the paper in the paper's row
+//! format; the binaries print them, the benches time the underlying
+//! synthesis runs, and `EXPERIMENTS.md` records a captured output next to
+//! the paper's numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Duration;
+
+use crusade_core::{CoSynthesis, CosynOptions, SynthesisError};
+use crusade_ft::CrusadeFt;
+use crusade_model::Dollars;
+use crusade_workloads::{
+    paper_examples, paper_ft_annotations, paper_ft_config, paper_library, table1_circuits,
+    PaperExample, PaperLibrary, TABLE1_EPUF, TABLE1_ERUFS,
+};
+
+/// One architecture's headline figures (half a row of Table 2/3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchFigures {
+    /// Number of PEs.
+    pub pes: usize,
+    /// Number of links.
+    pub links: usize,
+    /// Architecture dollar cost.
+    pub cost: Dollars,
+    /// Synthesis wall-clock time (the paper's "CPU time" column).
+    pub cpu_time: Duration,
+}
+
+/// One full row of Table 2 or Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisRow {
+    /// Example name (A1TR … NGXM).
+    pub name: &'static str,
+    /// Task count.
+    pub tasks: usize,
+    /// Figures without dynamic reconfiguration.
+    pub without: ArchFigures,
+    /// Figures with dynamic reconfiguration.
+    pub with: ArchFigures,
+}
+
+impl SynthesisRow {
+    /// The "Cost savings %" column.
+    pub fn savings_percent(&self) -> f64 {
+        self.with.cost.savings_versus(self.without.cost)
+    }
+
+    /// Paper-style formatted row.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<9} {:>6} | {:>5} {:>6} {:>9.3} {:>9} | {:>5} {:>6} {:>9.3} {:>9} | {:>5.1}",
+            self.name,
+            self.tasks,
+            self.without.pes,
+            self.without.links,
+            self.without.cpu_time.as_secs_f64(),
+            self.without.cost.to_string(),
+            self.with.pes,
+            self.with.links,
+            self.with.cpu_time.as_secs_f64(),
+            self.with.cost.to_string(),
+            self.savings_percent(),
+        )
+    }
+}
+
+/// Header matching [`SynthesisRow::format`].
+pub fn synthesis_header(kind: &str) -> String {
+    format!(
+        "{:<9} {:>6} | {:>5} {:>6} {:>9} {:>9} | {:>5} {:>6} {:>9} {:>9} | {:>5}\n{:<9} {:>6} | {:^33} | {:^33} |",
+        "example", "tasks", "PEs", "links", "CPU(s)", "cost", "PEs", "links", "CPU(s)", "cost", "sav%",
+        "", "", format!("{kind} without dyn. reconfig"), format!("{kind} with dyn. reconfig"),
+    )
+}
+
+/// Runs one Table-2 row (plain CRUSADE, without then with dynamic
+/// reconfiguration).
+///
+/// # Errors
+///
+/// Propagates the first synthesis failure.
+pub fn table2_row(lib: &PaperLibrary, ex: &PaperExample) -> Result<SynthesisRow, SynthesisError> {
+    let spec = ex.build(lib);
+    let without = CoSynthesis::new(&spec, &lib.lib)
+        .with_options(CosynOptions::without_reconfiguration())
+        .run()?;
+    let with = CoSynthesis::new(&spec, &lib.lib).run()?;
+    Ok(SynthesisRow {
+        name: ex.name,
+        tasks: spec.task_count(),
+        without: ArchFigures {
+            pes: without.report.pe_count,
+            links: without.report.link_count,
+            cost: without.report.cost,
+            cpu_time: without.report.cpu_time,
+        },
+        with: ArchFigures {
+            pes: with.report.pe_count,
+            links: with.report.link_count,
+            cost: with.report.cost,
+            cpu_time: with.report.cpu_time,
+        },
+    })
+}
+
+/// Runs one Table-3 row (CRUSADE-FT, without then with dynamic
+/// reconfiguration).
+///
+/// # Errors
+///
+/// Propagates the first synthesis failure.
+pub fn table3_row(lib: &PaperLibrary, ex: &PaperExample) -> Result<SynthesisRow, SynthesisError> {
+    let spec = ex.build(lib);
+    let ann = paper_ft_annotations(&spec, lib, ex.seed);
+    let cfg = paper_ft_config(&spec, lib);
+    let run = |options: CosynOptions| {
+        let t = std::time::Instant::now();
+        CrusadeFt::new(&spec, &lib.lib)
+            .with_options(options)
+            .with_annotations(ann.clone())
+            .with_config(cfg.clone())
+            .run()
+            .map(|r| ArchFigures {
+                pes: r.synthesis.report.pe_count,
+                links: r.synthesis.report.link_count,
+                cost: r.synthesis.report.cost,
+                cpu_time: t.elapsed(),
+            })
+    };
+    let without = run(CosynOptions::without_reconfiguration())?;
+    let with = run(CosynOptions::default())?;
+    Ok(SynthesisRow {
+        name: ex.name,
+        tasks: spec.task_count(),
+        without,
+        with,
+    })
+}
+
+/// One row of Table 1: per-ERUF delay increase (`None` = "Not routable").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayRow {
+    /// Circuit name.
+    pub name: &'static str,
+    /// PFU count (from the paper).
+    pub pfus: usize,
+    /// Delay increase per entry of [`TABLE1_ERUFS`].
+    pub increases: Vec<Option<f64>>,
+}
+
+impl DelayRow {
+    /// Paper-style formatted row.
+    pub fn format(&self) -> String {
+        let cells: Vec<String> = self
+            .increases
+            .iter()
+            .map(|v| match v {
+                Some(p) => format!("{p:>9.1}"),
+                None => format!("{:>9}", "NR"),
+            })
+            .collect();
+        format!("{:<8} {:>5} |{}", self.name, self.pfus, cells.join(""))
+    }
+}
+
+/// Header matching [`DelayRow::format`].
+pub fn delay_header() -> String {
+    let cols: Vec<String> = TABLE1_ERUFS.iter().map(|e| format!("{e:>9.2}")).collect();
+    format!("{:<8} {:>5} |{}", "circuit", "PFUs", cols.join(""))
+}
+
+/// Regenerates every row of Table 1.
+pub fn table1_rows() -> Vec<DelayRow> {
+    table1_circuits()
+        .into_iter()
+        .map(|c| DelayRow {
+            name: c.name,
+            pfus: c.pfus,
+            increases: c.run_row(&TABLE1_ERUFS, TABLE1_EPUF),
+        })
+        .collect()
+}
+
+/// Runs all of Table 2.
+///
+/// # Errors
+///
+/// Propagates the first failing row.
+pub fn table2_rows() -> Result<Vec<SynthesisRow>, SynthesisError> {
+    let lib = paper_library();
+    paper_examples().iter().map(|ex| table2_row(&lib, ex)).collect()
+}
+
+/// Runs all of Table 3.
+///
+/// # Errors
+///
+/// Propagates the first failing row.
+pub fn table3_rows() -> Result<Vec<SynthesisRow>, SynthesisError> {
+    let lib = paper_library();
+    paper_examples().iter().map(|ex| table3_row(&lib, ex)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_example_row_is_consistent() {
+        let lib = paper_library();
+        let ex = &paper_examples()[0];
+        let row = table2_row(&lib, ex).unwrap();
+        assert_eq!(row.name, "A1TR");
+        assert_eq!(row.tasks, 1126);
+        assert!(row.with.cost < row.without.cost);
+        assert!(row.with.pes <= row.without.pes);
+        let s = row.savings_percent();
+        assert!(s > 10.0 && s < 80.0, "savings {s}");
+        // Formatting round-trips without panicking and mentions the name.
+        assert!(row.format().contains("A1TR"));
+    }
+
+    #[test]
+    fn table1_first_column_zero_and_nr_present() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert_eq!(r.increases[0], Some(0.0), "{} baseline", r.name);
+        }
+        let nr: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.increases.last().unwrap().is_none())
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(nr, vec!["r2d2p", "cv46", "wamxp"], "paper's Not-routable set");
+    }
+
+    #[test]
+    fn headers_align_with_rows() {
+        assert!(synthesis_header("CRUSADE").contains("sav%"));
+        assert!(delay_header().contains("0.70"));
+    }
+}

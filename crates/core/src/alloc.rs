@@ -1,0 +1,869 @@
+//! The allocation step: the inner loop of co-synthesis (Section 5).
+//!
+//! For each cluster (in decreasing priority order) an *allocation array* is
+//! built: every existing PE instance that can host the cluster, plus a new
+//! instance of every admissible library PE type, ordered by incremental
+//! dollar cost. Candidates are tried in that order; trying a candidate
+//! schedules the cluster's tasks and edges incrementally on the
+//! architecture's timelines, estimates finish times, and checks deadlines.
+//! The first (cheapest) candidate that meets all deadlines wins; if none
+//! does, the specification is unallocatable against the library.
+//!
+//! Scheduling policy: software tasks are placed non-preemptively at the
+//! earliest feasible slot; when no slot meets the task's latest-start
+//! bound and preemption is enabled, the lowest-priority resident task is
+//! preempted (charged the preemption overhead plus context-switch time)
+//! and re-placed — the paper's "preemptive scheduling in restricted
+//! scenarios".
+
+use crusade_model::{
+    Dollars, GlobalEdgeId, GlobalTaskId, GraphId, Nanos, PeClass, PeTypeId, Priority,
+    ResourceLibrary, SystemSpec, TaskId,
+};
+use crusade_sched::{
+    check_deadlines, estimate_finish_times, latest_finish_times, priority_levels, Occupant,
+    PeriodicInterval, Window,
+};
+
+use crate::arch::{Architecture, LinkInstanceId, ModeIndex, PeInstanceId};
+use crate::cluster::{Cluster, ClusterId, Clustering};
+use crate::error::SynthesisError;
+use crate::options::CosynOptions;
+
+/// One candidate in the allocation array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocTarget {
+    /// Place the cluster on an already-instantiated PE, in the given mode.
+    Existing {
+        /// The hosting instance.
+        pe: PeInstanceId,
+        /// The configuration image to join (always 0 during fresh
+        /// synthesis, where modes only appear later through merging).
+        mode: usize,
+    },
+    /// Open a *new* configuration image on an existing programmable PE —
+    /// available only during field-upgrade synthesis onto fixed hardware
+    /// (Section 4.2's "multiple versions of each programmable device").
+    NewMode {
+        /// The hosting programmable instance.
+        pe: PeInstanceId,
+    },
+    /// Instantiate a new PE of the given type.
+    New {
+        /// The library type to instantiate.
+        ty: PeTypeId,
+    },
+}
+
+/// Where a cluster ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationDecision {
+    /// The hosting PE instance.
+    pub pe: PeInstanceId,
+    /// The mode the cluster resides in (always 0 during allocation; merge
+    /// renumbers modes later).
+    pub mode: ModeIndex,
+    /// Incremental dollar cost this allocation added.
+    pub added_cost: Dollars,
+}
+
+/// The mutable allocation engine driving the synthesis loops.
+pub struct Allocator<'a> {
+    spec: &'a SystemSpec,
+    lib: &'a ResourceLibrary,
+    options: &'a CosynOptions,
+    clustering: &'a Clustering,
+    /// Latest-finish bound per `[graph][task]`, from worst-case
+    /// (slowest-PE) estimates of the downstream path.
+    latest_finish: Vec<Vec<Nanos>>,
+    /// Priority level per `[graph][task]` (for preemption decisions).
+    priorities: Vec<Vec<Priority>>,
+    /// The architecture under construction.
+    pub arch: Architecture,
+    /// Where each cluster was placed.
+    pub decisions: Vec<Option<AllocationDecision>>,
+    /// Whether new PE/link instances may be created (false during
+    /// field-upgrade synthesis onto fixed hardware).
+    allow_new_instances: bool,
+    /// Whether new configuration images may be opened on existing
+    /// programmable PEs (true during field-upgrade synthesis).
+    allow_new_modes: bool,
+}
+
+impl<'a> Allocator<'a> {
+    /// Prepares an empty architecture and the per-task bounds.
+    pub fn new(
+        spec: &'a SystemSpec,
+        lib: &'a ResourceLibrary,
+        options: &'a CosynOptions,
+        clustering: &'a Clustering,
+    ) -> Self {
+        
+        let mut latest_finish = Vec::with_capacity(spec.graph_count());
+        let mut priorities = Vec::with_capacity(spec.graph_count());
+        for (gid, graph) in spec.graphs() {
+            let comm_est = |e: crusade_model::EdgeId| {
+                let edge = graph.edge(e);
+                if clustering.same_cluster(gid, edge.from, edge.to) {
+                    Nanos::ZERO
+                } else {
+                    lib.link_slice()
+                        .iter()
+                        .map(|l| l.worst_transfer_time(edge.bytes))
+                        .min()
+                        .unwrap_or(Nanos::ZERO)
+                }
+            };
+            // Worst-case execution estimates keep the latest-finish
+            // bounds consistent with the acceptance check: a placement
+            // admitted against these bounds can never strand a downstream
+            // task, whichever PE type it later lands on.
+            let exec_worst = |t: TaskId| graph.task(t).exec.slowest().unwrap_or(Nanos::ZERO);
+            latest_finish.push(latest_finish_times(graph, exec_worst, comm_est));
+            priorities.push(priority_levels(
+                graph,
+                |t| graph.task(t).exec.slowest().unwrap_or(Nanos::ZERO),
+                comm_est,
+            ));
+        }
+        let decisions = vec![None; clustering.cluster_count()];
+        Allocator {
+            spec,
+            lib,
+            options,
+            clustering,
+            latest_finish,
+            priorities,
+            arch: Architecture::new(),
+            decisions,
+            allow_new_instances: true,
+            allow_new_modes: false,
+        }
+    }
+
+    /// Prepares an allocator for *field-upgrade* synthesis: the hardware
+    /// is fixed to `shell` (an existing architecture with empty modes and
+    /// an empty schedule), no new instances may be created, but new
+    /// configuration images may be opened on programmable devices.
+    pub fn for_upgrade(
+        spec: &'a SystemSpec,
+        lib: &'a ResourceLibrary,
+        options: &'a CosynOptions,
+        clustering: &'a Clustering,
+        shell: Architecture,
+    ) -> Self {
+        let mut a = Allocator::new(spec, lib, options, clustering);
+        a.arch = shell;
+        a.allow_new_instances = false;
+        a.allow_new_modes = true;
+        a
+    }
+
+    /// Builds the allocation array for `cluster`, ordered by increasing
+    /// incremental cost; among free (existing) candidates, the least-loaded
+    /// instance comes first so placements finish early and load spreads.
+    fn allocation_array(&self, cluster: &Cluster) -> Vec<(AllocTarget, Dollars)> {
+        let mut entries: Vec<(AllocTarget, Dollars, usize)> = Vec::new();
+        for (pid, pe) in self.arch.pes() {
+            if !cluster.allowed_pes.contains(&pe.ty) {
+                continue;
+            }
+            if self.exclusion_conflict(cluster, pid) {
+                continue;
+            }
+            let load = self.arch.board.timeline(pe.resource).len();
+            for mode in 0..pe.modes.len() {
+                if self.capacity_fits(cluster, pid, mode) {
+                    entries.push((
+                        AllocTarget::Existing { pe: pid, mode },
+                        Dollars::ZERO,
+                        load,
+                    ));
+                }
+            }
+            if self.allow_new_modes
+                && self.lib.pe(pe.ty).is_reconfigurable()
+                && pe.modes.len() < self.options.max_modes_per_device
+                && self.type_capacity_fits(cluster, pe.ty)
+            {
+                // A fresh image: tried after the existing ones (same cost,
+                // biased later by a load bump so spatial packing wins).
+                entries.push((AllocTarget::NewMode { pe: pid }, Dollars::ZERO, load + 1_000_000));
+            }
+        }
+        if self.allow_new_instances {
+            for &ty in &cluster.allowed_pes {
+                if !self.type_capacity_fits(cluster, ty) {
+                    continue;
+                }
+                entries.push((AllocTarget::New { ty }, self.lib.pe(ty).cost(), 0));
+            }
+        }
+        entries.sort_by_key(|&(_, cost, load)| (cost, load));
+        entries
+            .into_iter()
+            .map(|(target, cost, _)| (target, cost))
+            .collect()
+    }
+
+    /// Capacity check (memory for CPUs, gates/pins for ASICs, ERUF/EPUF
+    /// caps for programmable PEs) for adding `cluster` to instance `pid`'s
+    /// mode 0.
+    fn capacity_fits(&self, cluster: &Cluster, pid: PeInstanceId, mode: usize) -> bool {
+        let pe = self.arch.pe(pid);
+        let ty = self.lib.pe(pe.ty);
+        let mode = &pe.modes[mode];
+        match ty.class() {
+            PeClass::Cpu(attrs) => {
+                pe.memory_used + cluster.memory.total() <= attrs.memory_bytes
+            }
+            PeClass::Asic(attrs) => {
+                let hw = mode.used_hw + cluster.hw;
+                hw.gates <= attrs.gates
+                    && hw.pins <= (attrs.pins as f64 * self.options.epuf) as u32
+            }
+            PeClass::Ppe(attrs) => {
+                let hw = mode.used_hw + cluster.hw;
+                hw.pfus <= (attrs.pfus as f64 * self.options.eruf) as u32
+                    && hw.flip_flops <= attrs.flip_flops
+                    && hw.pins <= (attrs.pins as f64 * self.options.epuf) as u32
+            }
+        }
+    }
+
+    /// Capacity check against a *fresh* instance of `ty`: the cluster
+    /// alone must fit the type's memory or area budget (otherwise the type
+    /// can never host it and must not enter the allocation array).
+    fn type_capacity_fits(&self, cluster: &Cluster, ty: PeTypeId) -> bool {
+        match self.lib.pe(ty).class() {
+            PeClass::Cpu(attrs) => cluster.memory.total() <= attrs.memory_bytes,
+            PeClass::Asic(attrs) => {
+                cluster.hw.gates <= attrs.gates
+                    && cluster.hw.pins <= (attrs.pins as f64 * self.options.epuf) as u32
+            }
+            PeClass::Ppe(attrs) => {
+                cluster.hw.pfus <= (attrs.pfus as f64 * self.options.eruf) as u32
+                    && cluster.hw.flip_flops <= attrs.flip_flops
+                    && cluster.hw.pins <= (attrs.pins as f64 * self.options.epuf) as u32
+            }
+        }
+    }
+
+    /// Whether placing `cluster` on instance `pid` would violate an
+    /// exclusion vector: no resident task of the same graph may appear in
+    /// the exclusion set of a cluster member (or vice versa) — exclusion
+    /// binds to the *physical* PE, across all of its modes.
+    fn exclusion_conflict(&self, cluster: &Cluster, pid: PeInstanceId) -> bool {
+        let graph = self.spec.graph(cluster.graph);
+        self.arch.pe(pid).modes.iter().any(|mode| {
+            mode.clusters.iter().any(|&cid2| {
+                let resident = self.clustering.cluster(cid2);
+                resident.graph == cluster.graph
+                    && resident.tasks.iter().any(|&t2| {
+                        cluster.tasks.iter().any(|&t1| {
+                            graph.task(t1).exclusions.excludes(t2)
+                                || graph.task(t2).exclusions.excludes(t1)
+                        })
+                    })
+            })
+        })
+    }
+
+    /// Allocates one cluster: tries every entry of its allocation array in
+    /// cost order and commits the first that schedules with all deadlines
+    /// met.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::Unallocatable`] when every candidate fails.
+    pub fn allocate(&mut self, cid: ClusterId) -> Result<AllocationDecision, SynthesisError> {
+        let cluster = self.clustering.cluster(cid);
+        let entries = self.allocation_array(cluster);
+        for (target, added_cost) in entries {
+            if let Some((arch, pe, mode)) = self.try_target(cid, cluster, target) {
+                self.arch = arch;
+                let decision = AllocationDecision {
+                    pe,
+                    mode,
+                    added_cost,
+                };
+                self.decisions[cid.index()] = Some(decision);
+                return Ok(decision);
+            }
+        }
+        let graph = self.spec.graph(cluster.graph);
+        Err(SynthesisError::Unallocatable {
+            cluster: cid,
+            task_name: graph.task(cluster.tasks[0]).name.clone(),
+        })
+    }
+
+    /// Attempts to place `cluster` on `target` against a scratch copy of
+    /// the architecture; returns the mutated copy on success.
+    fn try_target(
+        &self,
+        cid: ClusterId,
+        cluster: &Cluster,
+        target: AllocTarget,
+    ) -> Option<(Architecture, PeInstanceId, usize)> {
+        let mut arch = self.arch.clone();
+        let (pid, mode_idx) = match target {
+            AllocTarget::Existing { pe, mode } => (pe, mode),
+            AllocTarget::NewMode { pe } => {
+                let m = arch.pe(pe).modes.len();
+                arch.pe_mut(pe).modes.push(crate::arch::Mode::empty());
+                (pe, m)
+            }
+            AllocTarget::New { ty } => (arch.add_pe(ty), 0),
+        };
+        let pe_ty = self.lib.pe(arch.pe(pid).ty);
+        let is_cpu = pe_ty.is_cpu();
+        let graph = self.spec.graph(cluster.graph);
+        let gid = cluster.graph;
+        let period = graph.period();
+
+        let mut touched_graphs = vec![gid];
+        for &t in &cluster.tasks {
+            // Estimated finish times of the cluster's graph against the
+            // current board — recomputed each step so the cluster's own
+            // placements (which may be much later than the from-scratch
+            // estimate) propagate into the ready times of edges from
+            // still-unplaced predecessors.
+            let est_finish = self.estimate_graph_finishes(&arch, gid);
+            // Zero-duration tasks are recorded as 1 ns so occupancy stays
+            // well-formed.
+            let dur = graph
+                .task(t)
+                .exec
+                .on(pe_ty_id(&arch, pid))?
+                .max(Nanos::from_nanos(1));
+            let gt = GlobalTaskId::new(gid, t);
+
+            // Latest admissible start for this task; it also bounds when
+            // incoming edges must have arrived, so a congested link falls
+            // through to a faster (possibly fresh) one instead of handing
+            // out a uselessly late slot. Beyond the static deadline-derived
+            // bound, consumers that are already placed impose hard finish
+            // bounds of their own: this task must finish early enough for
+            // the connecting edge to arrive before the consumer starts.
+            let mut lf = self.latest_finish[gid.index()][t.index()];
+            for (eid, edge) in graph.successors(t) {
+                let dst = GlobalTaskId::new(gid, edge.to);
+                if let Some(cw) = arch.board.window(Occupant::Task(dst)) {
+                    let comm = if self.clustering.same_cluster(gid, t, edge.to) {
+                        Nanos::ZERO
+                    } else {
+                        self.guaranteed_comm(graph.edge(eid).bytes)
+                    };
+                    lf = lf.min(cw.start.saturating_sub(comm));
+                }
+            }
+            let latest_start = lf.saturating_sub(dur);
+
+            // Ready time from predecessors.
+            let mut ready = graph.est();
+            for (eid, edge) in graph.predecessors(t) {
+                let src = GlobalTaskId::new(gid, edge.from);
+                let arrival = match arch.board.window(Occupant::Task(src)) {
+                    Some(w) => {
+                        let src_pe = self.pe_of_task(&arch, src)?;
+                        if src_pe == pid {
+                            w.finish
+                        } else {
+                            // Inter-PE edge: schedule it on a link now.
+                            let geid = GlobalEdgeId::new(gid, eid);
+                            
+                            self.place_edge(
+                                &mut arch,
+                                geid,
+                                src_pe,
+                                pid,
+                                edge.bytes,
+                                w.finish,
+                                period,
+                                latest_start,
+                            )?
+                        }
+                    }
+                    None => {
+                        // Predecessor not yet allocated: conservative
+                        // estimate plus the guaranteed communication time.
+                        let comm = if self.clustering.same_cluster(gid, edge.from, edge.to) {
+                            Nanos::ZERO
+                        } else {
+                            self.guaranteed_comm(edge.bytes)
+                        };
+                        est_finish[edge.from.index()] + comm
+                    }
+                };
+                ready = ready.max(arrival);
+            }
+            if ready > latest_start {
+                return None;
+            }
+
+            let start = if is_cpu {
+                match arch.board.place(
+                    arch.pe(pid).resource,
+                    Occupant::Task(gt),
+                    ready,
+                    dur,
+                    period,
+                    latest_start,
+                ) {
+                    Some(s) => s,
+                    None if self.options.preemption => self.place_with_preemption(
+                        &mut arch,
+                        pid,
+                        gt,
+                        ready,
+                        dur,
+                        period,
+                        latest_start,
+                        &mut touched_graphs,
+                    )?,
+                    None => return None,
+                }
+            } else {
+                // Hardware: spatial parallelism, starts exactly when ready.
+                arch.board.record(
+                    arch.pe(pid).resource,
+                    Occupant::Task(gt),
+                    PeriodicInterval::new(ready, dur, period),
+                );
+                ready
+            };
+            let finish = start + dur;
+
+            // Edges towards already-placed consumers must fit before the
+            // consumer's start.
+            for (eid, edge) in graph.successors(t) {
+                let dst = GlobalTaskId::new(gid, edge.to);
+                if let Some(w) = arch.board.window(Occupant::Task(dst)) {
+                    let dst_pe = self.pe_of_task(&arch, dst)?;
+                    if dst_pe == pid {
+                        if finish > w.start {
+                            return None;
+                        }
+                    } else {
+                        let geid = GlobalEdgeId::new(gid, eid);
+                        let arrive = self.place_edge(
+                            &mut arch,
+                            geid,
+                            pid,
+                            dst_pe,
+                            edge.bytes,
+                            finish,
+                            period,
+                            w.start,
+                        )?;
+                        if arrive > w.start {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Commit the cluster into the instance's bookkeeping.
+        {
+            let pe = arch.pe_mut(pid);
+            pe.modes[mode_idx].clusters.push(cid);
+            if !pe.modes[mode_idx].graphs.contains(&gid) {
+                pe.modes[mode_idx].graphs.push(gid);
+            }
+            pe.modes[mode_idx].used_hw = pe.modes[mode_idx].used_hw + cluster.hw;
+            pe.memory_used += cluster.memory.total();
+        }
+
+        // Multi-mode devices must remain temporally consistent: every
+        // cross-image activity envelope pair needs reboot room (only
+        // reachable through NewMode targets, i.e. upgrade synthesis).
+        if arch.pe(pid).modes.len() > 1
+            && !crate::reconfig::device_modes_feasible(
+                self.spec,
+                self.clustering,
+                self.lib,
+                self.options,
+                &arch,
+                pid,
+            )
+        {
+            return None;
+        }
+
+        // Deadline verification on every touched graph, plus a
+        // no-inversion check: no already-placed consumer may start before
+        // the estimated arrival from a producer that is still unplaced
+        // (otherwise the producer's cluster could never be allocated).
+        touched_graphs.sort_unstable_by_key(|g| g.index());
+        touched_graphs.dedup();
+        for g in touched_graphs {
+            let graph = self.spec.graph(g);
+            let finishes = self.estimate_graph_finishes(&arch, g);
+            if !check_deadlines(graph, &finishes).is_empty() {
+                return None;
+            }
+            for (eid, edge) in graph.edges() {
+                let consumer = arch
+                    .board
+                    .window(Occupant::Task(GlobalTaskId::new(g, edge.to)));
+                let producer_placed = arch
+                    .board
+                    .window(Occupant::Task(GlobalTaskId::new(g, edge.from)))
+                    .is_some();
+                if let (Some(cw), false) = (consumer, producer_placed) {
+                    let comm = if self.clustering.same_cluster(g, edge.from, edge.to) {
+                        Nanos::ZERO
+                    } else {
+                        self.guaranteed_comm(graph.edge(eid).bytes)
+                    };
+                    if finishes[edge.from.index()] + comm > cw.start {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some((arch, pid, mode_idx))
+    }
+
+    /// Preemption fallback: evict the lowest-priority software task from
+    /// the target CPU, place the urgent task, re-place the victim with the
+    /// preemption overhead charged, and re-validate the victim's schedule.
+    #[allow(clippy::too_many_arguments)]
+    fn place_with_preemption(
+        &self,
+        arch: &mut Architecture,
+        pid: PeInstanceId,
+        gt: GlobalTaskId,
+        ready: Nanos,
+        dur: Nanos,
+        period: Nanos,
+        latest_start: Nanos,
+        touched_graphs: &mut Vec<GraphId>,
+    ) -> Option<Nanos> {
+        let resource = arch.pe(pid).resource;
+        let my_prio = self.priorities[gt.graph.index()][gt.task.index()];
+        // Victim candidates: strictly lower-priority tasks on this CPU.
+        let mut victims: Vec<(GlobalTaskId, PeriodicInterval)> = arch
+            .board
+            .timeline(resource)
+            .iter()
+            .filter_map(|p| match p.occupant {
+                Occupant::Task(v) => {
+                    let vp = self.priorities[v.graph.index()][v.task.index()];
+                    (vp < my_prio).then_some((v, p.interval))
+                }
+                _ => None,
+            })
+            .collect();
+        victims.sort_by_key(|(v, _)| self.priorities[v.graph.index()][v.task.index()]);
+
+        for (victim, original) in victims.into_iter().take(3) {
+            let mut scratch = arch.clone();
+            scratch.board.remove(Occupant::Task(victim));
+            let Some(start) = scratch.board.place(
+                resource,
+                Occupant::Task(gt),
+                ready,
+                dur,
+                period,
+                latest_start,
+            ) else {
+                continue;
+            };
+            // Re-place the victim with the preemption overheads charged.
+            let overhead = self.spec.constraints().preemption_overhead
+                + self
+                    .lib
+                    .pe(scratch.pe(pid).ty)
+                    .as_cpu()
+                    .map(|c| c.context_switch)
+                    .unwrap_or(Nanos::ZERO);
+            let new_dur = original.duration() + overhead;
+            let vlf = self.latest_finish[victim.graph.index()][victim.task.index()];
+            let vperiod = original.period();
+            let Some(vstart) = scratch.board.place(
+                resource,
+                Occupant::Task(victim),
+                original.start(),
+                new_dur,
+                vperiod,
+                vlf.saturating_sub(new_dur),
+            ) else {
+                continue;
+            };
+            let vfinish = vstart + new_dur;
+            // The victim's already-scheduled outgoing edges must still
+            // start after it finishes.
+            let vgraph = self.spec.graph(victim.graph);
+            let ok = vgraph.successors(victim.task).all(|(eid, _)| {
+                match scratch
+                    .board
+                    .window(Occupant::Edge(GlobalEdgeId::new(victim.graph, eid)))
+                {
+                    Some(w) => w.start >= vfinish,
+                    None => true,
+                }
+            }) && vgraph.successors(victim.task).all(|(_, edge)| {
+                match scratch
+                    .board
+                    .window(Occupant::Task(GlobalTaskId::new(victim.graph, edge.to)))
+                {
+                    // Same-PE consumers with no edge in between.
+                    Some(w) => {
+                        w.start >= vfinish
+                            || self
+                                .pe_of_task(&scratch, GlobalTaskId::new(victim.graph, edge.to))
+                                != Some(pid)
+                    }
+                    None => true,
+                }
+            });
+            if !ok {
+                continue;
+            }
+            *arch = scratch;
+            touched_graphs.push(victim.graph);
+            return Some(start);
+        }
+        None
+    }
+
+    /// Schedules an inter-PE edge on a link connecting `src_pe` and
+    /// `dst_pe`. Link options are tried in order of (incremental cost,
+    /// transfer time): a link already joining the pair, then extendable
+    /// existing links, then a new instance of each library type. Because a
+    /// fresh link of the fastest type is always among the options, an edge
+    /// that fits the [`Self::guaranteed_comm`] budget always places — the
+    /// property that keeps acceptance estimates sound.
+    ///
+    /// Edge durations are budgeted with the worst-case (fully-populated)
+    /// medium access, so later port attachments never invalidate placed
+    /// transfers.
+    ///
+    /// Returns the arrival (edge finish) time, or `None` when no option
+    /// fits within `limit`.
+    #[allow(clippy::too_many_arguments)]
+    fn place_edge(
+        &self,
+        arch: &mut Architecture,
+        geid: GlobalEdgeId,
+        src_pe: PeInstanceId,
+        dst_pe: PeInstanceId,
+        bytes: u64,
+        ready: Nanos,
+        period: Nanos,
+        limit: Nanos,
+    ) -> Option<Nanos> {
+        let occupant = Occupant::Edge(geid);
+        // Already placed (both endpoints were placed in an earlier step).
+        if let Some(w) = arch.board.window(occupant) {
+            return Some(w.finish);
+        }
+
+        /// One way to realise the connection.
+        enum LinkOption {
+            Use(LinkInstanceId),
+            Extend(LinkInstanceId, PeInstanceId),
+            Create(crusade_model::LinkTypeId),
+        }
+        let mut options: Vec<(Dollars, Nanos, LinkOption)> = Vec::new();
+        for (id, l) in arch.links() {
+            let has_src = l.attached.contains(&src_pe);
+            let has_dst = l.attached.contains(&dst_pe);
+            let dur = self.lib.link(l.ty).worst_transfer_time(bytes);
+            if has_src && has_dst {
+                options.push((Dollars::ZERO, dur, LinkOption::Use(id)));
+            } else if (has_src || has_dst)
+                && (l.attached.len() as u32) < self.lib.link(l.ty).max_ports()
+            {
+                let missing = if has_src { dst_pe } else { src_pe };
+                options.push((Dollars::ZERO, dur, LinkOption::Extend(id, missing)));
+            }
+        }
+        for (ty, l) in self.lib.links() {
+            options.push((l.cost(), l.worst_transfer_time(bytes), LinkOption::Create(ty)));
+        }
+        options.sort_by_key(|&(cost, dur, _)| (cost, dur));
+
+        // CPU ends without a communication coprocessor are busy driving
+        // the transfer ("the communication and computation can go on
+        // simultaneously if supported by associated hardware components"
+        // — Section 2.2), so those processors must be free for the same
+        // window the link is.
+        let needs_cpu = |pid: PeInstanceId| {
+            self.lib
+                .pe(arch.pe(pid).ty)
+                .as_cpu()
+                .map(|c| !c.comm_overlap)
+                .unwrap_or(false)
+        };
+        let mut cpu_sides: Vec<(crusade_sched::ResourceId, Occupant)> = Vec::new();
+        if needs_cpu(src_pe) {
+            cpu_sides.push((
+                arch.pe(src_pe).resource,
+                Occupant::CpuTransfer {
+                    edge: geid,
+                    receiver: false,
+                },
+            ));
+        }
+        if needs_cpu(dst_pe) {
+            cpu_sides.push((
+                arch.pe(dst_pe).resource,
+                Occupant::CpuTransfer {
+                    edge: geid,
+                    receiver: true,
+                },
+            ));
+        }
+
+        for (_, dur, option) in options {
+            let dur = dur.max(Nanos::from_nanos(1));
+            let latest_start = limit.saturating_sub(dur);
+            if ready > latest_start {
+                continue;
+            }
+            // Materialise the link lazily: for Create this instantiates
+            // hardware, which is rolled back below if the slot search
+            // fails.
+            let (link_resource, created) = match &option {
+                LinkOption::Use(id) | LinkOption::Extend(id, _) => {
+                    (arch.link(*id).resource, None)
+                }
+                LinkOption::Create(ty) => {
+                    let id = arch.add_link(*ty);
+                    let l = arch.link_mut(id);
+                    l.attached.push(src_pe);
+                    l.attached.push(dst_pe);
+                    (arch.link(id).resource, Some(id))
+                }
+            };
+            let slot = find_transfer_slot(
+                &arch.board,
+                link_resource,
+                &cpu_sides,
+                ready,
+                dur,
+                period,
+                latest_start,
+            );
+            match slot {
+                Some(start) => {
+                    arch.board
+                        .place(link_resource, occupant, start, dur, period, start)
+                        .expect("slot was verified free");
+                    for &(r, occ) in &cpu_sides {
+                        arch.board
+                            .place(r, occ, start, dur, period, start)
+                            .expect("slot was verified free");
+                    }
+                    if let LinkOption::Extend(id, missing) = option {
+                        arch.link_mut(id).attached.push(missing);
+                    }
+                    return Some(start + dur);
+                }
+                None => {
+                    if let Some(id) = created {
+                        arch.link_mut(id).retired = true;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The communication budget any inter-PE edge can always achieve: the
+    /// fastest library link, freshly instantiated, under worst-case medium
+    /// access. Acceptance estimates use this so that commitments made for
+    /// not-yet-placed edges are always honourable later.
+    fn guaranteed_comm(&self, bytes: u64) -> Nanos {
+        self.lib
+            .link_slice()
+            .iter()
+            .map(|l| l.worst_transfer_time(bytes))
+            .min()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Estimated finish times for graph `g` against the current board:
+    /// exact windows where placed, *worst-case* execution estimates for
+    /// unplaced tasks — conservative acceptance, so accepting a cluster
+    /// now cannot strand a later cluster of the same graph (whatever PE
+    /// type that cluster ends up on, it can do no worse than the slowest
+    /// entry of its execution vector).
+    fn estimate_graph_finishes(&self, arch: &Architecture, g: GraphId) -> Vec<Nanos> {
+        let graph = self.spec.graph(g);
+        estimate_finish_times(
+            graph,
+            |t| {
+                arch.board
+                    .window(Occupant::Task(GlobalTaskId::new(g, t)))
+            },
+            |t| graph.task(t).exec.slowest().unwrap_or(Nanos::ZERO),
+            |e| {
+                arch.board
+                    .window(Occupant::Edge(GlobalEdgeId::new(g, e)))
+            },
+            |e| {
+                let edge = graph.edge(e);
+                if self.clustering.same_cluster(g, edge.from, edge.to) {
+                    Nanos::ZERO
+                } else {
+                    self.guaranteed_comm(edge.bytes)
+                }
+            },
+        )
+    }
+
+    /// The PE instance hosting a placed task.
+    fn pe_of_task(&self, arch: &Architecture, gt: GlobalTaskId) -> Option<PeInstanceId> {
+        let r = arch.board.resource_of(Occupant::Task(gt))?;
+        arch.pes()
+            .find(|(_, p)| p.resource == r)
+            .map(|(id, _)| id)
+    }
+
+    /// Public window lookup used by the synthesis driver's reporting.
+    pub fn window_of(&self, gt: GlobalTaskId) -> Option<Window> {
+        self.arch.board.window(Occupant::Task(gt))
+    }
+}
+
+/// The PE type id of an instance (helper kept free to appease borrowck in
+/// `try_target`).
+fn pe_ty_id(arch: &Architecture, pid: PeInstanceId) -> PeTypeId {
+    arch.pe(pid).ty
+}
+
+/// Finds the earliest start `>= ready` at which the link *and* every
+/// coprocessor-less endpoint CPU are simultaneously free for `dur`.
+///
+/// Alternating fixpoint search: each resource proposes its earliest free
+/// slot at or after the current candidate; when all propose the same
+/// instant, that instant works for everyone. The iteration cap bounds
+/// pathological ping-ponging (treated as "no slot").
+fn find_transfer_slot(
+    board: &crusade_sched::ScheduleBoard,
+    link: crusade_sched::ResourceId,
+    cpu_sides: &[(crusade_sched::ResourceId, Occupant)],
+    ready: Nanos,
+    dur: Nanos,
+    period: Nanos,
+    latest_start: Nanos,
+) -> Option<Nanos> {
+    let mut t = ready;
+    for _ in 0..12 {
+        let s = board.find_slot(link, t, dur, period, latest_start)?;
+        let mut agreed = s;
+        for &(r, _) in cpu_sides {
+            agreed = agreed.max(board.find_slot(r, agreed, dur, period, latest_start)?);
+        }
+        if agreed == s {
+            return Some(s);
+        }
+        t = agreed;
+    }
+    None
+}

@@ -1,0 +1,552 @@
+//! Critical-path task clustering (Section 5, after COSYN).
+//!
+//! Clustering groups tasks that will be allocated to the same PE, which
+//! removes their mutual communication cost and shrinks the allocation
+//! search space. The method is COSYN's: repeatedly take the unclustered
+//! task with the highest deadline-based priority level and grow a cluster
+//! down the *current* longest path, re-zeroing the absorbed communication
+//! and recomputing priorities — this addresses the fact that the longest
+//! path changes as clustering proceeds.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crusade_model::{
+    ExecutionTimes, GraphId, HwDemand, MemoryVector, Nanos, PeTypeId, Preference, Priority,
+    ResourceLibrary, SystemSpec, TaskGraph, TaskId,
+};
+use crusade_sched::priority_levels;
+
+use crate::options::CosynOptions;
+
+/// Identifies a cluster across the whole specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ClusterId(u32);
+
+impl ClusterId {
+    /// Creates a cluster id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        ClusterId(index as u32)
+    }
+
+    /// Raw index into the clustering's cluster list.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A group of tasks (all from one graph) that must share a PE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// The owning graph.
+    pub graph: GraphId,
+    /// Member tasks, in the order they were absorbed along the path.
+    pub tasks: Vec<TaskId>,
+    /// The cluster's priority level: the maximum over its members
+    /// (recomputed after clustering completes).
+    pub priority: Priority,
+    /// PE types every member can execute on (execution time defined and
+    /// preference allows) — the allocation candidates.
+    pub allowed_pes: Vec<PeTypeId>,
+    /// Sum of member memory vectors (CPU capacity check).
+    pub memory: MemoryVector,
+    /// Sum of member hardware demands (ASIC/PPE capacity check).
+    pub hw: HwDemand,
+}
+
+impl Cluster {
+    /// Worst-case execution time of the whole cluster on `pe`: the sum of
+    /// member times (members run back to back on a CPU; on hardware they
+    /// pipeline spatially but the sum remains the safe envelope used for
+    /// the allocation decision).
+    pub fn execution_time_on(&self, graph: &TaskGraph, pe: PeTypeId) -> Option<Nanos> {
+        self.tasks
+            .iter()
+            .map(|&t| graph.task(t).exec.on(pe))
+            .sum::<Option<Nanos>>()
+    }
+}
+
+/// The result of clustering a specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    clusters: Vec<Cluster>,
+    /// Cluster of each task, indexed `[graph][task]`.
+    assignment: Vec<Vec<ClusterId>>,
+}
+
+impl Clustering {
+    /// The clusters, ordered by decreasing priority (the allocation
+    /// order).
+    pub fn clusters(&self) -> impl Iterator<Item = (ClusterId, &Cluster)> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClusterId::new(i), c))
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Accesses one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// Which cluster a task belongs to.
+    pub fn cluster_of(&self, graph: GraphId, task: TaskId) -> ClusterId {
+        self.assignment[graph.index()][task.index()]
+    }
+
+    /// `true` when two tasks of the same graph share a cluster.
+    pub fn same_cluster(&self, graph: GraphId, a: TaskId, b: TaskId) -> bool {
+        self.cluster_of(graph, a) == self.cluster_of(graph, b)
+    }
+}
+
+/// PE types on which `task` may execute.
+fn allowed_pes(lib: &ResourceLibrary, exec: &ExecutionTimes, pref: &Preference) -> Vec<PeTypeId> {
+    lib.pes()
+        .filter(|(id, _)| exec.on(*id).is_some() && pref.allows(*id))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Clusters every graph of `spec` (Section 5's clustering step).
+///
+/// `cluster_size_cap` bounds cluster growth. Returns clusters sorted by
+/// decreasing priority level, ready for the allocation loop.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_core::cluster_tasks;
+/// use crusade_model::{
+///     CpuAttrs, Dollars, ExecutionTimes, Nanos, PeClass, PeType, ResourceLibrary, SystemSpec,
+///     Task, TaskGraphBuilder,
+/// };
+///
+/// # fn main() -> Result<(), crusade_model::ValidateSpecError> {
+/// let mut lib = ResourceLibrary::new();
+/// lib.add_pe(PeType::new("cpu", Dollars::new(50), PeClass::Cpu(CpuAttrs {
+///     memory_bytes: 1 << 20,
+///     context_switch: Nanos::from_micros(5),
+///     comm_ports: 2,
+///     comm_overlap: true,
+/// })));
+/// let mut b = TaskGraphBuilder::new("g", Nanos::from_millis(1));
+/// let a = b.add_task(Task::new("a", ExecutionTimes::uniform(1, Nanos::from_micros(10))));
+/// let z = b.add_task(Task::new("z", ExecutionTimes::uniform(1, Nanos::from_micros(10))));
+/// b.add_edge(a, z, 64);
+/// let spec = SystemSpec::new(vec![b.build()?]);
+/// let clustering = cluster_tasks(&spec, &lib, 8);
+/// // A two-task chain collapses into one cluster.
+/// assert_eq!(clustering.cluster_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cluster_tasks(spec: &SystemSpec, lib: &ResourceLibrary, cluster_size_cap: usize) -> Clustering {
+    let options = CosynOptions {
+        cluster_size_cap,
+        ..CosynOptions::default()
+    };
+    cluster_tasks_with(spec, lib, &options)
+}
+
+/// Whether a cluster with the given footprint fits a fresh instance of at
+/// least one of its allowed PE types, under the ERUF/EPUF caps — growth
+/// must never create a cluster no PE can host.
+fn fits_some_pe(
+    lib: &ResourceLibrary,
+    allowed: &[PeTypeId],
+    hw: HwDemand,
+    memory: &MemoryVector,
+    options: &CosynOptions,
+) -> bool {
+    allowed.iter().any(|&ty| match lib.pe(ty).class() {
+        crusade_model::PeClass::Cpu(attrs) => memory.total() <= attrs.memory_bytes,
+        crusade_model::PeClass::Asic(attrs) => {
+            hw.gates <= attrs.gates
+                && hw.pins <= (attrs.pins as f64 * options.epuf) as u32
+        }
+        crusade_model::PeClass::Ppe(attrs) => {
+            hw.pfus <= (attrs.pfus as f64 * options.eruf) as u32
+                && hw.flip_flops <= attrs.flip_flops
+                && hw.pins <= (attrs.pins as f64 * options.epuf) as u32
+        }
+    })
+}
+
+/// [`cluster_tasks`] with explicit co-synthesis options (the ERUF/EPUF
+/// caps bound cluster growth against PE capacities).
+pub fn cluster_tasks_with(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+) -> Clustering {
+    let cluster_size_cap = options.cluster_size_cap;
+    let avg_ports = spec.constraints().average_link_ports;
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut assignment: Vec<Vec<ClusterId>> = Vec::new();
+
+    for (gid, graph) in spec.graphs() {
+        let n = graph.task_count();
+        let mut cluster_of: Vec<Option<usize>> = vec![None; n];
+        // Max communication time per edge over the link library; zeroed as
+        // edges are absorbed into clusters.
+        let mut comm: Vec<Nanos> = graph
+            .edges()
+            .map(|(_, e)| {
+                lib.link_slice()
+                    .iter()
+                    .map(|l| l.transfer_time(e.bytes, avg_ports))
+                    .max()
+                    .unwrap_or(Nanos::ZERO)
+            })
+            .collect();
+
+        let mut unclustered = n;
+        while unclustered > 0 {
+            let prios = priority_levels(
+                graph,
+                |t| graph.task(t).exec.slowest().unwrap_or(Nanos::ZERO),
+                |e| comm[e.index()],
+            );
+            // Highest-priority unclustered task seeds the cluster.
+            let seed = (0..n)
+                .filter(|&t| cluster_of[t].is_none())
+                .max_by_key(|&t| prios[t])
+                .map(TaskId::new)
+                .expect("unclustered > 0");
+
+            let idx = clusters.len();
+            let mut members = vec![seed];
+            let mut allowed = allowed_pes(lib, &graph.task(seed).exec, &graph.task(seed).preference);
+            let mut excluded: HashSet<TaskId> =
+                graph.task(seed).exclusions.iter().collect();
+            cluster_of[seed.index()] = Some(idx);
+            unclustered -= 1;
+
+            // Grow down the longest path.
+            let mut cur = seed;
+            while members.len() < cluster_size_cap {
+                let next = graph
+                    .successors(cur)
+                    .filter(|(_, e)| cluster_of[e.to.index()].is_none())
+                    .filter(|(_, e)| !excluded.contains(&e.to))
+                    .filter(|(_, e)| {
+                        // The member must not exclude anyone already in.
+                        members
+                            .iter()
+                            .all(|&m| !graph.task(e.to).exclusions.excludes(m))
+                    })
+                    .filter(|(_, e)| {
+                        // PE-type intersection must stay non-empty, and the
+                        // grown cluster must still fit some allowed PE.
+                        let t = graph.task(e.to);
+                        let next_allowed: Vec<PeTypeId> = allowed
+                            .iter()
+                            .copied()
+                            .filter(|&pe| t.exec.on(pe).is_some() && t.preference.allows(pe))
+                            .collect();
+                        if next_allowed.is_empty() {
+                            return false;
+                        }
+                        let hw = members
+                            .iter()
+                            .fold(t.hw, |acc, &m| acc + graph.task(m).hw);
+                        let memory = members
+                            .iter()
+                            .fold(t.memory, |acc, &m| acc + graph.task(m).memory);
+                        fits_some_pe(lib, &next_allowed, hw, &memory, options)
+                    })
+                    .max_by_key(|(_, e)| prios[e.to.index()]);
+                let Some((eid, edge)) = next else { break };
+                let to = edge.to;
+                let t = graph.task(to);
+                allowed.retain(|&pe| t.exec.on(pe).is_some() && t.preference.allows(pe));
+                excluded.extend(t.exclusions.iter());
+                members.push(to);
+                cluster_of[to.index()] = Some(idx);
+                unclustered -= 1;
+                comm[eid.index()] = Nanos::ZERO; // absorbed
+                cur = to;
+            }
+
+            // Absorb unclustered *leaf* successors of the members (with
+            // capacity and compatibility permitting): assertion and
+            // compare tasks, small monitors — they then execute beside
+            // their producer with zero communication.
+            let mut k = 0;
+            while members.len() < cluster_size_cap && k < members.len() {
+                let m = members[k];
+                let leaves: Vec<(crusade_model::EdgeId, TaskId)> = graph
+                    .successors(m)
+                    .filter(|(_, e)| cluster_of[e.to.index()].is_none())
+                    .filter(|(_, e)| graph.successors(e.to).next().is_none())
+                    .map(|(eid, e)| (eid, e.to))
+                    .collect();
+                for (eid, to) in leaves {
+                    if members.len() >= cluster_size_cap {
+                        break;
+                    }
+                    if excluded.contains(&to) {
+                        continue;
+                    }
+                    let task = graph.task(to);
+                    if members.iter().any(|&mm| task.exclusions.excludes(mm)) {
+                        continue;
+                    }
+                    let still_allowed: Vec<_> = allowed
+                        .iter()
+                        .copied()
+                        .filter(|&pe| task.exec.on(pe).is_some() && task.preference.allows(pe))
+                        .collect();
+                    if still_allowed.is_empty() {
+                        continue;
+                    }
+                    let hw = members
+                        .iter()
+                        .fold(task.hw, |acc, &m| acc + graph.task(m).hw);
+                    let memory = members
+                        .iter()
+                        .fold(task.memory, |acc, &m| acc + graph.task(m).memory);
+                    if !fits_some_pe(lib, &still_allowed, hw, &memory, options) {
+                        continue;
+                    }
+                    allowed = still_allowed;
+                    excluded.extend(task.exclusions.iter());
+                    members.push(to);
+                    cluster_of[to.index()] = Some(idx);
+                    unclustered -= 1;
+                    comm[eid.index()] = Nanos::ZERO;
+                }
+                k += 1;
+            }
+
+            let memory = members
+                .iter()
+                .fold(MemoryVector::ZERO, |acc, &t| acc + graph.task(t).memory);
+            let hw = members
+                .iter()
+                .fold(HwDemand::ZERO, |acc, &t| acc + graph.task(t).hw);
+            clusters.push(Cluster {
+                graph: gid,
+                tasks: members,
+                priority: Priority::MIN, // final value set below
+                allowed_pes: allowed,
+                memory,
+                hw,
+            });
+        }
+
+        // Final per-graph priorities with all intra-cluster edges zeroed
+        // define cluster priorities (max over members and incoming edges).
+        let final_prios = priority_levels(
+            graph,
+            |t| graph.task(t).exec.slowest().unwrap_or(Nanos::ZERO),
+            |e| comm[e.index()],
+        );
+        for c in clusters.iter_mut().filter(|c| c.graph == gid) {
+            c.priority = c
+                .tasks
+                .iter()
+                .map(|&t| final_prios[t.index()])
+                .fold(Priority::MIN, Priority::max);
+        }
+        assignment.push(
+            cluster_of
+                .into_iter()
+                .map(|o| ClusterId::new(o.expect("all tasks clustered")))
+                .collect(),
+        );
+    }
+
+    // Allocation order: decreasing priority. Remap assignment accordingly.
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    order.sort_by(|&a, &b| clusters[b].priority.cmp(&clusters[a].priority));
+    let mut remap = vec![0usize; clusters.len()];
+    for (new, &old) in order.iter().enumerate() {
+        remap[old] = new;
+    }
+    let mut sorted = Vec::with_capacity(clusters.len());
+    for &old in &order {
+        sorted.push(clusters[old].clone());
+    }
+    for per_graph in &mut assignment {
+        for c in per_graph.iter_mut() {
+            *c = ClusterId::new(remap[c.index()]);
+        }
+    }
+    Clustering {
+        clusters: sorted,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusade_model::{CpuAttrs, Dollars, PeClass, PeType, Task, TaskGraphBuilder};
+
+    fn lib() -> ResourceLibrary {
+        let mut lib = ResourceLibrary::new();
+        lib.add_pe(PeType::new(
+            "cpu",
+            Dollars::new(50),
+            PeClass::Cpu(CpuAttrs {
+                memory_bytes: 1 << 20,
+                context_switch: Nanos::from_micros(5),
+                comm_ports: 2,
+                comm_overlap: true,
+            }),
+        ));
+        lib.add_pe(PeType::new(
+            "cpu2",
+            Dollars::new(80),
+            PeClass::Cpu(CpuAttrs {
+                memory_bytes: 1 << 20,
+                context_switch: Nanos::from_micros(2),
+                comm_ports: 2,
+                comm_overlap: true,
+            }),
+        ));
+        lib
+    }
+
+    fn task(us: u64) -> Task {
+        Task::new("t", ExecutionTimes::uniform(2, Nanos::from_micros(us)))
+    }
+
+    #[test]
+    fn chain_collapses_to_one_cluster() {
+        let mut b = TaskGraphBuilder::new("chain", Nanos::from_millis(1));
+        let mut prev = b.add_task(task(5));
+        for _ in 0..4 {
+            let next = b.add_task(task(5));
+            b.add_edge(prev, next, 100);
+            prev = next;
+        }
+        let spec = SystemSpec::new(vec![b.build().unwrap()]);
+        let c = cluster_tasks(&spec, &lib(), 8);
+        assert_eq!(c.cluster_count(), 1);
+        assert_eq!(c.cluster(ClusterId::new(0)).tasks.len(), 5);
+    }
+
+    #[test]
+    fn size_cap_splits_long_chains() {
+        let mut b = TaskGraphBuilder::new("chain", Nanos::from_millis(1));
+        let mut prev = b.add_task(task(5));
+        for _ in 0..9 {
+            let next = b.add_task(task(5));
+            b.add_edge(prev, next, 100);
+            prev = next;
+        }
+        let spec = SystemSpec::new(vec![b.build().unwrap()]);
+        let c = cluster_tasks(&spec, &lib(), 4);
+        assert!(c.cluster_count() >= 3);
+        for (_, cl) in c.clusters() {
+            assert!(cl.tasks.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn exclusions_split_clusters() {
+        let mut b = TaskGraphBuilder::new("ex", Nanos::from_millis(1));
+        let a = b.add_task(task(5));
+        let z = b.add_task(task(5));
+        b.add_edge(a, z, 100);
+        b.task_mut(z).exclusions.add(a);
+        let spec = SystemSpec::new(vec![b.build().unwrap()]);
+        let c = cluster_tasks(&spec, &lib(), 8);
+        assert_eq!(c.cluster_count(), 2);
+        assert!(!c.same_cluster(GraphId::new(0), a, z));
+    }
+
+    #[test]
+    fn preference_conflict_splits_clusters() {
+        let mut b = TaskGraphBuilder::new("pref", Nanos::from_millis(1));
+        let a = b.add_task(task(5));
+        let z = b.add_task(task(5));
+        b.add_edge(a, z, 100);
+        b.task_mut(a).preference = Preference::Only(vec![PeTypeId::new(0)]);
+        b.task_mut(z).preference = Preference::Only(vec![PeTypeId::new(1)]);
+        let spec = SystemSpec::new(vec![b.build().unwrap()]);
+        let c = cluster_tasks(&spec, &lib(), 8);
+        assert_eq!(c.cluster_count(), 2);
+        let first = c.cluster(ClusterId::new(0));
+        assert_eq!(first.allowed_pes.len(), 1);
+    }
+
+    #[test]
+    fn clusters_sorted_by_priority() {
+        // Two independent graphs with different deadlines: the tighter one
+        // must come first.
+        let mk = |deadline_us: u64| {
+            let mut b = TaskGraphBuilder::new("g", Nanos::from_millis(10));
+            b.add_task(task(50));
+            b.deadline(Nanos::from_micros(deadline_us)).build().unwrap()
+        };
+        let spec = SystemSpec::new(vec![mk(5000), mk(100)]);
+        let c = cluster_tasks(&spec, &lib(), 8);
+        assert_eq!(c.cluster_count(), 2);
+        let first = c.cluster(ClusterId::new(0));
+        assert_eq!(first.graph, GraphId::new(1), "tight deadline first");
+        let prios: Vec<_> = c.clusters().map(|(_, cl)| cl.priority).collect();
+        assert!(prios[0] >= prios[1]);
+    }
+
+    #[test]
+    fn cluster_metrics_accumulate() {
+        let mut b = TaskGraphBuilder::new("m", Nanos::from_millis(1));
+        let mut t1 = task(5);
+        t1.memory = MemoryVector::new(100, 10, 5);
+        t1.hw = HwDemand::new(1000, 4, 8, 2);
+        let mut t2 = task(7);
+        t2.memory = MemoryVector::new(200, 20, 10);
+        t2.hw = HwDemand::new(500, 2, 4, 1);
+        let a = b.add_task(t1);
+        let z = b.add_task(t2);
+        b.add_edge(a, z, 10);
+        let spec = SystemSpec::new(vec![b.build().unwrap()]);
+        let c = cluster_tasks(&spec, &lib(), 8);
+        let cl = c.cluster(ClusterId::new(0));
+        assert_eq!(cl.memory.total(), 345);
+        assert_eq!(cl.hw.pfus, 6);
+        assert_eq!(
+            cl.execution_time_on(spec.graph(GraphId::new(0)), PeTypeId::new(0)),
+            Some(Nanos::from_micros(12))
+        );
+    }
+
+    #[test]
+    fn every_task_assigned_exactly_once() {
+        let mut b = TaskGraphBuilder::new("fan", Nanos::from_millis(1));
+        let root = b.add_task(task(5));
+        for _ in 0..6 {
+            let leaf = b.add_task(task(3));
+            b.add_edge(root, leaf, 64);
+        }
+        let spec = SystemSpec::new(vec![b.build().unwrap()]);
+        let c = cluster_tasks(&spec, &lib(), 3);
+        let g = GraphId::new(0);
+        for t in (0..7).map(TaskId::new) {
+            let cid = c.cluster_of(g, t);
+            assert!(c.cluster(cid).tasks.contains(&t));
+        }
+    }
+}

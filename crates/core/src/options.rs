@@ -1,0 +1,81 @@
+//! Tunable knobs of the co-synthesis algorithm.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::CoSynthesis`] run.
+///
+/// The defaults reproduce the paper's settings: dynamic reconfiguration
+/// enabled, ERUF = 0.70, EPUF = 0.80, restricted preemption on, clusters
+/// capped at eight tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CosynOptions {
+    /// Whether the dynamic-reconfiguration generation phase runs (Table 2
+    /// compares architectures with this off and on).
+    pub reconfiguration: bool,
+    /// Effective resource utilisation factor: the fraction of a
+    /// programmable device's PFUs the allocator may fill (delay
+    /// management, Section 4.5).
+    pub eruf: f64,
+    /// Effective pin utilisation factor: the fraction of a hardware PE's
+    /// pins the allocator may bond.
+    pub epuf: f64,
+    /// Whether the scheduler may preempt lower-priority software tasks
+    /// when an urgent task would otherwise miss its deadline.
+    pub preemption: bool,
+    /// Maximum number of tasks merged into one cluster.
+    pub cluster_size_cap: usize,
+    /// Maximum modes a single programmable device may accumulate through
+    /// merging.
+    pub max_modes_per_device: usize,
+    /// Whether a graph-part may be replicated into every configuration
+    /// image of a partially reconfigurable device during merging (the
+    /// mechanism that keeps the paper's always-on T1 alive across modes).
+    /// Disable for ablation studies.
+    pub image_sharing: bool,
+}
+
+impl Default for CosynOptions {
+    fn default() -> Self {
+        CosynOptions {
+            reconfiguration: true,
+            eruf: 0.70,
+            epuf: 0.80,
+            preemption: true,
+            cluster_size_cap: 8,
+            max_modes_per_device: 8,
+            image_sharing: true,
+        }
+    }
+}
+
+impl CosynOptions {
+    /// The paper's baseline configuration *without* dynamic
+    /// reconfiguration (each programmable device keeps a single mode) —
+    /// the left half of Tables 2 and 3.
+    pub fn without_reconfiguration() -> Self {
+        CosynOptions {
+            reconfiguration: false,
+            ..CosynOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = CosynOptions::default();
+        assert!(o.reconfiguration);
+        assert!((o.eruf - 0.70).abs() < 1e-9);
+        assert!((o.epuf - 0.80).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_disables_reconfiguration_only() {
+        let o = CosynOptions::without_reconfiguration();
+        assert!(!o.reconfiguration);
+        assert_eq!(o.cluster_size_cap, CosynOptions::default().cluster_size_cap);
+    }
+}

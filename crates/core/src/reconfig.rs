@@ -1,0 +1,613 @@
+//! Dynamic-reconfiguration generation (Sections 4.1–4.3, Figure 3).
+//!
+//! After a deadline-feasible single-mode architecture exists, this phase
+//! looks for pairs of programmable devices whose resident task sets never
+//! overlap in time and merges each such pair into one physical device with
+//! multiple *modes*, reprogrammed at run time. The procedure follows
+//! Figure 3 of the paper: compute the merge potential (number of PPEs plus
+//! links), build the merge array of candidate pairs, accept every merge
+//! that keeps all real-time constraints, and repeat while cost or merge
+//! potential keeps falling. A final pass combines modes that fit together
+//! spatially (no reconfiguration needed between them at all).
+//!
+//! Timing safety: every task interval of one mode, *expanded at the front
+//! by the system boot-time requirement*, must avoid every expanded
+//! interval of every other mode. The expansion reserves room for the
+//! `reboot_task` before each mode's activity, so any interface meeting the
+//! boot-time requirement (guaranteed later by interface synthesis) keeps
+//! the schedule valid — deadlines can never be violated by a mode switch.
+
+use serde::{Deserialize, Serialize};
+
+use crusade_fabric::{option_array, reconfiguration_bits};
+use crusade_model::{GraphId, Nanos, PeClass, ResourceLibrary, SystemSpec};
+use crusade_sched::{Occupant, PeriodicInterval};
+
+use crate::arch::{Architecture, PeInstanceId};
+use crate::cluster::Clustering;
+use crate::options::CosynOptions;
+
+/// Statistics of the dynamic-reconfiguration phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigReport {
+    /// Device pairs merged (each removes one physical PPE).
+    pub merges_accepted: usize,
+    /// Candidate pairs examined.
+    pub merges_examined: usize,
+    /// Mode pairs combined spatially in the final pass.
+    pub modes_combined: usize,
+    /// Figure-3 outer-loop passes executed.
+    pub passes: usize,
+    /// Links retired because their traffic became intra-device.
+    pub links_retired: usize,
+}
+
+/// The per-graph activity parts of one mode: for each resident graph, the
+/// smallest periodic interval covering its tasks (expanded at the front by
+/// the boot guard), plus the hardware that graph's clusters consume.
+fn mode_parts(
+    spec: &SystemSpec,
+    clustering: &Clustering,
+    arch: &Architecture,
+    pe: PeInstanceId,
+    mode: usize,
+    guard: Nanos,
+) -> Option<Vec<(GraphId, PeriodicInterval, crusade_model::HwDemand)>> {
+    let m = &arch.pe(pe).modes[mode];
+    let mut parts = Vec::new();
+    for &g in &m.graphs {
+        let graph = spec.graph(g);
+        let period = graph.period();
+        let mut lo = Nanos::MAX;
+        let mut hi = Nanos::ZERO;
+        let mut hw = crusade_model::HwDemand::ZERO;
+        for &cid in &m.clusters {
+            let cluster = clustering.cluster(cid);
+            if cluster.graph != g {
+                continue;
+            }
+            hw = hw + cluster.hw;
+            for &t in &cluster.tasks {
+                let w = arch
+                    .board
+                    .window(Occupant::Task(crusade_model::GlobalTaskId::new(g, t)))?;
+                lo = lo.min(w.start);
+                hi = hi.max(w.finish);
+            }
+        }
+        if lo == Nanos::MAX {
+            continue;
+        }
+        let span = hi - lo + guard;
+        if span > period {
+            // No room for a reboot within the period: this part can only
+            // ever coexist with another mode by being shared across the
+            // configuration images (handled by the caller for partially
+            // reconfigurable devices). Mark it with a full-period
+            // envelope, which collides with everything.
+            parts.push((
+                g,
+                PeriodicInterval::new(Nanos::ZERO, period, period),
+                hw,
+            ));
+            continue;
+        }
+        // Expand at the front; shifting by a full period keeps the same
+        // periodic pattern, so a "negative" start wraps cleanly.
+        let start = if lo >= guard {
+            lo - guard
+        } else {
+            lo + period - guard
+        };
+        parts.push((g, PeriodicInterval::new(start, span, period), hw));
+    }
+    Some(parts)
+}
+
+/// Whether one device's configuration images are temporally consistent:
+/// every cross-image activity-envelope pair (for graphs not shared
+/// between the two images) is collision-free with reboot room, every
+/// image fits the capacity caps, and some programming interface can
+/// reconfigure the device within the boot budget. Used by field-upgrade
+/// allocation, which opens new images directly.
+pub(crate) fn device_modes_feasible(
+    spec: &SystemSpec,
+    clustering: &Clustering,
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    arch: &Architecture,
+    pe: PeInstanceId,
+) -> bool {
+    let guard = spec.constraints().boot_time_requirement;
+    let PeClass::Ppe(attrs) = lib.pe(arch.pe(pe).ty).class() else {
+        return false;
+    };
+    let parts: Option<Vec<Vec<(GraphId, PeriodicInterval, crusade_model::HwDemand)>>> =
+        (0..arch.pe(pe).modes.len())
+            .map(|m| mode_parts(spec, clustering, arch, pe, m, guard))
+            .collect();
+    let Some(parts) = parts else { return false };
+    let pfu_cap = (attrs.pfus as f64 * options.eruf) as u32;
+    let pin_cap = (attrs.pins as f64 * options.epuf) as u32;
+    for (m, mode) in arch.pe(pe).modes.iter().enumerate() {
+        if mode.used_hw.pfus > pfu_cap || mode.used_hw.pins > pin_cap {
+            return false;
+        }
+        for (m2, list2) in parts.iter().enumerate() {
+            if m2 <= m {
+                continue;
+            }
+            for &(ga, ea, _) in &parts[m] {
+                // Graphs resident in both images are "shared" and exempt.
+                if arch.pe(pe).modes[m2].graphs.contains(&ga) {
+                    continue;
+                }
+                for &(gb, eb, _) in list2 {
+                    if arch.pe(pe).modes[m].graphs.contains(&gb) || ga == gb {
+                        continue;
+                    }
+                    if ea.collides(&eb) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    // Some interface must boot the worst-case switch within the budget.
+    let mut worst_bits = 0u64;
+    let pfus: Vec<u32> = arch.pe(pe).modes.iter().map(|m| m.used_hw.pfus).collect();
+    for (i, &pi) in pfus.iter().enumerate() {
+        for (j, &pj) in pfus.iter().enumerate() {
+            if i != j {
+                worst_bits = worst_bits.max(reconfiguration_bits(attrs, pi, pj));
+            }
+        }
+    }
+    option_array()
+        .iter()
+        .any(|o| o.boot_time(worst_bits, 0) <= guard)
+}
+
+/// One graph-part replicated into every configuration image of a merged
+/// device (possible on partially reconfigurable devices, whose resident
+/// circuits keep running while the differing region is rewritten — this is
+/// exactly how the paper's Figure 2 keeps T1 alive across both modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SharedPart {
+    /// Owned by device `a` (`true`) or `b` (`false`) before the merge.
+    owner_a: bool,
+    /// Mode index within the owner.
+    mode: usize,
+    /// The resident graph being replicated.
+    graph: GraphId,
+}
+
+/// The decision of whether and how `a` and `b` can merge.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct MergePlan {
+    shared: Vec<SharedPart>,
+}
+
+/// Plans a merge: every cross-device envelope pair must be collision-free,
+/// except that on partially reconfigurable devices a colliding part may be
+/// *shared* (replicated into every image) when capacity permits.
+#[allow(clippy::too_many_arguments)]
+fn plan_merge(
+    spec: &SystemSpec,
+    clustering: &Clustering,
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    arch: &Architecture,
+    a: PeInstanceId,
+    b: PeInstanceId,
+    guard: Nanos,
+) -> Option<MergePlan> {
+    let collect = |pe: PeInstanceId| -> Option<Vec<Vec<(GraphId, PeriodicInterval, crusade_model::HwDemand)>>> {
+        (0..arch.pe(pe).modes.len())
+            .map(|m| mode_parts(spec, clustering, arch, pe, m, guard))
+            .collect()
+    };
+    let parts_a = collect(a)?;
+    let parts_b = collect(b)?;
+    let PeClass::Ppe(attrs) = lib.pe(arch.pe(a).ty).class() else {
+        return None;
+    };
+    let partial = attrs.partial_reconfig && options.image_sharing;
+
+    let mut shared: Vec<SharedPart> = Vec::new();
+    let is_shared = |s: &[SharedPart], owner_a: bool, mode: usize, g: GraphId| {
+        s.iter()
+            .any(|p| p.owner_a == owner_a && p.mode == mode && p.graph == g)
+    };
+    for (ma, pa_list) in parts_a.iter().enumerate() {
+        for (mb, pb_list) in parts_b.iter().enumerate() {
+            for &(ga, ea, hwa) in pa_list {
+                for &(gb, eb, hwb) in pb_list {
+                    if is_shared(&shared, true, ma, ga) || is_shared(&shared, false, mb, gb) {
+                        continue; // already replicated into every image
+                    }
+                    if !ea.collides(&eb) {
+                        continue;
+                    }
+                    if !partial {
+                        return None;
+                    }
+                    // Share the smaller part (less area replicated).
+                    if hwa.pfus <= hwb.pfus {
+                        shared.push(SharedPart { owner_a: true, mode: ma, graph: ga });
+                    } else {
+                        shared.push(SharedPart { owner_a: false, mode: mb, graph: gb });
+                    }
+                }
+            }
+        }
+    }
+
+    // Capacity: every mode of the merged device must also hold the shared
+    // parts that did not originate in it.
+    let hw_of = |p: &SharedPart| {
+        let list = if p.owner_a { &parts_a } else { &parts_b };
+        list[p.mode]
+            .iter()
+            .find(|(g, _, _)| *g == p.graph)
+            .map(|&(_, _, hw)| hw)
+            .unwrap_or(crusade_model::HwDemand::ZERO)
+    };
+    let pfu_cap = (attrs.pfus as f64 * options.eruf) as u32;
+    let pin_cap = (attrs.pins as f64 * options.epuf) as u32;
+    let mode_count_a = arch.pe(a).modes.len();
+    let check_mode = |owner_a: bool, mode: usize, base: crusade_model::HwDemand| {
+        let mut hw = base;
+        for p in &shared {
+            if p.owner_a != owner_a || p.mode != mode {
+                hw = hw + hw_of(p);
+            }
+        }
+        hw.pfus <= pfu_cap && hw.pins <= pin_cap && hw.flip_flops <= attrs.flip_flops
+    };
+    for m in 0..mode_count_a {
+        if !check_mode(true, m, arch.pe(a).modes[m].used_hw) {
+            return None;
+        }
+    }
+    for m in 0..arch.pe(b).modes.len() {
+        if !check_mode(false, m, arch.pe(b).modes[m].used_hw) {
+            return None;
+        }
+    }
+    Some(MergePlan { shared })
+}
+
+/// Whether the compatibility matrix (when supplied) blesses merging the
+/// graph sets of two devices.
+fn declared_compatible(spec: &SystemSpec, arch: &Architecture, a: PeInstanceId, b: PeInstanceId) -> bool {
+    let Some(matrix) = spec.compatibility() else {
+        return true; // no matrix: auto-detection decides
+    };
+    let graphs = |p: PeInstanceId| -> Vec<GraphId> {
+        arch.pe(p)
+            .modes
+            .iter()
+            .flat_map(|m| m.graphs.iter().copied())
+            .collect()
+    };
+    for ga in graphs(a) {
+        for gb in graphs(b) {
+            if ga != gb && !matrix.compatible(ga, gb) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether merging would co-locate mutually excluded tasks on one
+/// physical device (exclusion vectors bind to the PE, across modes — a
+/// duplicate-and-compare pair must never share hardware with its
+/// original, whatever the mode).
+fn exclusion_conflict(
+    spec: &SystemSpec,
+    clustering: &Clustering,
+    arch: &Architecture,
+    a: PeInstanceId,
+    b: PeInstanceId,
+) -> bool {
+    let tasks_of = |p: PeInstanceId| -> Vec<(GraphId, crusade_model::TaskId)> {
+        arch.pe(p)
+            .modes
+            .iter()
+            .flat_map(|m| m.clusters.iter())
+            .flat_map(|&cid| {
+                let c = clustering.cluster(cid);
+                c.tasks.iter().map(move |&t| (c.graph, t))
+            })
+            .collect()
+    };
+    let ta = tasks_of(a);
+    let tb = tasks_of(b);
+    for &(ga, t1) in &ta {
+        for &(gb, t2) in &tb {
+            if ga == gb {
+                let graph = spec.graph(ga);
+                if graph.task(t1).exclusions.excludes(t2)
+                    || graph.task(t2).exclusions.excludes(t1)
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Whether *some* programming interface can reconfigure the would-be
+/// merged device within the boot guard (ignoring chain position — the
+/// final interface synthesis falls back to per-device interfaces when
+/// chaining would be too slow). If even the fastest option cannot, the
+/// device must not be dynamically reconfigured at all.
+fn boot_achievable(
+    lib: &ResourceLibrary,
+    arch: &Architecture,
+    a: PeInstanceId,
+    b: PeInstanceId,
+    guard: Nanos,
+) -> bool {
+    let PeClass::Ppe(attrs) = lib.pe(arch.pe(a).ty).class() else {
+        return false;
+    };
+    let pfus: Vec<u32> = arch
+        .pe(a)
+        .modes
+        .iter()
+        .chain(arch.pe(b).modes.iter())
+        .map(|m| m.used_hw.pfus)
+        .collect();
+    let mut worst_bits = 0u64;
+    for (i, &pi) in pfus.iter().enumerate() {
+        for (j, &pj) in pfus.iter().enumerate() {
+            if i != j {
+                worst_bits = worst_bits.max(reconfiguration_bits(attrs, pi, pj));
+            }
+        }
+    }
+    option_array()
+        .iter()
+        .any(|o| o.boot_time(worst_bits, 0) <= guard)
+}
+
+/// Commits the merge of `b` into `a`: modes move over, task windows are
+/// re-homed onto `a`'s resource, now-internal edges lose their link slots,
+/// emptied links retire, and `b` retires.
+fn commit_merge(
+    spec: &SystemSpec,
+    clustering: &Clustering,
+    arch: &mut Architecture,
+    a: PeInstanceId,
+    b: PeInstanceId,
+    plan: MergePlan,
+    report: &mut ReconfigReport,
+) {
+    // Move b's task windows to a's resource.
+    let moved: Vec<(Occupant, PeriodicInterval)> = arch
+        .board
+        .timeline(arch.pe(b).resource)
+        .iter()
+        .map(|p| (p.occupant, p.interval))
+        .collect();
+    let a_resource = arch.pe(a).resource;
+    for (occ, interval) in moved {
+        arch.board.remove(occ);
+        arch.board.record(a_resource, occ, interval);
+    }
+
+    // Move the modes.
+    let mode_count_a = arch.pe(a).modes.len();
+    let b_modes = std::mem::take(&mut arch.pe_mut(b).modes);
+    arch.pe_mut(a).modes.extend(b_modes);
+    arch.pe_mut(b).retired = true;
+
+    // Replicate shared parts into every other configuration image.
+    for part in &plan.shared {
+        let own_mode = if part.owner_a {
+            part.mode
+        } else {
+            mode_count_a + part.mode
+        };
+        let donors: Vec<crate::cluster::ClusterId> = arch.pe(a).modes[own_mode]
+            .clusters
+            .iter()
+            .copied()
+            .filter(|&cid| clustering.cluster(cid).graph == part.graph)
+            .collect();
+        let hw = donors
+            .iter()
+            .fold(crusade_model::HwDemand::ZERO, |acc, &cid| {
+                acc + clustering.cluster(cid).hw
+            });
+        let mode_total = arch.pe(a).modes.len();
+        for m in 0..mode_total {
+            if m == own_mode {
+                continue;
+            }
+            let mode = &mut arch.pe_mut(a).modes[m];
+            for &cid in &donors {
+                if !mode.clusters.contains(&cid) {
+                    mode.clusters.push(cid);
+                }
+            }
+            if !mode.graphs.contains(&part.graph) {
+                mode.graphs.push(part.graph);
+            }
+            mode.used_hw = mode.used_hw + hw;
+        }
+    }
+
+    // Edges whose endpoints both live on `a` now are intra-device: free
+    // their link slots (consumers only get earlier data — always safe).
+    let tasks_on_a: std::collections::HashSet<crusade_model::GlobalTaskId> = arch
+        .pe(a)
+        .modes
+        .iter()
+        .flat_map(|m| m.clusters.iter())
+        .flat_map(|&cid| {
+            let c = clustering.cluster(cid);
+            c.tasks
+                .iter()
+                .map(move |&t| crusade_model::GlobalTaskId::new(c.graph, t))
+        })
+        .collect();
+    let mut internal_edges = Vec::new();
+    for gt in &tasks_on_a {
+        let graph = spec.graph(gt.graph);
+        for (eid, edge) in graph.successors(gt.task) {
+            if tasks_on_a.contains(&crusade_model::GlobalTaskId::new(gt.graph, edge.to)) {
+                internal_edges.push(Occupant::Edge(crusade_model::GlobalEdgeId::new(
+                    gt.graph, eid,
+                )));
+            }
+        }
+    }
+    for occ in internal_edges {
+        arch.board.remove(occ);
+    }
+
+    // Re-home link attachments and retire dead links.
+    let link_ids: Vec<_> = arch.links().map(|(id, _)| id).collect();
+    for lid in link_ids {
+        let l = arch.link_mut(lid);
+        if let Some(pos) = l.attached.iter().position(|&p| p == b) {
+            if l.attached.contains(&a) {
+                l.attached.swap_remove(pos);
+            } else {
+                l.attached[pos] = a;
+            }
+        }
+        let resource = l.resource;
+        let ports = l.attached.len();
+        if ports < 2 && arch.board.timeline(resource).is_empty() {
+            arch.link_mut(lid).retired = true;
+            report.links_retired += 1;
+        }
+    }
+}
+
+/// Runs the Figure-3 procedure on `arch`.
+pub fn generate(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    clustering: &Clustering,
+    arch: &mut Architecture,
+) -> ReconfigReport {
+    let mut report = ReconfigReport::default();
+    let guard = spec.constraints().boot_time_requirement;
+
+    loop {
+        report.passes += 1;
+        let cost_before = arch.cost(lib);
+        let potential_before = arch.merge_potential(lib);
+
+        // The merge array: candidate pairs of live, same-type PPEs.
+        let ppes: Vec<PeInstanceId> = arch.programmable_pes(lib).map(|(id, _)| id).collect();
+        let mut merged_any = false;
+        for i in 0..ppes.len() {
+            for j in (i + 1)..ppes.len() {
+                let (a, b) = (ppes[i], ppes[j]);
+                if arch.pe(a).retired || arch.pe(b).retired {
+                    continue;
+                }
+                if arch.pe(a).ty != arch.pe(b).ty {
+                    continue;
+                }
+                if arch.pe(a).modes.len() + arch.pe(b).modes.len()
+                    > options.max_modes_per_device
+                {
+                    continue;
+                }
+                report.merges_examined += 1;
+                if !declared_compatible(spec, arch, a, b) {
+                    continue;
+                }
+                if exclusion_conflict(spec, clustering, arch, a, b) {
+                    continue;
+                }
+                if !boot_achievable(lib, arch, a, b, guard) {
+                    continue;
+                }
+                let Some(plan) = plan_merge(spec, clustering, lib, options, arch, a, b, guard)
+                else {
+                    continue;
+                };
+                commit_merge(spec, clustering, arch, a, b, plan, &mut report);
+                report.merges_accepted += 1;
+                merged_any = true;
+            }
+        }
+
+        let improved = arch.cost(lib) < cost_before
+            || arch.merge_potential(lib) < potential_before;
+        if !merged_any || !improved {
+            break;
+        }
+    }
+
+    combine_modes(lib, options, clustering, arch, &mut report);
+    report
+}
+
+/// Final pass: combine modes of one device that fit together spatially —
+/// then no reconfiguration is needed between them (the paper's attempt to
+/// place C1, C2 and C3 in a single mode when resources suffice).
+fn combine_modes(
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    clustering: &Clustering,
+    arch: &mut Architecture,
+    report: &mut ReconfigReport,
+) {
+    let ids: Vec<PeInstanceId> = arch.programmable_pes(lib).map(|(id, _)| id).collect();
+    for pid in ids {
+        let caps = match lib.pe(arch.pe(pid).ty).class() {
+            PeClass::Ppe(attrs) => (
+                (attrs.pfus as f64 * options.eruf) as u32,
+                (attrs.pins as f64 * options.epuf) as u32,
+                attrs.flip_flops,
+            ),
+            _ => continue,
+        };
+        let modes = &mut arch.pe_mut(pid).modes;
+        let mut i = 0;
+        while i < modes.len() {
+            let mut j = i + 1;
+            while j < modes.len() {
+                // The union's demand, deduplicating clusters shared across
+                // both images.
+                let mut union: Vec<_> = modes[i].clusters.clone();
+                for &cid in &modes[j].clusters {
+                    if !union.contains(&cid) {
+                        union.push(cid);
+                    }
+                }
+                let hw = union
+                    .iter()
+                    .fold(crusade_model::HwDemand::ZERO, |acc, &cid| {
+                        acc + clustering.cluster(cid).hw
+                    });
+                if hw.pfus <= caps.0 && hw.pins <= caps.1 && hw.flip_flops <= caps.2 {
+                    let absorbed = modes.remove(j);
+                    modes[i].clusters = union;
+                    for g in absorbed.graphs {
+                        if !modes[i].graphs.contains(&g) {
+                            modes[i].graphs.push(g);
+                        }
+                    }
+                    modes[i].used_hw = hw;
+                    report.modes_combined += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Human-readable rendering of synthesized architectures.
+//!
+//! Co-synthesis results are dense; these helpers print what a designer
+//! needs to review a proposal: the bill of materials (PEs with their
+//! modes and residents, links with their ports, the programming
+//! interface), and per-resource schedule timelines showing the periodic
+//! execution windows the static scheduler committed to.
+
+use std::fmt::Write as _;
+
+use crusade_model::{GlobalTaskId, ResourceLibrary, SystemSpec};
+use crusade_sched::Occupant;
+
+use crate::synthesis::SynthesisResult;
+
+/// Renders the bill of materials: every live PE with its type, modes and
+/// resident clusters, every link with its attached PEs, and the
+/// synthesized programming interface.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use crusade_core::{describe_architecture, CoSynthesis};
+/// # fn demo(spec: &crusade_model::SystemSpec, lib: &crusade_model::ResourceLibrary) {
+/// let result = CoSynthesis::new(spec, lib).run().unwrap();
+/// println!("{}", describe_architecture(&result, spec, lib));
+/// # }
+/// ```
+pub fn describe_architecture(
+    result: &SynthesisResult,
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+) -> String {
+    let arch = &result.architecture;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "architecture: {} PEs, {} links, cost {}",
+        arch.pe_count(),
+        arch.link_count(),
+        arch.cost(lib)
+    );
+    for (id, pe) in arch.pes() {
+        let ty = lib.pe(pe.ty);
+        let _ = writeln!(
+            out,
+            "  {id} {} ({}){}",
+            ty.name(),
+            if ty.is_cpu() {
+                "cpu"
+            } else if ty.is_asic() {
+                "asic"
+            } else {
+                "programmable"
+            },
+            if pe.modes.len() > 1 {
+                format!(", {} modes", pe.modes.len())
+            } else {
+                String::new()
+            }
+        );
+        for (m, mode) in pe.modes.iter().enumerate() {
+            if mode.clusters.is_empty() {
+                continue;
+            }
+            let residents: Vec<String> = mode
+                .graphs
+                .iter()
+                .map(|&g| spec.graph(g).name().to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                "    mode {m}: {} cluster(s), {} PFUs, graphs [{}]",
+                mode.clusters.len(),
+                mode.used_hw.pfus,
+                residents.join(", ")
+            );
+        }
+    }
+    for (id, link) in arch.links() {
+        let ports: Vec<String> = link.attached.iter().map(|p| p.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "  {id} {} connecting [{}]",
+            lib.link(link.ty).name(),
+            ports.join(", ")
+        );
+    }
+    match &arch.interface {
+        Some(iface) => {
+            let _ = writeln!(
+                out,
+                "  programming interface: {:?} {:?} @ {} MHz, worst boot {}, cost {}",
+                iface.option.mode,
+                iface.option.controller,
+                iface.option.frequency_mhz,
+                iface.worst_boot_time,
+                iface.cost
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  no reconfiguration interface (single-mode devices only)");
+        }
+    }
+    out
+}
+
+/// Renders the committed schedule of one PE instance as a sorted list of
+/// periodic execution windows (one line per resident task copy-0 window).
+pub fn describe_schedule(
+    result: &SynthesisResult,
+    spec: &SystemSpec,
+    pe: crate::arch::PeInstanceId,
+) -> String {
+    let arch = &result.architecture;
+    let mut rows: Vec<(u64, String)> = Vec::new();
+    for placed in arch.board.timeline(arch.pe(pe).resource).iter() {
+        let iv = placed.interval;
+        let label = match placed.occupant {
+            Occupant::Task(GlobalTaskId { graph, task }) => {
+                format!(
+                    "task {}",
+                    spec.graph(graph).task(task).name.clone()
+                )
+            }
+            other => other.to_string(),
+        };
+        rows.push((
+            iv.start().as_nanos(),
+            format!(
+                "  [{} .. {}) every {}  {}",
+                iv.start(),
+                iv.finish(),
+                iv.period(),
+                label
+            ),
+        ));
+    }
+    rows.sort();
+    let mut out = format!("schedule of {pe}:\n");
+    for (_, row) in rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of the per-graph timing summary produced by
+/// [`describe_timing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphTiming {
+    /// Graph name.
+    pub name: String,
+    /// Worst task finish (absolute, copy 0).
+    pub worst_finish: crusade_model::Nanos,
+    /// Absolute deadline (EST + graph deadline).
+    pub deadline: crusade_model::Nanos,
+}
+
+/// Computes the worst finish vs deadline for every graph — the designer's
+/// slack report.
+pub fn graph_timings(result: &SynthesisResult, spec: &SystemSpec) -> Vec<GraphTiming> {
+    let arch = &result.architecture;
+    spec.graphs()
+        .map(|(g, graph)| {
+            let worst = graph
+                .tasks()
+                .filter_map(|(t, _)| {
+                    arch.board
+                        .window(Occupant::Task(GlobalTaskId::new(g, t)))
+                        .map(|w| w.finish)
+                })
+                .max()
+                .unwrap_or(crusade_model::Nanos::ZERO);
+            GraphTiming {
+                name: graph.name().to_string(),
+                worst_finish: worst,
+                deadline: graph.est() + graph.deadline(),
+            }
+        })
+        .collect()
+}
+
+/// Renders [`graph_timings`] as a table with slack percentages.
+pub fn describe_timing(result: &SynthesisResult, spec: &SystemSpec) -> String {
+    let mut out = String::from("graph timing (worst finish vs deadline):\n");
+    for t in graph_timings(result, spec) {
+        let slack = t
+            .deadline
+            .checked_sub(t.worst_finish)
+            .map(|s| 100.0 * s.as_nanos() as f64 / t.deadline.as_nanos().max(1) as f64)
+            .unwrap_or(-1.0);
+        let _ = writeln!(
+            out,
+            "  {:<28} finish {:>12}  deadline {:>12}  slack {:>5.1}%",
+            t.name,
+            t.worst_finish.to_string(),
+            t.deadline.to_string(),
+            slack
+        );
+    }
+    out
+}
+
+/// The full designer-facing report: bill of materials plus timing.
+pub fn describe(result: &SynthesisResult, spec: &SystemSpec, lib: &ResourceLibrary) -> String {
+    let mut out = describe_architecture(result, spec, lib);
+    out.push_str(&describe_timing(result, spec));
+    let _ = writeln!(
+        out,
+        "synthesis: {} clusters, {} merges, {} mode-combines, cpu time {:?}",
+        result.report.cluster_count,
+        result.report.reconfig.merges_accepted,
+        result.report.reconfig.modes_combined,
+        result.report.cpu_time
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoSynthesis, CosynOptions};
+    use crusade_model::{
+        CpuAttrs, Dollars, ExecutionTimes, LinkClass, LinkType, Nanos, PeClass, PeType,
+        SystemSpec, Task, TaskGraphBuilder,
+    };
+
+    fn setup() -> (SystemSpec, ResourceLibrary) {
+        let mut lib = ResourceLibrary::new();
+        lib.add_pe(PeType::new(
+            "cpu",
+            Dollars::new(80),
+            PeClass::Cpu(CpuAttrs {
+                memory_bytes: 4 << 20,
+                context_switch: Nanos::from_micros(5),
+                comm_ports: 2,
+                comm_overlap: true,
+            }),
+        ));
+        lib.add_link(LinkType::new(
+            "bus",
+            Dollars::new(10),
+            LinkClass::Bus,
+            8,
+            vec![Nanos::from_nanos(200)],
+            64,
+            Nanos::from_micros(1),
+        ));
+        let mut b = TaskGraphBuilder::new("pipeline", Nanos::from_millis(1));
+        let a = b.add_task(Task::new(
+            "ingest",
+            ExecutionTimes::uniform(1, Nanos::from_micros(50)),
+        ));
+        let z = b.add_task(Task::new(
+            "emit",
+            ExecutionTimes::uniform(1, Nanos::from_micros(30)),
+        ));
+        b.add_edge(a, z, 32);
+        (SystemSpec::new(vec![b.build().unwrap()]), lib)
+    }
+
+    #[test]
+    fn report_mentions_components_and_tasks() {
+        let (spec, lib) = setup();
+        let r = CoSynthesis::new(&spec, &lib)
+            .with_options(CosynOptions::default())
+            .run()
+            .unwrap();
+        let text = describe(&r, &spec, &lib);
+        assert!(text.contains("architecture: 1 PEs"));
+        assert!(text.contains("cpu"));
+        assert!(text.contains("pipeline"));
+        assert!(text.contains("slack"));
+    }
+
+    #[test]
+    fn schedule_listing_is_sorted_and_labelled() {
+        let (spec, lib) = setup();
+        let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+        let (pe, _) = r.architecture.pes().next().unwrap();
+        let text = describe_schedule(&r, &spec, pe);
+        let ingest = text.find("ingest").expect("ingest listed");
+        let emit = text.find("emit").expect("emit listed");
+        assert!(ingest < emit, "windows sorted by start time");
+    }
+
+    #[test]
+    fn timings_report_positive_slack_on_feasible_system() {
+        let (spec, lib) = setup();
+        let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+        for t in graph_timings(&r, &spec) {
+            assert!(t.worst_finish <= t.deadline);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Integration tests for the full co-synthesis flow, including the
+//! dynamic-reconfiguration merge that is the paper's headline mechanism.
+
+use crusade_core::{CoSynthesis, CosynOptions, SynthesisError};
+use crusade_model::{
+    CompatibilityMatrix, CpuAttrs, Dollars, ExecutionTimes, GraphId, HwDemand, LinkClass,
+    LinkType, Nanos, PeClass, PeType, PeTypeId, PpeAttrs, PpeKind, Preference, ResourceLibrary,
+    SystemConstraints, SystemSpec, Task, TaskGraph, TaskGraphBuilder,
+};
+
+/// Library with one CPU, one FPGA (1000 PFUs) and one bus.
+fn small_lib() -> ResourceLibrary {
+    let mut lib = ResourceLibrary::new();
+    lib.add_pe(PeType::new(
+        "mc68360",
+        Dollars::new(95),
+        PeClass::Cpu(CpuAttrs {
+            memory_bytes: 4 << 20,
+            context_switch: Nanos::from_micros(8),
+            comm_ports: 2,
+            comm_overlap: true,
+        }),
+    ));
+    lib.add_pe(PeType::new(
+        "xc4025",
+        Dollars::new(240),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 1000,
+            flip_flops: 2000,
+            pins: 160,
+            boot_memory_bytes: 40 * 1024,
+            config_bits_per_pfu: 160,
+            partial_reconfig: false,
+        }),
+    ));
+    lib.add_link(LinkType::new(
+        "bus",
+        Dollars::new(12),
+        LinkClass::Bus,
+        8,
+        vec![Nanos::from_nanos(300), Nanos::from_nanos(500), Nanos::from_nanos(900)],
+        64,
+        Nanos::from_micros(1),
+    ));
+    lib
+}
+
+const CPU: usize = 0;
+const FPGA: usize = 1;
+
+/// A software pipeline of `n` tasks.
+fn sw_graph(name: &str, n: usize, period_us: u64, deadline_us: u64) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new(name, Nanos::from_micros(period_us));
+    let mut prev = None;
+    for i in 0..n {
+        let mut t = Task::new(
+            format!("{name}-t{i}"),
+            ExecutionTimes::from_entries(2, [(PeTypeId::new(CPU), Nanos::from_micros(20))]),
+        );
+        t.memory = crusade_model::MemoryVector::new(1000, 200, 100);
+        let id = b.add_task(t);
+        if let Some(p) = prev {
+            b.add_edge(p, id, 64);
+        }
+        prev = Some(id);
+    }
+    b.deadline(Nanos::from_micros(deadline_us)).build().unwrap()
+}
+
+/// A hardware (FPGA-only) pipeline occupying `pfus` PFUs in total, with a
+/// bounded execution window `[est, est + span]`.
+fn hw_graph(
+    name: &str,
+    n: usize,
+    pfus_per_task: u32,
+    period_us: u64,
+    est_us: u64,
+    deadline_us: u64,
+) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new(name, Nanos::from_micros(period_us));
+    let mut prev = None;
+    for i in 0..n {
+        let mut t = Task::new(
+            format!("{name}-h{i}"),
+            ExecutionTimes::from_entries(2, [(PeTypeId::new(FPGA), Nanos::from_micros(10))]),
+        );
+        t.preference = Preference::Only(vec![PeTypeId::new(FPGA)]);
+        t.hw = HwDemand::new(0, pfus_per_task, pfus_per_task, 4);
+        let id = b.add_task(t);
+        if let Some(p) = prev {
+            b.add_edge(p, id, 32);
+        }
+        prev = Some(id);
+    }
+    b.est(Nanos::from_micros(est_us))
+        .deadline(Nanos::from_micros(deadline_us))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn software_only_spec_uses_one_cpu() {
+    let lib = small_lib();
+    let spec = SystemSpec::new(vec![sw_graph("a", 4, 1000, 900)]);
+    let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+    assert_eq!(r.report.pe_count, 1);
+    assert_eq!(r.report.link_count, 0);
+    assert_eq!(r.report.cost, Dollars::new(95));
+    assert!(r.architecture.interface.is_none());
+}
+
+#[test]
+fn parallel_software_load_scales_out_cpus() {
+    // Eight independent 4-task pipelines with a tight deadline cannot all
+    // share one CPU (4 * 20us each, deadline 100us).
+    let lib = small_lib();
+    let graphs: Vec<TaskGraph> = (0..8)
+        .map(|i| sw_graph(&format!("g{i}"), 4, 1000, 100))
+        .collect();
+    let spec = SystemSpec::new(graphs);
+    let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+    assert!(
+        r.report.pe_count > 1,
+        "eight 80us pipelines with 100us deadlines need multiple CPUs, got {}",
+        r.report.pe_count
+    );
+}
+
+#[test]
+fn infeasible_deadline_reports_unallocatable() {
+    let lib = small_lib();
+    // A 20us task with a 5us deadline can never be met on the 20us CPU.
+    let spec = SystemSpec::new(vec![sw_graph("tight", 1, 1000, 5)]);
+    let err = CoSynthesis::new(&spec, &lib).run().unwrap_err();
+    assert!(matches!(err, SynthesisError::Unallocatable { .. }));
+}
+
+/// The core reconfiguration scenario: two hardware graphs whose execution
+/// windows never overlap, each needing ~60 % of an FPGA — they cannot
+/// share a mode (exceeds the 70 % ERUF cap) so the baseline instantiates
+/// two devices; dynamic reconfiguration merges them into one two-mode
+/// device.
+fn disjoint_hw_spec() -> SystemSpec {
+    let a = hw_graph("early", 3, 200, 10_000, 0, 300);
+    let b = hw_graph("late", 3, 200, 10_000, 5_000, 300);
+    // 1000 PFUs x 160 bits = 160 kbit images: the fastest interface
+    // (8-bit at 10 MHz) reconfigures in ~2.05 ms, within the 3 ms budget.
+    SystemSpec::new(vec![a, b]).with_constraints(SystemConstraints {
+        boot_time_requirement: Nanos::from_millis(3),
+        preemption_overhead: Nanos::from_micros(50),
+        average_link_ports: 4,
+    })
+}
+
+#[test]
+fn baseline_without_reconfiguration_needs_two_fpgas() {
+    let lib = small_lib();
+    let spec = disjoint_hw_spec();
+    let r = CoSynthesis::new(&spec, &lib)
+        .with_options(CosynOptions::without_reconfiguration())
+        .run()
+        .unwrap();
+    assert_eq!(r.report.pe_count, 2);
+    assert_eq!(r.report.multi_mode_devices, 0);
+    assert_eq!(r.report.cost, Dollars::new(480));
+}
+
+#[test]
+fn reconfiguration_merges_disjoint_fpgas() {
+    let lib = small_lib();
+    let spec = disjoint_hw_spec();
+    let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+    assert_eq!(r.report.pe_count, 1, "one two-mode device suffices");
+    assert_eq!(r.report.multi_mode_devices, 1);
+    assert_eq!(r.report.total_modes, 2);
+    assert_eq!(r.report.reconfig.merges_accepted, 1);
+    // Cost: one FPGA plus the programming interface, well under two FPGAs.
+    let iface = r.architecture.interface.as_ref().expect("interface synthesised");
+    assert!(iface.worst_boot_time <= Nanos::from_millis(3));
+    assert!(r.report.cost < Dollars::new(480));
+}
+
+#[test]
+fn overlapping_hw_graphs_do_not_merge() {
+    let lib = small_lib();
+    // Same windows: execution overlaps, no temporal sharing possible.
+    let a = hw_graph("x", 3, 200, 10_000, 0, 300);
+    let b = hw_graph("y", 3, 200, 10_000, 0, 300);
+    let spec = SystemSpec::new(vec![a, b]);
+    let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+    assert_eq!(r.report.pe_count, 2);
+    assert_eq!(r.report.multi_mode_devices, 0);
+    assert!(r.architecture.interface.is_none());
+}
+
+#[test]
+fn compatibility_matrix_restricts_merging() {
+    let lib = small_lib();
+    let spec = disjoint_hw_spec();
+    // Declare the two graphs incompatible: even though the schedule is
+    // disjoint, the a-priori matrix forbids sharing.
+    let matrix = CompatibilityMatrix::incompatible(2);
+    let spec = spec.with_compatibility(matrix);
+    let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+    assert_eq!(r.report.pe_count, 2);
+    assert_eq!(r.report.reconfig.merges_accepted, 0);
+}
+
+#[test]
+fn compatibility_matrix_allows_declared_pairs() {
+    let lib = small_lib();
+    let spec = disjoint_hw_spec();
+    let mut matrix = CompatibilityMatrix::incompatible(2);
+    matrix.set_compatible(GraphId::new(0), GraphId::new(1));
+    let spec = spec.with_compatibility(matrix);
+    let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+    assert_eq!(r.report.pe_count, 1);
+    assert_eq!(r.report.reconfig.merges_accepted, 1);
+}
+
+#[test]
+fn tight_boot_requirement_blocks_merging() {
+    let lib = small_lib();
+    let a = hw_graph("early", 3, 10_000, 200, 0, 300);
+    // Identical graphs but with a boot guard larger than the idle gap
+    // between the two windows: the envelopes collide and no merge happens.
+    let b = hw_graph("late", 3, 10_000, 200, 5_000, 300);
+    let _ = (a, b);
+    let a = hw_graph("early", 3, 200, 10_000, 0, 300);
+    let b = hw_graph("late", 3, 200, 10_000, 5_000, 300);
+    let spec = SystemSpec::new(vec![a, b]).with_constraints(SystemConstraints {
+        // The gap between windows is ~5 ms; demand a 6 ms boot guard.
+        boot_time_requirement: Nanos::from_millis(6),
+        preemption_overhead: Nanos::from_micros(50),
+        average_link_ports: 4,
+    });
+    let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+    assert_eq!(r.report.pe_count, 2, "no room for the reboot task");
+    assert_eq!(r.report.reconfig.merges_accepted, 0);
+}
+
+#[test]
+fn mixed_hw_sw_system_builds_and_meets_deadlines() {
+    let lib = small_lib();
+    let mut graphs = vec![
+        sw_graph("ctrl", 5, 2000, 1500),
+        hw_graph("dsp-a", 3, 100, 10_000, 0, 400),
+        hw_graph("dsp-b", 3, 100, 10_000, 5_000, 400),
+    ];
+    graphs.push(sw_graph("mon", 3, 4000, 3500));
+    let spec = SystemSpec::new(graphs);
+    let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+    // dsp-a and dsp-b fit one device spatially (300 PFUs each, 600 <= 700
+    // ERUF cap) so the allocator reuses the first FPGA without needing
+    // reconfiguration at all.
+    assert!(r.report.pe_count <= 3);
+    let fpga_count = r
+        .architecture
+        .pes()
+        .filter(|(_, p)| lib.pe(p.ty).is_reconfigurable())
+        .count();
+    assert_eq!(fpga_count, 1);
+}
+
+#[test]
+fn cluster_exec_on_missing_pe_is_skipped() {
+    // Regression guard: a hardware-only task graph must never be offered a
+    // CPU allocation (allowed_pes filtering).
+    let lib = small_lib();
+    let spec = SystemSpec::new(vec![hw_graph("hw", 2, 100, 1000, 0, 500)]);
+    let r = CoSynthesis::new(&spec, &lib).run().unwrap();
+    let (_, pe) = r.architecture.pes().next().unwrap();
+    assert!(lib.pe(pe.ty).is_reconfigurable());
+}

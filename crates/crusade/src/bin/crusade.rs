@@ -1,0 +1,207 @@
+//! The CRUSADE command-line interface.
+//!
+//! ```text
+//! crusade synth <spec.json> [--no-reconfig]   co-synthesize a JSON specification
+//! crusade upgrade <old.json> <new.json>       can the new spec ship as firmware?
+//! crusade example <name> [--no-reconfig]      run a built-in paper benchmark
+//! crusade sample <path.json>                  write a sample specification file
+//! ```
+//!
+//! A specification file is a JSON object `{ "library": ..., "spec": ... }`
+//! whose two fields are the serde forms of
+//! [`crusade::model::ResourceLibrary`] and [`crusade::model::SystemSpec`];
+//! `crusade sample` writes a commented starting point.
+
+use std::process::ExitCode;
+
+use crusade::core::{describe, upgrade_in_field, CoSynthesis, CosynOptions};
+use crusade::model::{ResourceLibrary, SystemSpec};
+use crusade::workloads::{paper_examples, paper_library};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct SpecFile {
+    library: ResourceLibrary,
+    spec: SystemSpec,
+}
+
+fn load(path: &str) -> Result<SpecFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn options(args: &[String]) -> CosynOptions {
+    if args.iter().any(|a| a == "--no-reconfig") {
+        CosynOptions::without_reconfiguration()
+    } else {
+        CosynOptions::default()
+    }
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: crusade synth <spec.json>")?;
+    let file = load(path)?;
+    let result = CoSynthesis::new(&file.spec, &file.library)
+        .with_options(options(args))
+        .run()
+        .map_err(|e| e.to_string())?;
+    print!("{}", describe(&result, &file.spec, &file.library));
+    Ok(())
+}
+
+fn cmd_upgrade(args: &[String]) -> Result<(), String> {
+    let (old_path, new_path) = match args {
+        [a, b, ..] => (a, b),
+        _ => return Err("usage: crusade upgrade <old.json> <new.json>".into()),
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let deployed = CoSynthesis::new(&old.spec, &old.library)
+        .run()
+        .map_err(|e| format!("synthesizing the deployed system: {e}"))?;
+    println!(
+        "deployed: {} PEs, {} links, {}",
+        deployed.report.pe_count, deployed.report.link_count, deployed.report.cost
+    );
+    match upgrade_in_field(
+        &deployed.architecture,
+        &new.spec,
+        &new.library,
+        &CosynOptions::default(),
+    ) {
+        Ok(up) => {
+            println!(
+                "upgrade: ships as firmware — {} new configuration image(s), hardware unchanged",
+                up.extra_modes
+            );
+            Ok(())
+        }
+        Err(e) => {
+            println!("upgrade: requires new hardware ({e})");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_example(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("usage: crusade example <name>")?;
+    let lib = paper_library();
+    let ex = paper_examples()
+        .into_iter()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown example {name}; available: {}",
+                paper_examples()
+                    .iter()
+                    .map(|e| e.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+    let spec = ex.build(&lib);
+    let result = CoSynthesis::new(&spec, &lib.lib)
+        .with_options(options(args))
+        .run()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} tasks -> {} PEs, {} links, {} ({} multi-mode devices; {:?})",
+        ex.name,
+        spec.task_count(),
+        result.report.pe_count,
+        result.report.link_count,
+        result.report.cost,
+        result.report.multi_mode_devices,
+        result.report.cpu_time,
+    );
+    Ok(())
+}
+
+fn cmd_sample(args: &[String]) -> Result<(), String> {
+    use crusade::model::{
+        CpuAttrs, Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass,
+        PeType, PpeAttrs, PpeKind, Preference, Task, TaskGraphBuilder,
+    };
+    let path = args.first().ok_or("usage: crusade sample <path.json>")?;
+    let mut library = ResourceLibrary::new();
+    let cpu = library.add_pe(PeType::new(
+        "cpu",
+        Dollars::new(95),
+        PeClass::Cpu(CpuAttrs {
+            memory_bytes: 4 << 20,
+            context_switch: Nanos::from_micros(8),
+            comm_ports: 2,
+            comm_overlap: true,
+        }),
+    ));
+    let fpga = library.add_pe(PeType::new(
+        "fpga",
+        Dollars::new(250),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 1000,
+            flip_flops: 2000,
+            pins: 160,
+            boot_memory_bytes: 20 << 10,
+            config_bits_per_pfu: 150,
+            partial_reconfig: false,
+        }),
+    ));
+    library.add_link(LinkType::new(
+        "bus",
+        Dollars::new(12),
+        LinkClass::Bus,
+        8,
+        vec![Nanos::from_nanos(300)],
+        64,
+        Nanos::from_micros(1),
+    ));
+    let mut b = TaskGraphBuilder::new("sample-pipeline", Nanos::from_millis(1));
+    let parse = b.add_task(Task::new(
+        "parse",
+        ExecutionTimes::from_entries(2, [(cpu, Nanos::from_micros(60))]),
+    ));
+    let mut filter = Task::new(
+        "filter",
+        ExecutionTimes::from_entries(2, [(fpga, Nanos::from_micros(12))]),
+    );
+    filter.preference = Preference::Only(vec![fpga]);
+    filter.hw = HwDemand::new(0, 220, 220, 12);
+    let filter = b.add_task(filter);
+    let log = b.add_task(Task::new(
+        "log",
+        ExecutionTimes::from_entries(2, [(cpu, Nanos::from_micros(40))]),
+    ));
+    b.add_edge(parse, filter, 512);
+    b.add_edge(filter, log, 128);
+    let spec = SystemSpec::new(vec![b
+        .deadline(Nanos::from_micros(800))
+        .build()
+        .map_err(|e| e.to_string())?]);
+    let file = SpecFile { library, spec };
+    let json = serde_json::to_string_pretty(&file).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote sample specification to {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "synth" => cmd_synth(rest),
+            "upgrade" => cmd_upgrade(rest),
+            "example" => cmd_example(rest),
+            "sample" => cmd_sample(rest),
+            other => Err(format!("unknown command {other}")),
+        },
+        None => Err("usage: crusade <synth|upgrade|example|sample> ...".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

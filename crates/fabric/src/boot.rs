@@ -1,0 +1,126 @@
+//! Reconfiguration (boot) time arithmetic.
+//!
+//! Switching a programmable device between modes means shifting a new
+//! configuration image into it. The time this takes — the device's *boot
+//! time* — is determined by the image size, the programming-interface
+//! width and clock, the device's position in a programming chain, and
+//! whether the device supports partial reconfiguration (then only the PFUs
+//! that differ between modes are rewritten).
+
+use crusade_model::{Nanos, PpeAttrs};
+
+/// Fixed interface setup/handshake time per reconfiguration.
+pub const SETUP_TIME: Nanos = Nanos::from_micros(50);
+
+/// Extra bits shifted per upstream device when devices are chained on a
+/// shared programming interface (each earlier device's bypass register adds
+/// pipeline stages to the stream).
+pub const CHAIN_BYPASS_BITS: u64 = 4_096;
+
+/// Raw boot time for shifting `config_bits` through an interface of
+/// `width_bits` at `frequency_hz`, for a device `chain_index` positions
+/// deep in the programming chain.
+///
+/// # Panics
+///
+/// Panics if `width_bits` or `frequency_hz` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_fabric::boot_time;
+///
+/// // 1 Mbit serial at 1 MHz: about one second plus setup.
+/// let t = boot_time(1_000_000, 1, 1_000_000, 0);
+/// assert_eq!(t.as_nanos(), 1_000_000_000 + 50_000);
+/// ```
+pub fn boot_time(config_bits: u64, width_bits: u32, frequency_hz: u64, chain_index: u32) -> Nanos {
+    assert!(width_bits > 0, "interface width must be nonzero");
+    assert!(frequency_hz > 0, "interface frequency must be nonzero");
+    let total_bits = config_bits + CHAIN_BYPASS_BITS * chain_index as u64;
+    let cycles = total_bits.div_ceil(width_bits as u64);
+    let ns = cycles.saturating_mul(1_000_000_000).div_ceil(frequency_hz);
+    SETUP_TIME + Nanos::from_nanos(ns)
+}
+
+/// Configuration bits that must be shifted to switch a device of type
+/// `ppe` into a mode using `mode_pfus` PFUs, when the previously loaded
+/// mode used `prev_pfus`.
+///
+/// Fully reconfigurable devices always rewrite the whole array; partially
+/// reconfigurable devices (XC6200/AT6000 class) rewrite only the union of
+/// the PFUs the two modes touch.
+pub fn reconfiguration_bits(ppe: &PpeAttrs, mode_pfus: u32, prev_pfus: u32) -> u64 {
+    if ppe.partial_reconfig {
+        let touched = mode_pfus.max(prev_pfus).min(ppe.pfus);
+        touched as u64 * ppe.config_bits_per_pfu as u64
+    } else {
+        ppe.full_config_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusade_model::PpeKind;
+
+    fn ppe(partial: bool) -> PpeAttrs {
+        PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 1000,
+            flip_flops: 2000,
+            pins: 160,
+            boot_memory_bytes: 25_000,
+            config_bits_per_pfu: 200,
+            partial_reconfig: partial,
+        }
+    }
+
+    #[test]
+    fn parallel_is_eight_times_faster() {
+        let serial = boot_time(800_000, 1, 4_000_000, 0) - SETUP_TIME;
+        let parallel = boot_time(800_000, 8, 4_000_000, 0) - SETUP_TIME;
+        assert_eq!(serial.as_nanos(), parallel.as_nanos() * 8);
+    }
+
+    #[test]
+    fn chain_position_adds_bypass_bits() {
+        let head = boot_time(100_000, 1, 1_000_000, 0);
+        let third = boot_time(100_000, 1, 1_000_000, 2);
+        assert_eq!(
+            (third - head).as_nanos(),
+            2 * CHAIN_BYPASS_BITS * 1_000 // 1 us per kbit at 1 MHz serial
+        );
+    }
+
+    #[test]
+    fn partial_reconfig_writes_touched_pfus_only() {
+        let full = reconfiguration_bits(&ppe(false), 100, 50);
+        assert_eq!(full, 1000 * 200);
+        let partial = reconfiguration_bits(&ppe(true), 100, 50);
+        assert_eq!(partial, 100 * 200);
+        // Larger previous mode dominates.
+        assert_eq!(reconfiguration_bits(&ppe(true), 50, 400), 400 * 200);
+        // Clamped at the device size.
+        assert_eq!(reconfiguration_bits(&ppe(true), 5000, 0), 1000 * 200);
+    }
+
+    #[test]
+    fn paper_scale_boot_times() {
+        // "The boot time of FPGAs/CPLDs can be as high as a few hundred
+        // milliseconds": a 4096-PFU device at 192 bits/PFU over 1 MHz
+        // serial is ~786 ms.
+        let bits = 4096u64 * 192;
+        let t = boot_time(bits, 1, 1_000_000, 0);
+        assert!(t > Nanos::from_millis(700) && t < Nanos::from_millis(900));
+        // A 10 MHz 8-bit parallel interface brings it under 10 ms.
+        let fast = boot_time(bits, 8, 10_000_000, 0);
+        assert!(fast < Nanos::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = boot_time(1, 0, 1, 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Post-route delay analysis and the utilisation experiment behind the
+//! paper's delay-management technique (Section 4.5, Table 1).
+//!
+//! A very high utilisation of PFUs and pins forces the router to detour
+//! nets, which can violate the delay constraint assumed during scheduling.
+//! [`UtilisationExperiment`] reproduces the paper's measurement: map a
+//! circuit onto a device together with progressively more co-resident
+//! logic (ERUF sweep) under a pin budget (EPUF) and measure how much the
+//! post-route critical-path delay grows relative to the 70 % baseline.
+//! The CRUSADE allocation step uses the resulting caps — ERUF = 0.70,
+//! EPUF = 0.80 — to guarantee that scheduled execution times remain valid
+//! after synthesis.
+
+use crate::device::{Fabric, Site};
+use crate::netlist::Netlist;
+use crate::place::place;
+use crate::route::{RouteRequest, Router, UnroutableError};
+
+/// Default effective resource (PFU) utilisation factor the paper derives.
+pub const DEFAULT_ERUF: f64 = 0.70;
+/// Default effective pin utilisation factor the paper derives.
+pub const DEFAULT_EPUF: f64 = 0.80;
+
+/// Delay contributions of fabric elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayModel {
+    /// Delay through one logic cell.
+    pub cell_delay: u64,
+    /// Delay of one routed channel segment at light load.
+    pub channel_delay: u64,
+    /// Extra delay per segment for every additional net sharing the
+    /// channel — loaded tracks are slower (shared segmentation, capacitive
+    /// loading, and the longer detour wires the router hands out under
+    /// pressure).
+    pub congestion_delay: u64,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel {
+            cell_delay: 10,
+            channel_delay: 3,
+            congestion_delay: 6,
+        }
+    }
+}
+
+impl DelayModel {
+    /// Delay of one channel segment carrying `usage` nets. The congestion
+    /// term grows quadratically with sharing: heavily loaded channels force
+    /// the router onto long segmented detour wires, whose delay compounds.
+    fn segment_delay(&self, usage: u32) -> u64 {
+        let over = usage.saturating_sub(1) as u64;
+        self.channel_delay + self.congestion_delay * over * over
+    }
+}
+
+/// One measured mapping of a circuit at a given utilisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayMeasurement {
+    /// Post-route critical-path delay (model units).
+    pub delay: u64,
+    /// Total routed wirelength in channel segments.
+    pub wirelength: u64,
+    /// Router negotiation iterations needed.
+    pub iterations: u32,
+    /// PFU utilisation actually realised (occupied / capacity).
+    pub utilisation: f64,
+}
+
+/// Why a mapping attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureError {
+    /// Circuit plus fill exceeds device capacity.
+    DoesNotFit,
+    /// The pin budget (EPUF × package pins) cannot bond all circuit I/O.
+    PinLimited {
+        /// Pins required by the circuit.
+        required: usize,
+        /// Pins usable under the EPUF budget.
+        usable: usize,
+    },
+    /// The router could not resolve congestion — the paper's
+    /// "Not routable" table entries.
+    Unroutable(UnroutableError),
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::DoesNotFit => write!(f, "circuit and fill exceed device capacity"),
+            MeasureError::PinLimited { required, usable } => {
+                write!(f, "circuit needs {required} pins but only {usable} are usable")
+            }
+            MeasureError::Unroutable(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeasureError::Unroutable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnroutableError> for MeasureError {
+    fn from(e: UnroutableError) -> Self {
+        MeasureError::Unroutable(e)
+    }
+}
+
+/// The ERUF/EPUF sweep harness for one circuit.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_fabric::{Netlist, UtilisationExperiment};
+///
+/// let circuit = Netlist::generate(3, 24, 2.0, 8);
+/// let exp = UtilisationExperiment::new(&circuit, 3, 11);
+/// let base = exp.measure(0.70, 0.80).expect("baseline routes");
+/// assert!(base.delay > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilisationExperiment<'a> {
+    netlist: &'a Netlist,
+    tracks: u32,
+    seed: u64,
+    model: DelayModel,
+    router: Router,
+}
+
+impl<'a> UtilisationExperiment<'a> {
+    /// Creates the harness for `netlist` on a fabric with
+    /// `tracks_per_channel` tracks; `seed` controls fill placement.
+    pub fn new(netlist: &'a Netlist, tracks_per_channel: u32, seed: u64) -> Self {
+        UtilisationExperiment {
+            netlist,
+            tracks: tracks_per_channel,
+            seed,
+            model: DelayModel::default(),
+            router: Router::default(),
+        }
+    }
+
+    /// Overrides the delay model.
+    pub fn with_model(mut self, model: DelayModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The device this circuit is mapped to: sized so the circuit alone
+    /// occupies the baseline (70 %) utilisation, with a package-pin count
+    /// sized so the circuit I/O fits exactly at EPUF = 0.80.
+    pub fn device(&self) -> Fabric {
+        let capacity = (self.netlist.cell_count() as f64 / DEFAULT_ERUF).ceil() as usize;
+        let pins = (self.netlist.io_count() as f64 / DEFAULT_EPUF).ceil() as u32;
+        Fabric::with_capacity(capacity, self.tracks, pins)
+    }
+
+    /// Maps the circuit with co-resident fill at `eruf` total utilisation
+    /// under an `epuf` pin budget and measures post-route delay.
+    ///
+    /// # Errors
+    ///
+    /// See [`MeasureError`]; `Unroutable` corresponds to the paper's
+    /// "Not routable" entries.
+    pub fn measure(&self, eruf: f64, epuf: f64) -> Result<DelayMeasurement, MeasureError> {
+        let fabric = self.device();
+        let capacity = fabric.site_count();
+        let target = (eruf * capacity as f64).round() as usize;
+        let fill = target.saturating_sub(self.netlist.cell_count());
+        if self.netlist.cell_count() + fill > capacity {
+            return Err(MeasureError::DoesNotFit);
+        }
+        let placement = place(self.netlist, &fabric, fill, self.seed)
+            .ok_or(MeasureError::DoesNotFit)?;
+
+        // Pin budget under EPUF.
+        let perimeter = fabric.pin_sites();
+        let usable = ((fabric.package_pins() as f64 * epuf).floor() as usize).min(perimeter.len());
+        let required = self.netlist.io_count();
+        if required > usable {
+            return Err(MeasureError::PinLimited { required, usable });
+        }
+
+        // Assign each I/O cell the nearest still-free usable pin site.
+        let mut free_pins: Vec<Site> = perimeter.into_iter().take(usable).collect();
+        let mut pin_of_cell = Vec::with_capacity(required);
+        for cell in self.netlist.io_cells() {
+            let here = placement.site_of(cell);
+            let (idx, _) = free_pins
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.distance(here))
+                .expect("usable >= required");
+            pin_of_cell.push((cell, free_pins.swap_remove(idx)));
+        }
+
+        // Route: circuit nets, then I/O bonds, then fill-local nets.
+        let mut requests: Vec<RouteRequest> = self
+            .netlist
+            .nets()
+            .iter()
+            .map(|n| RouteRequest {
+                from: placement.site_of(n.source),
+                to: placement.site_of(n.sink),
+            })
+            .collect();
+        let io_base = requests.len();
+        requests.extend(pin_of_cell.iter().map(|(cell, pin)| RouteRequest {
+            from: placement.site_of(*cell),
+            to: *pin,
+        }));
+        requests.extend(placement.fill_nets.iter().map(|&(a, b)| RouteRequest {
+            from: a,
+            to: b,
+        }));
+
+        let outcome = self.router.route(&fabric, &requests)?;
+        let delay = self.critical_path(&outcome, io_base, &pin_of_cell);
+        Ok(DelayMeasurement {
+            delay,
+            wirelength: outcome.total_wirelength(),
+            iterations: outcome.iterations,
+            utilisation: placement.occupied() as f64 / capacity as f64,
+        })
+    }
+
+    /// Critical-path delay over the routed netlist DAG, including I/O pad
+    /// routes. Each routed segment contributes a load-dependent delay.
+    fn critical_path(
+        &self,
+        outcome: &crate::route::RoutingOutcome,
+        io_base: usize,
+        pin_of_cell: &[(crate::netlist::CellId, Site)],
+    ) -> u64 {
+        let m = &self.model;
+        let net_delay = |i: usize| -> u64 {
+            outcome.nets[i]
+                .channels
+                .iter()
+                .map(|&c| m.segment_delay(outcome.channel_usage[c]))
+                .sum()
+        };
+        let mut arrival = vec![m.cell_delay; self.netlist.cell_count()];
+        // Input pad arrival: pad route + cell delay.
+        for (k, (cell, _)) in pin_of_cell.iter().enumerate() {
+            if self.netlist.input_cells().contains(cell) {
+                arrival[cell.index()] = m.cell_delay + net_delay(io_base + k);
+            }
+        }
+        // Forward sweep (nets are source-ascending).
+        for (i, net) in self.netlist.nets().iter().enumerate() {
+            let a = arrival[net.source.index()] + net_delay(i) + m.cell_delay;
+            if a > arrival[net.sink.index()] {
+                arrival[net.sink.index()] = a;
+            }
+        }
+        // Output pads.
+        let mut worst = arrival.iter().copied().max().unwrap_or(0);
+        for (k, (cell, _)) in pin_of_cell.iter().enumerate() {
+            if self.netlist.output_cells().contains(cell) {
+                worst = worst.max(arrival[cell.index()] + net_delay(io_base + k));
+            }
+        }
+        worst
+    }
+
+    /// Delay increase (%) at `eruf`/`epuf` relative to the ERUF = 0.70
+    /// baseline at the same EPUF, clamped at zero; `Ok(None)` when the
+    /// point is not routable (a "Not routable" table entry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the *baseline* mapping (the experiment is
+    /// meaningless if 70 % does not route) and pin/capacity failures of the
+    /// probe point.
+    pub fn delay_increase_percent(
+        &self,
+        eruf: f64,
+        epuf: f64,
+    ) -> Result<Option<f64>, MeasureError> {
+        let base = self.measure(DEFAULT_ERUF, epuf)?;
+        match self.measure(eruf, epuf) {
+            Ok(point) => {
+                let inc = (point.delay as f64 - base.delay as f64) / base.delay as f64 * 100.0;
+                Ok(Some(inc.max(0.0)))
+            }
+            Err(MeasureError::Unroutable(_)) => Ok(None),
+            Err(other) => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit() -> Netlist {
+        Netlist::generate(21, 36, 2.2, 10)
+    }
+
+    #[test]
+    fn baseline_measures_and_is_deterministic() {
+        let c = circuit();
+        let exp = UtilisationExperiment::new(&c, 5, 5);
+        let a = exp.measure(0.70, 0.80).unwrap();
+        let b = exp.measure(0.70, 0.80).unwrap();
+        assert_eq!(a, b);
+        assert!(a.delay > 0);
+        assert!(a.utilisation <= 0.75);
+    }
+
+    #[test]
+    fn baseline_increase_is_zero() {
+        let c = circuit();
+        let exp = UtilisationExperiment::new(&c, 5, 5);
+        let inc = exp.delay_increase_percent(0.70, 0.80).unwrap().unwrap();
+        assert_eq!(inc, 0.0);
+    }
+
+    #[test]
+    fn higher_utilisation_never_decreases_reported_increase_below_zero() {
+        let c = circuit();
+        let exp = UtilisationExperiment::new(&c, 5, 5);
+        for eruf in [0.75, 0.85, 0.95] {
+            if let Some(inc) = exp.delay_increase_percent(eruf, 0.80).unwrap() {
+                assert!(inc >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn full_utilisation_strains_the_router() {
+        // With a single-track fabric, full utilisation must either detour
+        // heavily or fail — it must not be free.
+        let c = Netlist::generate(4, 40, 2.4, 10);
+        let exp = UtilisationExperiment::new(&c, 4, 9);
+        let base = exp.measure(0.70, 0.80).unwrap();
+        match exp.measure(1.0, 0.80) {
+            Ok(m) => assert!(
+                m.wirelength > base.wirelength,
+                "fill must add routing demand"
+            ),
+            Err(MeasureError::Unroutable(_)) => {} // also acceptable
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+
+    #[test]
+    fn pin_budget_enforced() {
+        let c = Netlist::generate(8, 16, 2.0, 12);
+        let exp = UtilisationExperiment::new(&c, 3, 1);
+        // EPUF so low that the 12 I/Os cannot bond.
+        let err = exp.measure(0.70, 0.10).unwrap_err();
+        assert!(matches!(err, MeasureError::PinLimited { .. }));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MeasureError::PinLimited {
+            required: 12,
+            usable: 4,
+        };
+        assert!(e.to_string().contains("12"));
+        assert_eq!(MeasureError::DoesNotFit.to_string(), "circuit and fill exceed device capacity");
+    }
+}

@@ -1,0 +1,271 @@
+//! The physical model of a programmable device: a 2-D grid of PFU sites
+//! with capacitated routing channels and perimeter pin sites.
+
+use serde::{Deserialize, Serialize};
+
+/// A site coordinate on the device grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Site {
+    /// Column, `0..width`.
+    pub x: u16,
+    /// Row, `0..height`.
+    pub y: u16,
+}
+
+impl Site {
+    /// Creates a site.
+    pub const fn new(x: u16, y: u16) -> Self {
+        Site { x, y }
+    }
+
+    /// Manhattan distance to another site.
+    pub fn distance(&self, other: Site) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+/// A routing-channel segment between two orthogonally adjacent sites.
+///
+/// Encoded as the lower/left endpoint plus a direction to keep each
+/// physical segment a single identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Channel {
+    /// Lower/left endpoint of the segment.
+    pub from: Site,
+    /// `true` for the segment towards `(x + 1, y)`, `false` for
+    /// `(x, y + 1)`.
+    pub horizontal: bool,
+}
+
+/// The routing fabric of one programmable device.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_fabric::Fabric;
+///
+/// let f = Fabric::new(6, 6, 3, 40);
+/// assert_eq!(f.site_count(), 36);
+/// assert_eq!(f.channel_count(), 2 * 6 * 5);
+/// assert_eq!(f.pin_sites().len(), 20); // grid perimeter
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fabric {
+    width: u16,
+    height: u16,
+    tracks_per_channel: u32,
+    package_pins: u32,
+}
+
+impl Fabric {
+    /// Creates a fabric.
+    ///
+    /// * `tracks_per_channel` — wires per channel segment (the capacity the
+    ///   router negotiates against);
+    /// * `package_pins` — total bonded pins of the package (EPUF scales how
+    ///   many are usable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the track count is zero.
+    pub fn new(width: u16, height: u16, tracks_per_channel: u32, package_pins: u32) -> Self {
+        assert!(width > 0 && height > 0, "fabric dimensions must be nonzero");
+        assert!(tracks_per_channel > 0, "need at least one track per channel");
+        Fabric {
+            width,
+            height,
+            tracks_per_channel,
+            package_pins,
+        }
+    }
+
+    /// Builds the smallest roughly square fabric with at least `capacity`
+    /// PFU sites.
+    pub fn with_capacity(capacity: usize, tracks_per_channel: u32, package_pins: u32) -> Self {
+        let side = (capacity as f64).sqrt().ceil() as u16;
+        let w = side.max(2);
+        let mut h = side.max(2);
+        // Trim a row if a rectangle suffices.
+        if (w as usize) * (h as usize - 1) >= capacity && h > 2 {
+            h -= 1;
+        }
+        Fabric::new(w, h, tracks_per_channel, package_pins)
+    }
+
+    /// Grid width in sites.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Grid height in sites.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Total PFU sites.
+    pub fn site_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Wires per channel segment.
+    pub fn tracks_per_channel(&self) -> u32 {
+        self.tracks_per_channel
+    }
+
+    /// Total package pins.
+    pub fn package_pins(&self) -> u32 {
+        self.package_pins
+    }
+
+    /// Number of channel segments.
+    pub fn channel_count(&self) -> usize {
+        let w = self.width as usize;
+        let h = self.height as usize;
+        (w - 1) * h + w * (h - 1)
+    }
+
+    /// Dense index of a channel segment, `0..channel_count()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel lies outside the fabric.
+    pub fn channel_index(&self, ch: Channel) -> usize {
+        let w = self.width as usize;
+        let h = self.height as usize;
+        let (x, y) = (ch.from.x as usize, ch.from.y as usize);
+        if ch.horizontal {
+            assert!(x + 1 < w + 1 && x < w - 1 && y < h, "channel out of range");
+            y * (w - 1) + x
+        } else {
+            assert!(x < w && y < h - 1, "channel out of range");
+            (w - 1) * h + y * w + x
+        }
+    }
+
+    /// All sites in row-major order.
+    pub fn sites(&self) -> impl Iterator<Item = Site> + '_ {
+        (0..self.height).flat_map(move |y| (0..self.width).map(move |x| Site::new(x, y)))
+    }
+
+    /// Orthogonal neighbours of a site together with the connecting
+    /// channel.
+    pub fn neighbours(&self, s: Site) -> Vec<(Site, Channel)> {
+        let mut out = Vec::with_capacity(4);
+        if s.x + 1 < self.width {
+            out.push((
+                Site::new(s.x + 1, s.y),
+                Channel {
+                    from: s,
+                    horizontal: true,
+                },
+            ));
+        }
+        if s.x > 0 {
+            out.push((
+                Site::new(s.x - 1, s.y),
+                Channel {
+                    from: Site::new(s.x - 1, s.y),
+                    horizontal: true,
+                },
+            ));
+        }
+        if s.y + 1 < self.height {
+            out.push((
+                Site::new(s.x, s.y + 1),
+                Channel {
+                    from: s,
+                    horizontal: false,
+                },
+            ));
+        }
+        if s.y > 0 {
+            out.push((
+                Site::new(s.x, s.y - 1),
+                Channel {
+                    from: Site::new(s.x, s.y - 1),
+                    horizontal: false,
+                },
+            ));
+        }
+        out
+    }
+
+    /// Perimeter sites, clockwise from the origin — the candidate positions
+    /// for bonded package pins.
+    pub fn pin_sites(&self) -> Vec<Site> {
+        let (w, h) = (self.width, self.height);
+        let mut out = Vec::new();
+        for x in 0..w {
+            out.push(Site::new(x, 0));
+        }
+        for y in 1..h {
+            out.push(Site::new(w - 1, y));
+        }
+        if h > 1 {
+            for x in (0..w - 1).rev() {
+                out.push(Site::new(x, h - 1));
+            }
+        }
+        if w > 1 {
+            for y in (1..h - 1).rev() {
+                out.push(Site::new(0, y));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_construction_is_sufficient() {
+        for cap in [4usize, 10, 18, 26, 84, 121] {
+            let f = Fabric::with_capacity(cap, 3, 64);
+            assert!(f.site_count() >= cap, "capacity {cap} got {}", f.site_count());
+        }
+    }
+
+    #[test]
+    fn channel_indexes_are_dense_and_unique() {
+        let f = Fabric::new(4, 3, 2, 16);
+        let mut seen = vec![false; f.channel_count()];
+        for s in f.sites() {
+            for (_, ch) in f.neighbours(s) {
+                let idx = f.channel_index(ch);
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b), "every channel reachable");
+    }
+
+    #[test]
+    fn neighbours_of_corner_and_centre() {
+        let f = Fabric::new(3, 3, 1, 8);
+        assert_eq!(f.neighbours(Site::new(0, 0)).len(), 2);
+        assert_eq!(f.neighbours(Site::new(1, 1)).len(), 4);
+        assert_eq!(f.neighbours(Site::new(2, 2)).len(), 2);
+    }
+
+    #[test]
+    fn perimeter_covers_border_once() {
+        let f = Fabric::new(4, 3, 1, 8);
+        let pins = f.pin_sites();
+        // 2*(w + h) - 4 border sites.
+        assert_eq!(pins.len(), 2 * (4 + 3) - 4);
+        let mut sorted = pins.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pins.len(), "no duplicates");
+        for p in pins {
+            assert!(p.x == 0 || p.y == 0 || p.x == 3 || p.y == 2);
+        }
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Site::new(0, 0).distance(Site::new(3, 4)), 7);
+        assert_eq!(Site::new(2, 2).distance(Site::new(2, 2)), 0);
+    }
+}

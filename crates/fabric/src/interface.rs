@@ -1,0 +1,251 @@
+//! Reconfiguration-controller interface synthesis (Section 4.4).
+//!
+//! FPGAs are programmed through serial or 8-bit-parallel interfaces, in
+//! *master* mode from a stand-alone PROM or in *slave* mode from a CPU;
+//! CPLDs use their boundary-scan test port (modelled as a serial slave).
+//! Multiple devices are generally chained to share one interface and PROM.
+//! Every combination of these choices trades boot time against dollar
+//! cost; the co-synthesis system enumerates the option array in order of
+//! increasing cost and picks the first option whose boot time meets the
+//! system requirement.
+
+use serde::{Deserialize, Serialize};
+
+use crusade_model::{Dollars, Nanos};
+
+use crate::boot::boot_time;
+
+/// Physical programming-interface width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProgrammingMode {
+    /// One-bit serial stream.
+    Serial,
+    /// Eight-bit parallel stream.
+    Parallel8,
+}
+
+impl ProgrammingMode {
+    /// Stream width in bits.
+    pub fn width_bits(self) -> u32 {
+        match self {
+            ProgrammingMode::Serial => 1,
+            ProgrammingMode::Parallel8 => 8,
+        }
+    }
+}
+
+/// Who drives the programming interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControllerKind {
+    /// The device clocks itself from a stand-alone PROM (used on power-up).
+    MasterProm,
+    /// A CPU writes the image (used for field upgrades and mode switches
+    /// under software control).
+    SlaveCpu,
+}
+
+/// One candidate programming-interface configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InterfaceOption {
+    /// Stream width.
+    pub mode: ProgrammingMode,
+    /// Interface master.
+    pub controller: ControllerKind,
+    /// Interface clock in MHz (current technology: 1–10 MHz).
+    pub frequency_mhz: u32,
+}
+
+impl InterfaceOption {
+    /// Dollar cost of this interface, including image storage for
+    /// `image_bytes` of configuration data across all modes and devices.
+    ///
+    /// Master-mode interfaces pay for a dedicated PROM sized to the images;
+    /// slave-mode interfaces store images in already-costed CPU memory but
+    /// pay for bus-attach glue. Parallel interfaces and faster clocks cost
+    /// more.
+    pub fn cost(&self, image_bytes: u64) -> Dollars {
+        let glue = match self.mode {
+            ProgrammingMode::Serial => 2,
+            ProgrammingMode::Parallel8 => 8,
+        };
+        let controller = match self.controller {
+            // PROM: base plus one dollar per 32 KB of image.
+            ControllerKind::MasterProm => 5 + image_bytes.div_ceil(32 * 1024),
+            ControllerKind::SlaveCpu => 4,
+        };
+        let speed_premium = (self.frequency_mhz / 4) as u64;
+        Dollars::new(glue + controller + speed_premium)
+    }
+
+    /// Boot time for a device `chain_index` deep whose image is
+    /// `config_bits` long.
+    pub fn boot_time(&self, config_bits: u64, chain_index: u32) -> Nanos {
+        boot_time(
+            config_bits,
+            self.mode.width_bits(),
+            self.frequency_mhz as u64 * 1_000_000,
+            chain_index,
+        )
+    }
+}
+
+/// The full option array the paper enumerates: both widths, both
+/// controllers, clocks of 1/2/4/8/10 MHz.
+pub fn option_array() -> Vec<InterfaceOption> {
+    let mut out = Vec::new();
+    for mode in [ProgrammingMode::Serial, ProgrammingMode::Parallel8] {
+        for controller in [ControllerKind::MasterProm, ControllerKind::SlaveCpu] {
+            for frequency_mhz in [1, 2, 4, 8, 10] {
+                out.push(InterfaceOption {
+                    mode,
+                    controller,
+                    frequency_mhz,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// What interface synthesis must serve: the devices sharing one chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceRequirement {
+    /// Worst-case configuration bits that must be shifted for a single
+    /// mode switch of each chained device, in chain order (index 0 is the
+    /// head of the chain).
+    pub device_config_bits: Vec<u64>,
+    /// Total bytes of boot images that must be stored (all modes of all
+    /// devices).
+    pub image_bytes: u64,
+    /// The system's boot-time requirement: no mode switch may exceed this.
+    pub boot_time_requirement: Nanos,
+}
+
+/// The synthesised interface: the chosen option plus its figures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthesizedInterface {
+    /// The selected option.
+    pub option: InterfaceOption,
+    /// Interface dollar cost (added to the architecture cost).
+    pub cost: Dollars,
+    /// The worst boot time over all chained devices.
+    pub worst_boot_time: Nanos,
+}
+
+/// Picks the cheapest interface option meeting the boot-time requirement
+/// (the paper's selection rule), or `None` when even the fastest option is
+/// too slow.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_fabric::{synthesize_interface, InterfaceRequirement};
+/// use crusade_model::Nanos;
+///
+/// let req = InterfaceRequirement {
+///     device_config_bits: vec![200_000, 160_000],
+///     image_bytes: 90_000,
+///     boot_time_requirement: Nanos::from_millis(50),
+/// };
+/// let s = synthesize_interface(&req).expect("a 50 ms budget is satisfiable");
+/// assert!(s.worst_boot_time <= Nanos::from_millis(50));
+/// ```
+pub fn synthesize_interface(req: &InterfaceRequirement) -> Option<SynthesizedInterface> {
+    let mut options = option_array();
+    options.sort_by_key(|o| o.cost(req.image_bytes));
+    for option in options {
+        let worst = req
+            .device_config_bits
+            .iter()
+            .enumerate()
+            .map(|(i, &bits)| option.boot_time(bits, i as u32))
+            .max()
+            .unwrap_or(Nanos::ZERO);
+        if worst <= req.boot_time_requirement {
+            return Some(SynthesizedInterface {
+                option,
+                cost: option.cost(req.image_bytes),
+                worst_boot_time: worst,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_array_covers_all_combinations() {
+        let all = option_array();
+        assert_eq!(all.len(), 2 * 2 * 5);
+        assert!(all.iter().any(|o| o.mode == ProgrammingMode::Parallel8
+            && o.controller == ControllerKind::SlaveCpu
+            && o.frequency_mhz == 10));
+    }
+
+    #[test]
+    fn cheaper_option_preferred_when_budget_is_loose() {
+        let req = InterfaceRequirement {
+            device_config_bits: vec![100_000],
+            image_bytes: 20_000,
+            boot_time_requirement: Nanos::from_secs(1),
+        };
+        let s = synthesize_interface(&req).unwrap();
+        // A 1 MHz serial slave (cheapest glue) meets one second easily.
+        assert_eq!(s.option.mode, ProgrammingMode::Serial);
+        assert_eq!(s.option.controller, ControllerKind::SlaveCpu);
+        assert_eq!(s.option.frequency_mhz, 1);
+    }
+
+    #[test]
+    fn tight_budget_forces_parallel_or_fast() {
+        let req = InterfaceRequirement {
+            device_config_bits: vec![800_000],
+            image_bytes: 100_000,
+            boot_time_requirement: Nanos::from_millis(15),
+        };
+        let s = synthesize_interface(&req).unwrap();
+        // 800 kbit in 15 ms needs > 53 Mbit/s... wait, 8-bit at 10 MHz is
+        // 80 Mbit/s: only the fastest parallel options qualify.
+        assert_eq!(s.option.mode, ProgrammingMode::Parallel8);
+        assert!(s.option.frequency_mhz >= 8);
+        assert!(s.worst_boot_time <= req.boot_time_requirement);
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let req = InterfaceRequirement {
+            device_config_bits: vec![8_000_000],
+            image_bytes: 1_000_000,
+            boot_time_requirement: Nanos::from_micros(10),
+        };
+        assert!(synthesize_interface(&req).is_none());
+    }
+
+    #[test]
+    fn chain_tail_pays_more() {
+        let o = InterfaceOption {
+            mode: ProgrammingMode::Serial,
+            controller: ControllerKind::MasterProm,
+            frequency_mhz: 1,
+        };
+        assert!(o.boot_time(100_000, 3) > o.boot_time(100_000, 0));
+    }
+
+    #[test]
+    fn master_prom_cost_scales_with_images() {
+        let o = InterfaceOption {
+            mode: ProgrammingMode::Serial,
+            controller: ControllerKind::MasterProm,
+            frequency_mhz: 1,
+        };
+        assert!(o.cost(1 << 20) > o.cost(1 << 10));
+        let slave = InterfaceOption {
+            controller: ControllerKind::SlaveCpu,
+            ..o
+        };
+        assert_eq!(slave.cost(1 << 20), slave.cost(1 << 10));
+    }
+}

@@ -1,0 +1,58 @@
+//! Programmable-device substrate for CRUSADE co-synthesis.
+//!
+//! The paper's delay-management and reconfiguration techniques rest on
+//! physical properties of FPGAs/CPLDs that its authors measured on real
+//! devices. This crate rebuilds those properties as a compact, fully
+//! deterministic simulator:
+//!
+//! * [`Netlist`] — synthetic circuit netlists standing in for the paper's
+//!   proprietary functional blocks;
+//! * [`Fabric`] — a 2-D PFU grid with capacitated routing channels and
+//!   perimeter pins;
+//! * [`place`] + [`Router`] — constructive placement and
+//!   negotiated-congestion (PathFinder-style) routing;
+//! * [`UtilisationExperiment`] — the ERUF/EPUF sweep of Table 1: how much
+//!   post-route delay grows as device utilisation rises, including
+//!   "Not routable" outcomes;
+//! * [`boot_time`] / [`reconfiguration_bits`] — how long a mode switch
+//!   takes;
+//! * [`synthesize_interface`] — the reconfiguration-controller option
+//!   array (serial/parallel × master/slave × 1–10 MHz) and the paper's
+//!   cheapest-meeting-boot-time selection rule.
+//!
+//! # Examples
+//!
+//! Measure the delay penalty of over-packing a device:
+//!
+//! ```
+//! use crusade_fabric::{Netlist, UtilisationExperiment};
+//!
+//! let circuit = Netlist::generate(7, 30, 2.0, 8);
+//! let exp = UtilisationExperiment::new(&circuit, 3, 7);
+//! let at_baseline = exp.delay_increase_percent(0.70, 0.80).unwrap();
+//! assert_eq!(at_baseline, Some(0.0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod boot;
+mod delay;
+mod device;
+mod interface;
+mod netlist;
+mod place;
+mod route;
+
+pub use boot::{boot_time, reconfiguration_bits, CHAIN_BYPASS_BITS, SETUP_TIME};
+pub use delay::{
+    DelayMeasurement, DelayModel, MeasureError, UtilisationExperiment, DEFAULT_EPUF, DEFAULT_ERUF,
+};
+pub use device::{Channel, Fabric, Site};
+pub use interface::{
+    option_array, synthesize_interface, ControllerKind, InterfaceOption, InterfaceRequirement,
+    ProgrammingMode, SynthesizedInterface,
+};
+pub use netlist::{CellId, Net, Netlist};
+pub use place::{place, Placement};
+pub use route::{RouteRequest, RoutedNet, Router, RoutingOutcome, UnroutableError};

@@ -1,0 +1,237 @@
+//! Synthetic circuit netlists.
+//!
+//! The paper's delay-management experiment (Table 1) synthesises real
+//! functional blocks onto programmable devices; those netlists are
+//! proprietary, so this module provides the closest synthetic equivalent: a
+//! seeded generator producing combinational netlists with a given cell
+//! count, fan-out profile and I/O count. Cells are totally ordered and nets
+//! only run forward, so every netlist is a DAG with a well-defined critical
+//! path.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a cell (one PFU's worth of logic) within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CellId(u32);
+
+impl CellId {
+    /// Creates a cell id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        CellId(index as u32)
+    }
+
+    /// Raw index into the netlist's cell list.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A two-pin connection from a source cell to a sink cell (multi-pin nets
+/// are decomposed into a star of two-pin nets at generation time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// Driving cell.
+    pub source: CellId,
+    /// Receiving cell.
+    pub sink: CellId,
+}
+
+/// A combinational circuit netlist to be mapped onto a programmable device.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_fabric::Netlist;
+///
+/// let n = Netlist::generate(42, 20, 2.0, 6);
+/// assert_eq!(n.cell_count(), 20);
+/// assert_eq!(n.io_count(), 6);
+/// assert!(n.net_count() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    cell_count: usize,
+    nets: Vec<Net>,
+    /// Cells bonded to input pins.
+    inputs: Vec<CellId>,
+    /// Cells bonded to output pins.
+    outputs: Vec<CellId>,
+}
+
+impl Netlist {
+    /// Generates a seeded pseudo-random netlist.
+    ///
+    /// * `cells` — number of logic cells (PFUs consumed);
+    /// * `avg_fanout` — average number of sinks driven by each cell;
+    /// * `io` — number of cells bonded to package pins.
+    ///
+    /// Identical arguments always produce the identical netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells < 2` or `io > cells`.
+    pub fn generate(seed: u64, cells: usize, avg_fanout: f64, io: usize) -> Self {
+        assert!(cells >= 2, "a netlist needs at least two cells");
+        assert!(io <= cells, "cannot bond more pins than cells");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0DE_FAB1);
+        let mut nets = Vec::new();
+        for src in 0..cells - 1 {
+            // Each cell drives a geometric-ish number of forward sinks.
+            let mut fanout = 1;
+            while rng.gen_bool((avg_fanout - 1.0).clamp(0.0, 0.95) / avg_fanout)
+                && fanout < 6
+            {
+                fanout += 1;
+            }
+            for _ in 0..fanout {
+                // Real netlists are local (Rent's rule): most nets hop to a
+                // nearby cell, a minority are global.
+                let max_hop = cells - src - 1;
+                let hop = if rng.gen_bool(0.12) {
+                    rng.gen_range(1..=max_hop)
+                } else {
+                    let mut h = 1;
+                    while h < 6.min(max_hop) && rng.gen_bool(0.5) {
+                        h += 1;
+                    }
+                    h
+                };
+                nets.push(Net {
+                    source: CellId::new(src),
+                    sink: CellId::new(src + hop),
+                });
+            }
+        }
+        nets.sort_unstable_by_key(|n| (n.source.index(), n.sink.index()));
+        nets.dedup();
+        // I/O cells: the first io/2 cells (inputs) and last io - io/2 (outputs).
+        let n_in = io / 2;
+        let n_out = io - n_in;
+        Netlist {
+            name: format!("synthetic-{seed}-{cells}"),
+            cell_count: cells,
+            nets,
+            inputs: (0..n_in).map(CellId::new).collect(),
+            outputs: (cells - n_out..cells).map(CellId::new).collect(),
+        }
+    }
+
+    /// Renames the netlist (the Table-1 circuits carry the paper's names).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of logic cells (PFUs consumed on the device).
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    /// Number of two-pin nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of package pins required.
+    pub fn io_count(&self) -> usize {
+        self.inputs.len() + self.outputs.len()
+    }
+
+    /// The nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// Cells bonded to input pins.
+    pub fn input_cells(&self) -> &[CellId] {
+        &self.inputs
+    }
+
+    /// Cells bonded to output pins.
+    pub fn output_cells(&self) -> &[CellId] {
+        &self.outputs
+    }
+
+    /// All cells bonded to package pins (inputs then outputs).
+    pub fn io_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.inputs.iter().chain(self.outputs.iter()).copied()
+    }
+
+    /// Logic depth: the number of cells on the longest source-to-sink cell
+    /// chain. Computed over the forward-only net DAG.
+    pub fn logic_depth(&self) -> usize {
+        let mut depth = vec![1usize; self.cell_count];
+        // Nets are sorted by source; a forward pass suffices because
+        // source < sink always holds.
+        for net in &self.nets {
+            let d = depth[net.source.index()] + 1;
+            if d > depth[net.sink.index()] {
+                depth[net.sink.index()] = d;
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Netlist::generate(7, 30, 2.2, 10);
+        let b = Netlist::generate(7, 30, 2.2, 10);
+        assert_eq!(a, b);
+        let c = Netlist::generate(8, 30, 2.2, 10);
+        assert_ne!(a.nets(), c.nets());
+    }
+
+    #[test]
+    fn nets_run_forward_only() {
+        let n = Netlist::generate(3, 50, 2.5, 12);
+        for net in n.nets() {
+            assert!(net.source.index() < net.sink.index());
+        }
+    }
+
+    #[test]
+    fn io_split_between_first_and_last_cells() {
+        let n = Netlist::generate(1, 10, 1.5, 5);
+        let io: Vec<usize> = n.io_cells().map(|c| c.index()).collect();
+        assert_eq!(io, vec![0, 1, 7, 8, 9]);
+        assert_eq!(n.input_cells().len(), 2);
+        assert_eq!(n.output_cells().len(), 3);
+    }
+
+    #[test]
+    fn logic_depth_bounded_by_cells() {
+        let n = Netlist::generate(11, 40, 2.0, 8);
+        let d = n.logic_depth();
+        assert!(d >= 2, "some net must create depth");
+        assert!(d <= 40);
+    }
+
+    #[test]
+    fn depth_of_pure_chain() {
+        // Hand-build a chain via generate's determinism is fragile; instead
+        // check that a 2-cell netlist has depth 2 when connected.
+        let n = Netlist::generate(0, 2, 1.0, 2);
+        assert_eq!(n.net_count(), 1);
+        assert_eq!(n.logic_depth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_netlist_rejected() {
+        let _ = Netlist::generate(0, 1, 1.0, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Deterministic placement of netlist cells (plus background fill) onto a
+//! fabric.
+//!
+//! The placer is a constructive greedy: cells are processed in netlist
+//! order (which is topological), and each cell is put on the free site
+//! closest to the centroid of its already-placed fan-in. Background *fill*
+//! cells — standing in for the other functions sharing the device, which is
+//! what the ERUF sweep of Table 1 varies — are placed on the remaining
+//! sites and connected by short local nets so they exert realistic routing
+//! pressure.
+
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+use crate::device::{Fabric, Site};
+use crate::netlist::{CellId, Net, Netlist};
+
+/// Result of placing a netlist (and optional fill) on a fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Site of each netlist cell, indexed by [`CellId`].
+    pub cell_sites: Vec<Site>,
+    /// Sites occupied by fill cells.
+    pub fill_sites: Vec<Site>,
+    /// Local nets among fill cells (site-to-site), representing the routing
+    /// demand of the co-resident functions.
+    pub fill_nets: Vec<(Site, Site)>,
+}
+
+impl Placement {
+    /// Site of a netlist cell.
+    pub fn site_of(&self, cell: CellId) -> Site {
+        self.cell_sites[cell.index()]
+    }
+
+    /// Total occupied sites (circuit + fill).
+    pub fn occupied(&self) -> usize {
+        self.cell_sites.len() + self.fill_sites.len()
+    }
+}
+
+/// Places `netlist` on `fabric` with `fill_cells` background cells.
+///
+/// Deterministic for identical arguments. Returns `None` when the circuit
+/// plus fill exceeds the fabric's site capacity.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_fabric::{place, Fabric, Netlist};
+///
+/// let n = Netlist::generate(1, 12, 2.0, 4);
+/// let f = Fabric::new(5, 5, 3, 16);
+/// let p = place(&n, &f, 5, 99).expect("12 + 5 cells fit in 25 sites");
+/// assert_eq!(p.occupied(), 17);
+/// ```
+pub fn place(netlist: &Netlist, fabric: &Fabric, fill_cells: usize, seed: u64) -> Option<Placement> {
+    if netlist.cell_count() + fill_cells > fabric.site_count() {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    let mut free: Vec<Site> = fabric.sites().collect();
+    // Fan-in lists per cell for centroid computation.
+    let mut fanin: Vec<Vec<CellId>> = vec![Vec::new(); netlist.cell_count()];
+    for Net { source, sink } in netlist.nets() {
+        fanin[sink.index()].push(*source);
+    }
+
+    let centre = Site::new(fabric.width() / 2, fabric.height() / 2);
+    let mut cell_sites: Vec<Site> = Vec::with_capacity(netlist.cell_count());
+    #[allow(clippy::needless_range_loop)] // cell indexes both fanin and cell_sites
+    for cell in 0..netlist.cell_count() {
+        let target = if fanin[cell].is_empty() {
+            centre
+        } else {
+            let (sx, sy) = fanin[cell]
+                .iter()
+                .map(|c| cell_sites[c.index()])
+                .fold((0u32, 0u32), |(ax, ay), s| (ax + s.x as u32, ay + s.y as u32));
+            let n = fanin[cell].len() as u32;
+            Site::new((sx / n) as u16, (sy / n) as u16)
+        };
+        // Nearest free site to the target (ties by row-major order, which
+        // `free` preserves).
+        let (best_idx, _) = free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.distance(target))?;
+        cell_sites.push(free.swap_remove(best_idx));
+    }
+
+    // Fill cells: random free sites, with short local nets chaining
+    // neighbouring fill cells.
+    free.shuffle(&mut rng);
+    let fill_sites: Vec<Site> = free.drain(..fill_cells).collect();
+    let mut fill_nets = Vec::new();
+    for (i, &s) in fill_sites.iter().enumerate() {
+        // Connect to the nearest other fill cell (by index window) to
+        // create ~1 net per fill cell.
+        if i + 1 < fill_sites.len() {
+            let j = i + 1 + rng.gen_range(0..(fill_sites.len() - i - 1).clamp(1, 3));
+            let j = j.min(fill_sites.len() - 1);
+            fill_nets.push((s, fill_sites[j]));
+        }
+    }
+    Some(Placement {
+        cell_sites,
+        fill_sites,
+        fill_nets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic() {
+        let n = Netlist::generate(5, 18, 2.0, 6);
+        let f = Fabric::new(6, 6, 3, 24);
+        let a = place(&n, &f, 8, 3).unwrap();
+        let b = place(&n, &f, 8, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_two_cells_share_a_site() {
+        let n = Netlist::generate(2, 20, 2.5, 8);
+        let f = Fabric::new(6, 6, 3, 24);
+        let p = place(&n, &f, 10, 1).unwrap();
+        let mut all: Vec<Site> = p.cell_sites.iter().copied().chain(p.fill_sites.iter().copied()).collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn overflow_returns_none() {
+        let n = Netlist::generate(2, 20, 2.0, 4);
+        let f = Fabric::new(4, 5, 3, 16); // 20 sites
+        assert!(place(&n, &f, 1, 0).is_none());
+        assert!(place(&n, &f, 0, 0).is_some());
+    }
+
+    #[test]
+    fn connected_cells_land_near_their_fanin() {
+        let n = Netlist::generate(9, 16, 2.0, 4);
+        let f = Fabric::new(8, 8, 3, 28);
+        let p = place(&n, &f, 0, 0).unwrap();
+        // Average net span should be modest relative to the fabric diameter
+        // (placement quality smoke test).
+        let total: u32 = n
+            .nets()
+            .iter()
+            .map(|net| p.site_of(net.source).distance(p.site_of(net.sink)))
+            .sum();
+        let avg = total as f64 / n.net_count() as f64;
+        assert!(avg < 8.0, "average span {avg} too large for an 8x8 grid");
+    }
+
+    #[test]
+    fn fill_nets_connect_fill_sites() {
+        let n = Netlist::generate(4, 8, 1.5, 2);
+        let f = Fabric::new(5, 5, 2, 16);
+        let p = place(&n, &f, 6, 77).unwrap();
+        assert_eq!(p.fill_sites.len(), 6);
+        assert!(!p.fill_nets.is_empty());
+        for (a, b) in &p.fill_nets {
+            assert!(p.fill_sites.contains(a));
+            assert!(p.fill_sites.contains(b));
+        }
+    }
+}

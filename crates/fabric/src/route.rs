@@ -1,0 +1,288 @@
+//! Negotiated-congestion routing (a compact PathFinder).
+//!
+//! Nets are routed one at a time by Dijkstra over the channel graph; the
+//! cost of a channel grows with its present overuse and with a history term
+//! accumulated across iterations, so congested channels are progressively
+//! avoided. Routing succeeds when no channel carries more nets than it has
+//! tracks; if overuse persists after the iteration budget the circuit is
+//! *not routable* — exactly the outcome Table 1 reports for large circuits
+//! at 100 % utilisation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::device::{Fabric, Site};
+
+/// A two-terminal routing request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteRequest {
+    /// Source site.
+    pub from: Site,
+    /// Destination site.
+    pub to: Site,
+}
+
+/// A successfully routed net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedNet {
+    /// The request this answers.
+    pub request: RouteRequest,
+    /// Channel indices (see [`Fabric::channel_index`]) along the path.
+    pub channels: Vec<usize>,
+}
+
+impl RoutedNet {
+    /// Path length in channel segments.
+    pub fn length(&self) -> u32 {
+        self.channels.len() as u32
+    }
+}
+
+/// Outcome of routing a whole netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingOutcome {
+    /// Routed nets, in request order.
+    pub nets: Vec<RoutedNet>,
+    /// Negotiation iterations used.
+    pub iterations: u32,
+    /// Peak channel occupancy over the final routing.
+    pub peak_usage: u32,
+    /// Final per-channel occupancy, indexed by [`Fabric::channel_index`].
+    pub channel_usage: Vec<u32>,
+}
+
+impl RoutingOutcome {
+    /// Total wirelength in channel segments.
+    pub fn total_wirelength(&self) -> u64 {
+        self.nets.iter().map(|n| n.length() as u64).sum()
+    }
+}
+
+/// Routing failed: congestion could not be resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnroutableError {
+    /// Channels still over capacity after the final iteration.
+    pub overused_channels: usize,
+}
+
+impl std::fmt::Display for UnroutableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "not routable: {} channels remain over capacity",
+            self.overused_channels
+        )
+    }
+}
+
+impl std::error::Error for UnroutableError {}
+
+/// The negotiated-congestion router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    max_iterations: u32,
+    /// Cost added per unit of present overuse on a channel.
+    present_penalty: u64,
+    /// History cost added per unit of overuse after each iteration.
+    history_increment: u64,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Router {
+            max_iterations: 24,
+            present_penalty: 40,
+            history_increment: 4,
+        }
+    }
+}
+
+impl Router {
+    /// A router with a custom iteration budget.
+    pub fn with_max_iterations(max_iterations: u32) -> Self {
+        Router {
+            max_iterations,
+            ..Router::default()
+        }
+    }
+
+    /// Routes all `requests` on `fabric`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnroutableError`] when congestion cannot be eliminated
+    /// within the iteration budget.
+    pub fn route(
+        &self,
+        fabric: &Fabric,
+        requests: &[RouteRequest],
+    ) -> Result<RoutingOutcome, UnroutableError> {
+        let n_channels = fabric.channel_count();
+        let cap = fabric.tracks_per_channel();
+        let mut history = vec![0u64; n_channels];
+        let mut last_overused = usize::MAX;
+
+        for iteration in 1..=self.max_iterations {
+            let mut usage = vec![0u32; n_channels];
+            let mut nets = Vec::with_capacity(requests.len());
+            for req in requests {
+                let channels = self.dijkstra(fabric, *req, &usage, &history, cap);
+                for &c in &channels {
+                    usage[c] += 1;
+                }
+                nets.push(RoutedNet {
+                    request: *req,
+                    channels,
+                });
+            }
+            let overused: Vec<usize> = (0..n_channels).filter(|&c| usage[c] > cap).collect();
+            if overused.is_empty() {
+                let peak_usage = usage.iter().copied().max().unwrap_or(0);
+                return Ok(RoutingOutcome {
+                    nets,
+                    iterations: iteration,
+                    peak_usage,
+                    channel_usage: usage,
+                });
+            }
+            for &c in &overused {
+                history[c] += self.history_increment * (usage[c] - cap) as u64;
+            }
+            last_overused = overused.len();
+        }
+        Err(UnroutableError {
+            overused_channels: last_overused,
+        })
+    }
+
+    /// Shortest path from `req.from` to `req.to` under the current channel
+    /// costs. Returns the channel indices of the path (empty when source
+    /// equals destination).
+    fn dijkstra(
+        &self,
+        fabric: &Fabric,
+        req: RouteRequest,
+        usage: &[u32],
+        history: &[u64],
+        cap: u32,
+    ) -> Vec<usize> {
+        let w = fabric.width() as usize;
+        let h = fabric.height() as usize;
+        let idx = |s: Site| s.y as usize * w + s.x as usize;
+        let mut dist = vec![u64::MAX; w * h];
+        let mut prev: Vec<Option<(Site, usize)>> = vec![None; w * h];
+        let mut heap = BinaryHeap::new();
+        dist[idx(req.from)] = 0;
+        heap.push(Reverse((0u64, req.from.x, req.from.y)));
+        while let Some(Reverse((d, x, y))) = heap.pop() {
+            let s = Site::new(x, y);
+            if d > dist[idx(s)] {
+                continue;
+            }
+            if s == req.to {
+                break;
+            }
+            for (next, ch) in fabric.neighbours(s) {
+                let c = fabric.channel_index(ch);
+                // Base cost 10 per segment; congestion and history are
+                // negotiated on top.
+                let over = (usage[c] + 1).saturating_sub(cap) as u64;
+                let cost = 10 + history[c] + over * self.present_penalty;
+                let nd = d + cost;
+                if nd < dist[idx(next)] {
+                    dist[idx(next)] = nd;
+                    prev[idx(next)] = Some((s, c));
+                    heap.push(Reverse((nd, next.x, next.y)));
+                }
+            }
+        }
+        // Walk back.
+        let mut channels = Vec::new();
+        let mut cur = req.to;
+        while cur != req.from {
+            match prev[idx(cur)] {
+                Some((p, c)) => {
+                    channels.push(c);
+                    cur = p;
+                }
+                None => break, // unreachable only on a degenerate fabric
+            }
+        }
+        channels.reverse();
+        channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(a: (u16, u16), b: (u16, u16)) -> RouteRequest {
+        RouteRequest {
+            from: Site::new(a.0, a.1),
+            to: Site::new(b.0, b.1),
+        }
+    }
+
+    #[test]
+    fn single_net_takes_manhattan_shortest_path() {
+        let f = Fabric::new(5, 5, 2, 16);
+        let out = Router::default().route(&f, &[req((0, 0), (3, 2))]).unwrap();
+        assert_eq!(out.nets[0].length(), 5);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn zero_length_net() {
+        let f = Fabric::new(3, 3, 1, 8);
+        let out = Router::default().route(&f, &[req((1, 1), (1, 1))]).unwrap();
+        assert_eq!(out.nets[0].length(), 0);
+    }
+
+    #[test]
+    fn congestion_forces_detours() {
+        // Two identical nets on single-track channels: one takes the
+        // straight row, the other must detour around it.
+        let f = Fabric::new(3, 3, 1, 8);
+        let requests = vec![req((0, 0), (2, 0)), req((0, 0), (2, 0))];
+        let out = Router::default().route(&f, &requests).unwrap();
+        assert!(out.peak_usage <= 1);
+        // Straight path is 2; the detour adds at least 2 more segments.
+        assert!(out.total_wirelength() >= 6);
+        let lengths: Vec<u32> = out.nets.iter().map(|n| n.length()).collect();
+        assert!(lengths.contains(&2), "one net keeps the short path: {lengths:?}");
+    }
+
+    #[test]
+    fn impossible_demand_is_unroutable() {
+        // 2x2 fabric with 1 track: 8 nets between opposite corners cannot
+        // all fit (only 4 channels exist).
+        let f = Fabric::new(2, 2, 1, 4);
+        let requests: Vec<RouteRequest> = (0..8).map(|_| req((0, 0), (1, 1))).collect();
+        let err = Router::default().route(&f, &requests).unwrap_err();
+        assert!(err.overused_channels > 0);
+        assert!(err.to_string().contains("not routable"));
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let f = Fabric::new(6, 6, 2, 16);
+        let requests = vec![
+            req((0, 0), (5, 5)),
+            req((5, 0), (0, 5)),
+            req((2, 1), (3, 4)),
+        ];
+        let a = Router::default().route(&f, &requests).unwrap();
+        let b = Router::default().route(&f, &requests).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paths_are_connected_and_end_to_end() {
+        let f = Fabric::new(6, 4, 2, 16);
+        let r = req((1, 1), (5, 3));
+        let out = Router::default().route(&f, &[r]).unwrap();
+        // Length equals manhattan distance (free fabric => shortest).
+        assert_eq!(out.nets[0].length(), r.from.distance(r.to));
+    }
+}

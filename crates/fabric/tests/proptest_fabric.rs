@@ -1,0 +1,117 @@
+//! Property-based tests of the placement/routing substrate.
+
+use crusade_fabric::{place, Fabric, Netlist, RouteRequest, Router, Site};
+use proptest::prelude::*;
+
+fn netlist() -> impl Strategy<Value = Netlist> {
+    (0u64..1000, 4usize..40, 15u32..28, 2usize..10).prop_map(|(seed, cells, fanout10, io)| {
+        Netlist::generate(seed, cells, fanout10 as f64 / 10.0, io.min(cells))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Placement never duplicates sites and respects capacity.
+    #[test]
+    fn placement_sites_unique(nl in netlist(), fill in 0usize..20, seed in 0u64..100) {
+        let capacity = nl.cell_count() + fill;
+        let f = Fabric::with_capacity(capacity, 3, 64);
+        let p = place(&nl, &f, fill, seed).expect("fits by construction");
+        let mut all: Vec<Site> = p
+            .cell_sites
+            .iter()
+            .copied()
+            .chain(p.fill_sites.iter().copied())
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+        prop_assert!(n <= f.site_count());
+        for s in all {
+            prop_assert!((s.x as usize) < f.width() as usize);
+            prop_assert!((s.y as usize) < f.height() as usize);
+        }
+    }
+
+    /// Successful routing keeps every channel within capacity, and every
+    /// net's path length has the right parity/lower bound (at least the
+    /// Manhattan distance).
+    #[test]
+    fn routing_respects_capacity_and_distance(
+        nl in netlist(),
+        tracks in 3u32..6,
+        seed in 0u64..50,
+    ) {
+        let f = Fabric::with_capacity(nl.cell_count(), tracks, 64);
+        let Some(p) = place(&nl, &f, 0, seed) else { return Ok(()); };
+        let requests: Vec<RouteRequest> = nl
+            .nets()
+            .iter()
+            .map(|n| RouteRequest {
+                from: p.site_of(n.source),
+                to: p.site_of(n.sink),
+            })
+            .collect();
+        let Ok(out) = Router::default().route(&f, &requests) else { return Ok(()); };
+        prop_assert!(out.peak_usage <= tracks);
+        let mut usage = vec![0u32; f.channel_count()];
+        for (net, req) in out.nets.iter().zip(&requests) {
+            let manhattan = req.from.distance(req.to);
+            prop_assert!(net.length() >= manhattan);
+            // Parity: every detour adds an even number of segments.
+            prop_assert_eq!((net.length() - manhattan) % 2, 0);
+            for &c in &net.channels {
+                usage[c] += 1;
+            }
+        }
+        for (c, &u) in usage.iter().enumerate() {
+            prop_assert!(u <= tracks, "channel {c} carries {u} > {tracks}");
+            prop_assert_eq!(u, out.channel_usage[c]);
+        }
+    }
+
+    /// The boot-time model is monotone in image size and anti-monotone in
+    /// interface bandwidth.
+    #[test]
+    fn boot_time_monotonicity(bits in 1u64..10_000_000, mhz in 1u64..10) {
+        use crusade_fabric::boot_time;
+        let hz = mhz * 1_000_000;
+        let serial = boot_time(bits, 1, hz, 0);
+        let parallel = boot_time(bits, 8, hz, 0);
+        prop_assert!(parallel <= serial);
+        let bigger = boot_time(bits + 1000, 1, hz, 0);
+        prop_assert!(bigger >= serial);
+        let faster = boot_time(bits, 1, hz * 2, 0);
+        prop_assert!(faster <= serial);
+        let chained = boot_time(bits, 1, hz, 3);
+        prop_assert!(chained >= serial);
+    }
+
+    /// Interface synthesis always meets the requirement it claims to, and
+    /// a looser budget never costs more.
+    #[test]
+    fn interface_synthesis_sound(
+        bits in proptest::collection::vec(10_000u64..2_000_000, 1..5),
+        budget_ms in 1u64..2_000,
+    ) {
+        use crusade_fabric::{synthesize_interface, InterfaceRequirement};
+        use crusade_model::Nanos;
+        let req = InterfaceRequirement {
+            device_config_bits: bits.clone(),
+            image_bytes: bits.iter().sum::<u64>() / 8,
+            boot_time_requirement: Nanos::from_millis(budget_ms),
+        };
+        if let Some(s) = synthesize_interface(&req) {
+            prop_assert!(s.worst_boot_time <= req.boot_time_requirement);
+            // Doubling the budget can only keep or lower the cost.
+            let looser = InterfaceRequirement {
+                boot_time_requirement: Nanos::from_millis(budget_ms * 2),
+                ..req
+            };
+            let s2 = synthesize_interface(&looser).expect("looser budget stays feasible");
+            prop_assert!(s2.cost <= s.cost);
+        }
+    }
+}

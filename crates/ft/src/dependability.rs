@@ -1,0 +1,281 @@
+//! Dependability analysis: FIT rates, MTTR and Markov availability models
+//! (Section 6).
+//!
+//! Hardware modules are characterised by a failure-in-time (FIT) rate —
+//! expected failures per 10⁹ hours — and a mean time to repair. PEs are
+//! grouped into *service modules* that are replaced as a unit; error
+//! recovery switches to a standby module, so a service with *s* spares is
+//! unavailable only when all *s + 1* modules are down simultaneously.
+//! Availability is evaluated on a birth–death continuous-time Markov
+//! chain over the number of failed modules.
+
+use serde::{Deserialize, Serialize};
+
+use crusade_model::Nanos;
+
+/// Minutes in a (non-leap) year, for unavailability budgets.
+pub const MINUTES_PER_YEAR: f64 = 365.0 * 24.0 * 60.0;
+
+/// A failure-in-time rate: expected failures per 10⁹ hours of operation.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct FitRate(pub f64);
+
+impl FitRate {
+    /// Converts to failures per hour.
+    pub fn per_hour(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl std::ops::Add for FitRate {
+    type Output = FitRate;
+    fn add(self, rhs: FitRate) -> FitRate {
+        FitRate(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for FitRate {
+    fn sum<I: Iterator<Item = FitRate>>(iter: I) -> FitRate {
+        iter.fold(FitRate(0.0), std::ops::Add::add)
+    }
+}
+
+/// Steady-state distribution of a birth–death CTMC with `up[i]` the rate
+/// from state `i` to `i + 1` and `down[i]` the rate from `i + 1` to `i`.
+///
+/// Returns one probability per state (`up.len() + 1` states).
+///
+/// # Panics
+///
+/// Panics if `up` and `down` differ in length or any `down` rate is zero.
+pub fn birth_death_steady_state(up: &[f64], down: &[f64]) -> Vec<f64> {
+    assert_eq!(up.len(), down.len(), "rate vectors must align");
+    assert!(down.iter().all(|&d| d > 0.0), "repair rates must be positive");
+    let mut weights = Vec::with_capacity(up.len() + 1);
+    weights.push(1.0f64);
+    for i in 0..up.len() {
+        let w = weights[i] * up[i] / down[i];
+        weights.push(w);
+    }
+    let total: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| w / total).collect()
+}
+
+/// A service module: a group of PEs replaced as one unit, with optional
+/// hot spares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceModule {
+    /// Combined FIT rate of the module's PEs.
+    pub fit: FitRate,
+    /// Number of standby modules provisioned.
+    pub spares: usize,
+}
+
+impl ServiceModule {
+    /// Steady-state availability: the probability that at least one of
+    /// the `spares + 1` modules is operational, under hot-standby failure
+    /// (all modules age) and parallel repair with the given MTTR.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crusade_ft::{FitRate, ServiceModule};
+    /// use crusade_model::Nanos;
+    ///
+    /// let module = ServiceModule { fit: FitRate(10_000.0), spares: 1 };
+    /// let a = module.availability(Nanos::from_secs(2 * 3600));
+    /// assert!(a > 0.999_999); // one spare makes the pair very available
+    /// ```
+    pub fn availability(&self, mttr: Nanos) -> f64 {
+        let lambda = self.fit.per_hour();
+        let mu = 1.0 / (mttr.as_secs_f64() / 3600.0);
+        let n = self.spares + 1;
+        // State i = number of failed modules; failure rate scales with the
+        // number still alive, repair with the number failed.
+        let up: Vec<f64> = (0..n).map(|i| (n - i) as f64 * lambda).collect();
+        let down: Vec<f64> = (0..n).map(|i| (i + 1) as f64 * mu).collect();
+        let pi = birth_death_steady_state(&up, &down);
+        1.0 - pi[n]
+    }
+
+    /// Unavailability expressed in minutes per year — the unit the paper's
+    /// requirements use.
+    pub fn unavailability_min_per_year(&self, mttr: Nanos) -> f64 {
+        (1.0 - self.availability(mttr)) * MINUTES_PER_YEAR
+    }
+}
+
+/// Unavailability (min/year) of a service that depends on several modules
+/// in series: it is down when *any* module is down.
+pub fn series_unavailability_min_per_year(modules: &[ServiceModule], mttr: Nanos) -> f64 {
+    let availability: f64 = modules.iter().map(|m| m.availability(mttr)).product();
+    (1.0 - availability) * MINUTES_PER_YEAR
+}
+
+/// A pool of standby modules shared 1:N across all service modules of the
+/// architecture — the paper's error-recovery scheme ("error recovery is
+/// enabled through a *few* spare PEs; in the event of failure of any
+/// service module, a switch to a standby module is made").
+///
+/// The service is unavailable when more modules are simultaneously failed
+/// than there are spares to stand in for them. The pool is evaluated on a
+/// birth–death CTMC over the number of failed modules, with the aggregate
+/// failure rate scaled by the fraction of modules still alive and repairs
+/// proceeding in parallel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedSparePool {
+    /// FIT rate of each service module covered by the pool.
+    pub module_fits: Vec<FitRate>,
+    /// Number of standby modules in the pool.
+    pub spares: usize,
+}
+
+impl SharedSparePool {
+    /// Probability that more modules are failed than spares exist —
+    /// i.e. steady-state unavailability of the protected service.
+    pub fn unavailability(&self, mttr: Nanos) -> f64 {
+        let n = self.module_fits.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total_lambda: f64 = self.module_fits.iter().map(|f| f.per_hour()).sum();
+        let mu = 1.0 / (mttr.as_secs_f64() / 3600.0);
+        // States 0..=n failed modules; track enough states beyond the
+        // spare count for the tail probability.
+        let states = n.min(self.spares + 8);
+        let up: Vec<f64> = (0..states)
+            .map(|i| total_lambda * (n - i) as f64 / n as f64)
+            .collect();
+        let down: Vec<f64> = (0..states).map(|i| (i + 1) as f64 * mu).collect();
+        let pi = birth_death_steady_state(&up, &down);
+        pi.iter().skip(self.spares + 1).sum()
+    }
+
+    /// Unavailability in minutes per year.
+    pub fn unavailability_min_per_year(&self, mttr: Nanos) -> f64 {
+        self.unavailability(mttr) * MINUTES_PER_YEAR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mttr() -> Nanos {
+        Nanos::from_secs(2 * 3600)
+    }
+
+    #[test]
+    fn birth_death_two_state_matches_closed_form() {
+        // Single unit: availability = mu / (lambda + mu).
+        let lambda = 0.001;
+        let mu = 0.5;
+        let pi = birth_death_steady_state(&[lambda], &[mu]);
+        let expected_down = lambda / (lambda + mu);
+        assert!((pi[1] - expected_down).abs() < 1e-12);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spares_improve_availability_monotonically() {
+        let mut prev = 0.0;
+        for spares in 0..4 {
+            let m = ServiceModule {
+                fit: FitRate(50_000.0),
+                spares,
+            };
+            let a = m.availability(mttr());
+            assert!(a > prev, "spare {spares} must improve availability");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn paper_scale_unavailability() {
+        // A 10 kFIT module (typical board) with a 2 h MTTR and no spare:
+        // unavailability ~ lambda * MTTR = 2e-5 -> ~10.5 min/year.
+        let m = ServiceModule {
+            fit: FitRate(10_000.0),
+            spares: 0,
+        };
+        let u = m.unavailability_min_per_year(mttr());
+        assert!(u > 8.0 && u < 12.0, "got {u}");
+        // One spare crushes it well below the 4 min/year requirement.
+        let m1 = ServiceModule {
+            fit: FitRate(10_000.0),
+            spares: 1,
+        };
+        assert!(m1.unavailability_min_per_year(mttr()) < 0.01);
+    }
+
+    #[test]
+    fn series_composition_is_worse_than_each_part() {
+        let a = ServiceModule {
+            fit: FitRate(5_000.0),
+            spares: 0,
+        };
+        let b = ServiceModule {
+            fit: FitRate(8_000.0),
+            spares: 0,
+        };
+        let s = series_unavailability_min_per_year(&[a.clone(), b.clone()], mttr());
+        assert!(s >= a.unavailability_min_per_year(mttr()));
+        assert!(s >= b.unavailability_min_per_year(mttr()));
+        // And roughly the sum for small unavailabilities.
+        let sum = a.unavailability_min_per_year(mttr()) + b.unavailability_min_per_year(mttr());
+        assert!((s - sum).abs() / sum < 0.01);
+    }
+
+    #[test]
+    fn fit_rates_sum() {
+        let total: FitRate = [FitRate(100.0), FitRate(250.0)].into_iter().sum();
+        assert_eq!(total.0, 350.0);
+        assert!((total.per_hour() - 3.5e-7).abs() < 1e-20);
+    }
+
+    #[test]
+    #[should_panic(expected = "repair rates")]
+    fn zero_repair_rejected() {
+        let _ = birth_death_steady_state(&[0.1], &[0.0]);
+    }
+
+    #[test]
+    fn shared_pool_spares_shrink_unavailability() {
+        // 50 modules of 30 kFIT each, 2 h MTTR.
+        let fits = vec![FitRate(30_000.0); 50];
+        let mut prev = f64::INFINITY;
+        for spares in 0..3 {
+            let pool = SharedSparePool {
+                module_fits: fits.clone(),
+                spares,
+            };
+            let u = pool.unavailability_min_per_year(mttr());
+            assert!(u < prev, "spare {spares} must improve: {u} < {prev}");
+            prev = u;
+        }
+        // With no spare the service is down whenever any module is down:
+        // roughly 50 * 30e-6/h * 2h -> ~3e-3 -> over 1000 min/year.
+        let none = SharedSparePool {
+            module_fits: fits.clone(),
+            spares: 0,
+        };
+        assert!(none.unavailability_min_per_year(mttr()) > 500.0);
+        // One shared spare already brings it to minutes per year.
+        let one = SharedSparePool {
+            module_fits: fits,
+            spares: 1,
+        };
+        let u1 = one.unavailability_min_per_year(mttr());
+        assert!(u1 < 20.0, "got {u1}");
+    }
+
+    #[test]
+    fn empty_pool_is_perfect() {
+        let pool = SharedSparePool {
+            module_fits: vec![],
+            spares: 0,
+        };
+        assert_eq!(pool.unavailability(mttr()), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Fault-tolerance annotations layered over a system specification.
+//!
+//! For each task, the specification states whether assertion tasks are
+//! available (with their fault coverage, execution vector and the weight
+//! of the communication edge to the checked task) and what overall fault
+//! coverage the application requires. Tasks without a sufficient assertion
+//! combination fall back to duplicate-and-compare.
+
+use serde::{Deserialize, Serialize};
+
+use crusade_model::{ExecutionTimes, GraphId, Nanos, SystemSpec, TaskId};
+
+/// One available assertion for a task (e.g. parity, address-range check,
+/// checksum).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssertionSpec {
+    /// Short name (e.g. `"parity"`).
+    pub name: String,
+    /// Fraction of faults this assertion detects, in `(0, 1]`.
+    pub coverage: f64,
+    /// Execution-time vector of the assertion task.
+    pub exec: ExecutionTimes,
+    /// Bytes transferred from the checked task to the assertion task.
+    pub bytes: u64,
+}
+
+/// Fault-tolerance attributes of one task.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskFt {
+    /// Assertions available for the task, in preference order.
+    pub assertions: Vec<AssertionSpec>,
+}
+
+impl TaskFt {
+    /// The shortest prefix of the assertion list whose combined coverage
+    /// reaches `required` (a combination of assertions may be needed when
+    /// a single one is insufficient), or `None` when even all of them
+    /// fall short and duplicate-and-compare must be used.
+    ///
+    /// Combined coverage of independent assertions c₁ … cₖ is
+    /// `1 − Π (1 − cᵢ)`.
+    pub fn assertion_combination(&self, required: f64) -> Option<&[AssertionSpec]> {
+        let mut misses = 1.0f64;
+        for (i, a) in self.assertions.iter().enumerate() {
+            misses *= 1.0 - a.coverage;
+            if 1.0 - misses + 1e-12 >= required {
+                return Some(&self.assertions[..=i]);
+            }
+        }
+        None
+    }
+}
+
+/// Dependability requirements and FT parameters for a whole specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FtConfig {
+    /// Fault coverage every task's checking must reach; tasks that cannot
+    /// reach it with assertions are duplicated and compared.
+    pub required_coverage: f64,
+    /// Unavailability requirement per task graph, in minutes per year
+    /// (the paper uses 12 min/yr for provisioning and 4 min/yr for
+    /// transmission graphs). Missing entries default to
+    /// [`FtConfig::DEFAULT_UNAVAILABILITY_MIN_PER_YEAR`].
+    pub unavailability_min_per_year: Vec<(GraphId, f64)>,
+    /// Mean time to repair a failed module (the paper assumes two hours).
+    pub mttr: Nanos,
+    /// PEs grouped per service module (replaced as a unit on failure).
+    pub service_module_size: usize,
+    /// Execution-time vector of compare tasks (duplicate-and-compare).
+    pub compare_exec: ExecutionTimes,
+    /// Bytes each compared output contributes to the compare task.
+    pub compare_bytes: u64,
+}
+
+impl FtConfig {
+    /// Default unavailability budget when a graph has no explicit entry.
+    pub const DEFAULT_UNAVAILABILITY_MIN_PER_YEAR: f64 = 12.0;
+
+    /// A configuration with paper-like defaults, sized for a library of
+    /// `pe_type_count` PE types.
+    pub fn new(pe_type_count: usize) -> Self {
+        FtConfig {
+            required_coverage: 0.95,
+            unavailability_min_per_year: Vec::new(),
+            mttr: Nanos::from_secs(2 * 3600),
+            service_module_size: 4,
+            compare_exec: ExecutionTimes::uniform(pe_type_count, Nanos::from_micros(5)),
+            compare_bytes: 16,
+        }
+    }
+
+    /// The unavailability budget of one graph, in minutes per year.
+    pub fn unavailability_budget(&self, graph: GraphId) -> f64 {
+        self.unavailability_min_per_year
+            .iter()
+            .find(|(g, _)| *g == graph)
+            .map(|(_, v)| *v)
+            .unwrap_or(Self::DEFAULT_UNAVAILABILITY_MIN_PER_YEAR)
+    }
+}
+
+/// Per-task FT annotations for a whole specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FtAnnotations {
+    /// `ft[graph][task]` attributes, parallel to the spec's graphs.
+    tasks: Vec<Vec<TaskFt>>,
+}
+
+impl FtAnnotations {
+    /// Annotations with no assertions anywhere (everything will be
+    /// duplicated and compared).
+    pub fn none_for(spec: &SystemSpec) -> Self {
+        FtAnnotations {
+            tasks: spec
+                .graphs()
+                .map(|(_, g)| vec![TaskFt::default(); g.task_count()])
+                .collect(),
+        }
+    }
+
+    /// Mutable access to one task's annotations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn task_mut(&mut self, graph: GraphId, task: TaskId) -> &mut TaskFt {
+        &mut self.tasks[graph.index()][task.index()]
+    }
+
+    /// One task's annotations.
+    pub fn task(&self, graph: GraphId, task: TaskId) -> &TaskFt {
+        &self.tasks[graph.index()][task.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assertion(name: &str, coverage: f64) -> AssertionSpec {
+        AssertionSpec {
+            name: name.into(),
+            coverage,
+            exec: ExecutionTimes::uniform(1, Nanos::from_micros(2)),
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn single_sufficient_assertion() {
+        let ft = TaskFt {
+            assertions: vec![assertion("parity", 0.98)],
+        };
+        let combo = ft.assertion_combination(0.95).unwrap();
+        assert_eq!(combo.len(), 1);
+    }
+
+    #[test]
+    fn combination_builds_coverage() {
+        // 0.8 then 0.8: combined 0.96.
+        let ft = TaskFt {
+            assertions: vec![assertion("a", 0.8), assertion("b", 0.8)],
+        };
+        assert_eq!(ft.assertion_combination(0.95).unwrap().len(), 2);
+        assert_eq!(ft.assertion_combination(0.99), None);
+    }
+
+    #[test]
+    fn no_assertions_means_duplicate() {
+        let ft = TaskFt::default();
+        assert!(ft.assertion_combination(0.5).is_none());
+    }
+
+    #[test]
+    fn exact_coverage_boundary_is_accepted() {
+        let ft = TaskFt {
+            assertions: vec![assertion("exact", 0.95)],
+        };
+        assert!(ft.assertion_combination(0.95).is_some());
+    }
+
+    #[test]
+    fn budget_lookup_with_default() {
+        let mut cfg = FtConfig::new(1);
+        cfg.unavailability_min_per_year.push((GraphId::new(1), 4.0));
+        assert_eq!(cfg.unavailability_budget(GraphId::new(1)), 4.0);
+        assert_eq!(
+            cfg.unavailability_budget(GraphId::new(0)),
+            FtConfig::DEFAULT_UNAVAILABILITY_MIN_PER_YEAR
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! CRUSADE-FT: fault-detection and fault-tolerance extension of CRUSADE
+//! (Section 6 of the paper).
+//!
+//! Critical real-time applications demand dependability — fault detection
+//! followed by error recovery. This crate layers three mechanisms over
+//! the base co-synthesis of `crusade-core`:
+//!
+//! * **Fault detection** ([`transform_spec`]) — assertion tasks (with
+//!   fault coverage, combined when one assertion is insufficient) or
+//!   duplicate-and-compare tasks are woven into the task graphs before
+//!   synthesis; the *error-transparency* property elides checks whose
+//!   faults a downstream check necessarily catches.
+//! * **Dependability analysis** ([`ServiceModule`],
+//!   [`birth_death_steady_state`]) — FIT rates and MTTR feed
+//!   continuous-time Markov models that evaluate the availability of each
+//!   service module and of the distributed architecture.
+//! * **Error recovery** ([`CrusadeFt`]) — standby spare modules are
+//!   provisioned until every task graph meets its unavailability
+//!   requirement (the paper uses 12 and 4 minutes/year).
+//!
+//! Dynamic reconfiguration remains fully active: Table 3 of the paper
+//! shows the same merge-driven cost savings on fault-tolerant
+//! architectures, which the `crusade-bench` crate regenerates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dependability;
+mod ftspec;
+mod synthesis;
+mod transform;
+
+pub use dependability::{
+    birth_death_steady_state, series_unavailability_min_per_year, FitRate, ServiceModule,
+    SharedSparePool, MINUTES_PER_YEAR,
+};
+pub use ftspec::{AssertionSpec, FtAnnotations, FtConfig, TaskFt};
+pub use synthesis::{CrusadeFt, FitModel, FtSynthesisResult};
+pub use transform::{transform_spec, CheckKind, TransformReport};

@@ -1,0 +1,257 @@
+//! CRUSADE-FT: the fault-tolerant co-synthesis driver (Section 6).
+//!
+//! The basic CRUSADE flow is reused unchanged; fault tolerance is woven in
+//! around it: check tasks are added *before* synthesis (so clustering,
+//! allocation, scheduling and dynamic reconfiguration all see them), and
+//! dependability analysis runs *after* synthesis — PEs are grouped into
+//! service modules, Markov models evaluate each module's availability, and
+//! standby spare modules are provisioned until every task graph meets its
+//! unavailability requirement.
+
+use serde::{Deserialize, Serialize};
+
+use crusade_core::{CoSynthesis, CosynOptions, SynthesisError, SynthesisResult};
+use crusade_model::{GraphId, PeClass, PeType, ResourceLibrary, SystemSpec};
+
+use crate::dependability::{FitRate, SharedSparePool};
+use crate::ftspec::{FtAnnotations, FtConfig};
+use crate::transform::{transform_spec, TransformReport};
+
+/// Parametric FIT-rate model standing in for the Bellcore reliability
+/// tables the paper cites (TR-NWT-00418): larger and denser parts fail
+/// more often.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitModel {
+    /// Base FIT of a general-purpose processor complex (CPU + DRAM).
+    pub cpu_base: f64,
+    /// Base FIT of an ASIC plus FIT per 1000 gates.
+    pub asic_base: f64,
+    /// FIT per 1000 ASIC gates.
+    pub asic_per_kgate: f64,
+    /// Base FIT of a programmable device plus FIT per 1000 PFUs.
+    pub ppe_base: f64,
+    /// FIT per 1000 PFUs.
+    pub ppe_per_kpfu: f64,
+}
+
+impl Default for FitModel {
+    fn default() -> Self {
+        FitModel {
+            cpu_base: 6_000.0,
+            asic_base: 1_500.0,
+            asic_per_kgate: 10.0,
+            ppe_base: 2_000.0,
+            ppe_per_kpfu: 150.0,
+        }
+    }
+}
+
+impl FitModel {
+    /// The FIT rate of one PE type.
+    pub fn fit_of(&self, pe: &PeType) -> FitRate {
+        match pe.class() {
+            PeClass::Cpu(_) => FitRate(self.cpu_base),
+            PeClass::Asic(a) => {
+                FitRate(self.asic_base + self.asic_per_kgate * a.gates as f64 / 1000.0)
+            }
+            PeClass::Ppe(p) => {
+                FitRate(self.ppe_base + self.ppe_per_kpfu * p.pfus as f64 / 1000.0)
+            }
+        }
+    }
+}
+
+/// Everything a CRUSADE-FT run produces.
+#[derive(Debug, Clone)]
+pub struct FtSynthesisResult {
+    /// The underlying co-synthesis result (architecture includes spare
+    /// PEs; its report's cost and PE count already account for them).
+    pub synthesis: SynthesisResult,
+    /// What the fault-detection transformation added.
+    pub transform: TransformReport,
+    /// Spare service modules provisioned per module group.
+    pub spares_added: usize,
+    /// Final unavailability (minutes/year) per task graph.
+    pub unavailability: Vec<(GraphId, f64)>,
+}
+
+/// The fault-tolerant co-synthesis algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_ft::{CrusadeFt, FtAnnotations, FtConfig};
+/// use crusade_model::{
+///     CpuAttrs, Dollars, ExecutionTimes, LinkClass, LinkType, Nanos, PeClass, PeType,
+///     ResourceLibrary, SystemSpec, Task, TaskGraphBuilder,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut lib = ResourceLibrary::new();
+/// lib.add_pe(PeType::new("cpu", Dollars::new(80), PeClass::Cpu(CpuAttrs {
+///     memory_bytes: 4 << 20,
+///     context_switch: Nanos::from_micros(5),
+///     comm_ports: 2,
+///     comm_overlap: true,
+/// })));
+/// lib.add_link(LinkType::new(
+///     "bus", Dollars::new(10), LinkClass::Bus, 8,
+///     vec![Nanos::from_nanos(200)], 64, Nanos::from_micros(1),
+/// ));
+/// let mut b = TaskGraphBuilder::new("g", Nanos::from_millis(1));
+/// b.add_task(Task::new("t", ExecutionTimes::uniform(1, Nanos::from_micros(20))));
+/// let spec = SystemSpec::new(vec![b.build()?]);
+/// let annotations = FtAnnotations::none_for(&spec);
+/// let result = CrusadeFt::new(&spec, &lib)
+///     .with_annotations(annotations)
+///     .run()?;
+/// // Duplicate-and-compare happened, and the architecture is larger than
+/// // the plain one-task system would be.
+/// assert_eq!(result.transform.duplicates_added, 1);
+/// assert!(result.synthesis.report.pe_count >= 2); // exclusion forces 2 CPUs
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CrusadeFt<'a> {
+    spec: &'a SystemSpec,
+    lib: &'a ResourceLibrary,
+    options: CosynOptions,
+    config: FtConfig,
+    annotations: Option<FtAnnotations>,
+    fit_model: FitModel,
+    max_spares_per_module: usize,
+}
+
+impl<'a> CrusadeFt<'a> {
+    /// Prepares a fault-tolerant run with default options and FT
+    /// configuration.
+    pub fn new(spec: &'a SystemSpec, lib: &'a ResourceLibrary) -> Self {
+        CrusadeFt {
+            spec,
+            lib,
+            options: CosynOptions::default(),
+            config: FtConfig::new(lib.pe_count()),
+            annotations: None,
+            fit_model: FitModel::default(),
+            max_spares_per_module: 3,
+        }
+    }
+
+    /// Overrides the co-synthesis options.
+    pub fn with_options(mut self, options: CosynOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the FT configuration.
+    pub fn with_config(mut self, config: FtConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Supplies per-task assertion annotations (defaults to none, i.e.
+    /// duplicate-and-compare everywhere).
+    pub fn with_annotations(mut self, annotations: FtAnnotations) -> Self {
+        self.annotations = Some(annotations);
+        self
+    }
+
+    /// Overrides the FIT model.
+    pub fn with_fit_model(mut self, fit_model: FitModel) -> Self {
+        self.fit_model = fit_model;
+        self
+    }
+
+    /// Runs fault-detection weaving, co-synthesis, and dependability-
+    /// driven spare provisioning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SynthesisError`] from the underlying co-synthesis of
+    /// the transformed (checked) specification.
+    pub fn run(&self) -> Result<FtSynthesisResult, SynthesisError> {
+        let annotations = self
+            .annotations
+            .clone()
+            .unwrap_or_else(|| FtAnnotations::none_for(self.spec));
+        let (ft_spec, transform) = transform_spec(self.spec, &annotations, &self.config);
+        let mut result = CoSynthesis::new(&ft_spec, self.lib)
+            .with_options(self.options.clone())
+            .run()?;
+
+        let (spares_added, unavailability) = self.provision_spares(&ft_spec, &mut result);
+
+        Ok(FtSynthesisResult {
+            synthesis: result,
+            transform,
+            spares_added,
+            unavailability,
+        })
+    }
+
+    /// Groups PEs into service modules and provisions a shared pool of
+    /// standby modules (1:N sparing — "a few spare PEs") until every task
+    /// graph meets its unavailability budget.
+    fn provision_spares(
+        &self,
+        ft_spec: &SystemSpec,
+        result: &mut SynthesisResult,
+    ) -> (usize, Vec<(GraphId, f64)>) {
+        let arch = &mut result.architecture;
+        // Service modules: consecutive live PEs in groups (the automated
+        // stand-in for architectural hints).
+        let live: Vec<(crusade_core::PeInstanceId, crusade_model::PeTypeId)> =
+            arch.pes().map(|(id, p)| (id, p.ty)).collect();
+        if live.is_empty() {
+            return (0, Vec::new());
+        }
+        let size = self.config.service_module_size.max(1);
+        let groups: Vec<Vec<crusade_model::PeTypeId>> = live
+            .chunks(size)
+            .map(|c| c.iter().map(|&(_, ty)| ty).collect())
+            .collect();
+        let module_fits: Vec<FitRate> = groups
+            .iter()
+            .map(|g| g.iter().map(|&ty| self.fit_model.fit_of(self.lib.pe(ty))).sum())
+            .collect();
+
+        // The strictest budget over all graphs governs the shared pool.
+        let strictest = ft_spec
+            .graphs()
+            .map(|(gid, _)| self.config.unavailability_budget(gid))
+            .fold(f64::INFINITY, f64::min);
+
+        // The standby hardware replicates the most failure-prone module
+        // composition, so it can stand in for any module.
+        let spare_composition = groups
+            .iter()
+            .zip(&module_fits)
+            .max_by(|(_, a), (_, b)| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(g, _)| g.clone())
+            .unwrap_or_default();
+
+        let mut pool = SharedSparePool {
+            module_fits,
+            spares: 0,
+        };
+        let mut spares_added = 0usize;
+        while pool.unavailability_min_per_year(self.config.mttr) > strictest
+            && pool.spares < self.max_spares_per_module + 3
+        {
+            pool.spares += 1;
+            spares_added += 1;
+            for &ty in &spare_composition {
+                arch.add_pe(ty);
+            }
+        }
+
+        // Refresh the headline figures to include the spares.
+        result.report.pe_count = result.architecture.pe_count();
+        result.report.cost = result.architecture.cost(self.lib);
+
+        let u = pool.unavailability_min_per_year(self.config.mttr);
+        let unavailability = ft_spec.graphs().map(|(gid, _)| (gid, u)).collect();
+        (spares_added, unavailability)
+    }
+}

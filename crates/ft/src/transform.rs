@@ -1,0 +1,267 @@
+//! Graph transformation: weaving fault detection into the task graphs.
+//!
+//! Fault tolerance is incorporated by adding *assertion tasks* and
+//! *duplicate-and-compare tasks* to the specification before co-synthesis
+//! (so the check tasks participate in clustering, allocation and
+//! scheduling like any other task). The *error-transparency* property is
+//! exploited to reduce overhead: a task that propagates erroneous inputs
+//! to its outputs needs no check of its own when every path from it leads
+//! to a checked task.
+
+use serde::{Deserialize, Serialize};
+
+use crusade_model::{GraphId, SystemSpec, Task, TaskGraph, TaskId};
+
+use crate::ftspec::{FtAnnotations, FtConfig};
+
+/// What the transformation added per original task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckKind {
+    /// Covered transitively through error transparency — no check added.
+    ErrorTransparent,
+    /// One or more assertion tasks were attached.
+    Assertions(usize),
+    /// The task was duplicated and a compare task attached.
+    DuplicateAndCompare,
+}
+
+/// Summary of the fault-detection weaving.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformReport {
+    /// Assertion tasks added.
+    pub assertions_added: usize,
+    /// Duplicate tasks added.
+    pub duplicates_added: usize,
+    /// Compare tasks added.
+    pub compares_added: usize,
+    /// Tasks left unchecked thanks to error transparency.
+    pub transparent_skips: usize,
+}
+
+/// Tasks that need their own check: every task except error-transparent
+/// non-sinks.
+///
+/// An error-transparent task propagates bad inputs to its outputs, so any
+/// fault it produces travels down every outgoing path; since every path
+/// terminates in a sink and sinks always receive checks (as does every
+/// non-transparent task along the way), a downstream check is guaranteed
+/// and the task's own check can be elided.
+fn needs_check(graph: &TaskGraph) -> Vec<bool> {
+    (0..graph.task_count())
+        .map(TaskId::new)
+        .map(|t| {
+            let is_sink = graph.successors(t).next().is_none();
+            !graph.task(t).error_transparent || is_sink
+        })
+        .collect()
+}
+
+/// Rewrites every graph of `spec`, adding check tasks per `annotations`
+/// and `config`. Returns the transformed spec and what was added.
+///
+/// Duplicate tasks receive an exclusion against their original (a common
+/// failure must not take out both copies), and compare/assert tasks
+/// inherit the original task's deadline obligations by carrying the
+/// checked task's effective deadline.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_ft::{transform_spec, FtAnnotations, FtConfig};
+/// use crusade_model::{ExecutionTimes, Nanos, SystemSpec, Task, TaskGraphBuilder};
+///
+/// # fn main() -> Result<(), crusade_model::ValidateSpecError> {
+/// let mut b = TaskGraphBuilder::new("g", Nanos::from_millis(1));
+/// b.add_task(Task::new("t", ExecutionTimes::uniform(1, Nanos::from_micros(10))));
+/// let spec = SystemSpec::new(vec![b.build()?]);
+/// let annotations = FtAnnotations::none_for(&spec);
+/// let (ft_spec, report) = transform_spec(&spec, &annotations, &FtConfig::new(1));
+/// // No assertion available: the task is duplicated and compared.
+/// assert_eq!(report.duplicates_added, 1);
+/// assert_eq!(report.compares_added, 1);
+/// assert_eq!(ft_spec.graph(crusade_model::GraphId::new(0)).task_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transform_spec(
+    spec: &SystemSpec,
+    annotations: &FtAnnotations,
+    config: &FtConfig,
+) -> (SystemSpec, TransformReport) {
+    let mut report = TransformReport::default();
+    let mut graphs = Vec::with_capacity(spec.graph_count());
+    for (gid, graph) in spec.graphs() {
+        graphs.push(transform_graph(gid, graph, annotations, config, &mut report));
+    }
+    let mut out = SystemSpec::new(graphs).with_constraints(spec.constraints().clone());
+    if let Some(m) = spec.compatibility() {
+        out = out.with_compatibility(m.clone());
+    }
+    (out, report)
+}
+
+fn transform_graph(
+    gid: GraphId,
+    graph: &TaskGraph,
+    annotations: &FtAnnotations,
+    config: &FtConfig,
+    report: &mut TransformReport,
+) -> TaskGraph {
+    let needs = needs_check(graph);
+    let mut b = graph.clone().into_builder();
+    for (t, _) in graph.tasks() {
+        if !needs[t.index()] {
+            report.transparent_skips += 1;
+            continue;
+        }
+        let deadline = graph.effective_deadline(t);
+        let ft = annotations.task(gid, t);
+        match ft.assertion_combination(config.required_coverage) {
+            Some(combo) => {
+                for a in combo {
+                    let mut check = Task::new(
+                        format!("{}^assert-{}", graph.task(t).name, a.name),
+                        a.exec.clone(),
+                    );
+                    check.deadline = deadline;
+                    let cid = b.add_task(check);
+                    b.add_edge(t, cid, a.bytes);
+                    report.assertions_added += 1;
+                }
+            }
+            None => {
+                // Duplicate-and-compare: copy the task, exclude it from
+                // the original's PE, and compare both outputs.
+                let original = graph.task(t).clone();
+                let mut dup = original.clone();
+                dup.name = format!("{}^dup", original.name);
+                dup.deadline = deadline;
+                dup.exclusions.add(t);
+                let dup_id = b.add_task(dup);
+                b.task_mut(t).exclusions.add(dup_id);
+                // The duplicate consumes the same inputs.
+                for (_, e) in graph.predecessors(t) {
+                    b.add_edge(e.from, dup_id, e.bytes);
+                }
+                let mut cmp = Task::new(
+                    format!("{}^compare", original.name),
+                    config.compare_exec.clone(),
+                );
+                cmp.deadline = deadline;
+                let cmp_id = b.add_task(cmp);
+                b.add_edge(t, cmp_id, config.compare_bytes);
+                b.add_edge(dup_id, cmp_id, config.compare_bytes);
+                report.duplicates_added += 1;
+                report.compares_added += 1;
+            }
+        }
+    }
+    b.build()
+        .expect("adding sink-side check tasks preserves acyclicity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftspec::AssertionSpec;
+    use crusade_model::{ExecutionTimes, Nanos, TaskGraphBuilder};
+
+    fn base_spec(error_transparent_mid: bool) -> SystemSpec {
+        let mut b = TaskGraphBuilder::new("g", Nanos::from_millis(1));
+        let a = b.add_task(Task::new(
+            "a",
+            ExecutionTimes::uniform(1, Nanos::from_micros(10)),
+        ));
+        let mut mid = Task::new("mid", ExecutionTimes::uniform(1, Nanos::from_micros(10)));
+        mid.error_transparent = error_transparent_mid;
+        let m = b.add_task(mid);
+        let z = b.add_task(Task::new(
+            "z",
+            ExecutionTimes::uniform(1, Nanos::from_micros(10)),
+        ));
+        b.add_edge(a, m, 8);
+        b.add_edge(m, z, 8);
+        SystemSpec::new(vec![b.deadline(Nanos::from_micros(800)).build().unwrap()])
+    }
+
+    #[test]
+    fn all_tasks_duplicated_without_assertions() {
+        let spec = base_spec(false);
+        let ann = FtAnnotations::none_for(&spec);
+        let (out, report) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        assert_eq!(report.duplicates_added, 3);
+        assert_eq!(report.compares_added, 3);
+        // 3 original + 3 dup + 3 compare.
+        assert_eq!(out.graph(GraphId::new(0)).task_count(), 9);
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn assertion_replaces_duplication() {
+        let spec = base_spec(false);
+        let mut ann = FtAnnotations::none_for(&spec);
+        ann.task_mut(GraphId::new(0), TaskId::new(0)).assertions =
+            vec![AssertionSpec {
+                name: "crc".into(),
+                coverage: 0.99,
+                exec: ExecutionTimes::uniform(1, Nanos::from_micros(1)),
+                bytes: 4,
+            }];
+        let (out, report) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        assert_eq!(report.assertions_added, 1);
+        assert_eq!(report.duplicates_added, 2);
+        assert_eq!(out.graph(GraphId::new(0)).task_count(), 8);
+    }
+
+    #[test]
+    fn error_transparency_skips_mid_task() {
+        let spec = base_spec(true);
+        let ann = FtAnnotations::none_for(&spec);
+        let (_, report) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        assert_eq!(report.transparent_skips, 1);
+        assert_eq!(report.duplicates_added, 2);
+    }
+
+    #[test]
+    fn transparent_sink_still_checked() {
+        let mut b = TaskGraphBuilder::new("s", Nanos::from_millis(1));
+        let mut t = Task::new("lone", ExecutionTimes::uniform(1, Nanos::from_micros(10)));
+        t.error_transparent = true;
+        b.add_task(t);
+        let spec = SystemSpec::new(vec![b.build().unwrap()]);
+        let ann = FtAnnotations::none_for(&spec);
+        let (_, report) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        // A sink has no downstream check to lean on.
+        assert_eq!(report.transparent_skips, 0);
+        assert_eq!(report.duplicates_added, 1);
+    }
+
+    #[test]
+    fn duplicate_excluded_from_original_pe() {
+        let spec = base_spec(false);
+        let ann = FtAnnotations::none_for(&spec);
+        let (out, _) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        let g = out.graph(GraphId::new(0));
+        // Find the duplicate of task 0 by name.
+        let (dup_id, _) = g
+            .tasks()
+            .find(|(_, t)| t.name == "a^dup")
+            .expect("duplicate exists");
+        assert!(g.task(dup_id).exclusions.excludes(TaskId::new(0)));
+        assert!(g.task(TaskId::new(0)).exclusions.excludes(dup_id));
+    }
+
+    #[test]
+    fn check_tasks_inherit_deadlines() {
+        let spec = base_spec(false);
+        let ann = FtAnnotations::none_for(&spec);
+        let (out, _) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        let g = out.graph(GraphId::new(0));
+        let (cmp_id, cmp) = g
+            .tasks()
+            .find(|(_, t)| t.name == "z^compare")
+            .expect("compare exists");
+        assert_eq!(cmp.deadline, Some(Nanos::from_micros(800)));
+        assert_eq!(g.effective_deadline(cmp_id), Some(Nanos::from_micros(800)));
+    }
+}

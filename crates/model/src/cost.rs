@@ -1,0 +1,158 @@
+//! Dollar-cost accounting.
+//!
+//! CRUSADE's objective function is the total dollar cost of the synthesized
+//! architecture: the sum of the costs of all processing elements, links and
+//! reconfiguration-controller hardware. The paper reports costs as whole
+//! dollars at an assumed yearly volume of 15 000 systems; [`Dollars`] keeps
+//! the same integral resolution.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative dollar amount.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_model::Dollars;
+///
+/// let cpu = Dollars::new(125);
+/// let ram = Dollars::new(40);
+/// assert_eq!((cpu + ram).amount(), 165);
+/// assert_eq!(format!("{}", cpu + ram), "$165");
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Dollars(u64);
+
+impl Dollars {
+    /// Zero dollars.
+    pub const ZERO: Dollars = Dollars(0);
+
+    /// Creates a dollar amount.
+    #[inline]
+    pub const fn new(amount: u64) -> Self {
+        Dollars(amount)
+    }
+
+    /// The raw whole-dollar amount.
+    #[inline]
+    pub const fn amount(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction, clamping at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Dollars) -> Dollars {
+        Dollars(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Percentage saving of `self` relative to a `baseline` cost.
+    ///
+    /// Returns `0.0` when the baseline is zero. This is the quantity the
+    /// paper reports in the "Cost savings %" columns of Tables 2 and 3.
+    ///
+    /// ```
+    /// # use crusade_model::Dollars;
+    /// let without = Dollars::new(26_245);
+    /// let with = Dollars::new(16_225);
+    /// assert!((with.savings_versus(without) - 38.18).abs() < 0.01);
+    /// ```
+    pub fn savings_versus(self, baseline: Dollars) -> f64 {
+        if baseline.0 == 0 {
+            return 0.0;
+        }
+        100.0 * (baseline.0.saturating_sub(self.0)) as f64 / baseline.0 as f64
+    }
+}
+
+impl Add for Dollars {
+    type Output = Dollars;
+    #[inline]
+    fn add(self, rhs: Dollars) -> Dollars {
+        Dollars(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dollars {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dollars) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dollars {
+    type Output = Dollars;
+    #[inline]
+    fn sub(self, rhs: Dollars) -> Dollars {
+        Dollars(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Dollars {
+    type Output = Dollars;
+    #[inline]
+    fn mul(self, rhs: u64) -> Dollars {
+        Dollars(self.0 * rhs)
+    }
+}
+
+impl Sum for Dollars {
+    fn sum<I: Iterator<Item = Dollars>>(iter: I) -> Dollars {
+        iter.fold(Dollars::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Dollars {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+impl From<u64> for Dollars {
+    fn from(amount: u64) -> Self {
+        Dollars(amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = Dollars::new(100);
+        let b = Dollars::new(30);
+        assert_eq!(a + b, Dollars::new(130));
+        assert_eq!(a - b, Dollars::new(70));
+        assert_eq!(b * 4, Dollars::new(120));
+        assert_eq!(a.to_string(), "$100");
+        assert_eq!(Dollars::ZERO.amount(), 0);
+    }
+
+    #[test]
+    fn sum_over_components() {
+        let total: Dollars = [10u64, 20, 30].into_iter().map(Dollars::new).sum();
+        assert_eq!(total, Dollars::new(60));
+    }
+
+    #[test]
+    fn savings_matches_paper_rows() {
+        // Row NG XM of Table 2: 83,885 -> 36,325 is 56.7% savings.
+        let without = Dollars::new(83_885);
+        let with = Dollars::new(36_325);
+        assert!((with.savings_versus(without) - 56.69).abs() < 0.01);
+    }
+
+    #[test]
+    fn savings_degenerate_cases() {
+        assert_eq!(Dollars::new(5).savings_versus(Dollars::ZERO), 0.0);
+        // More expensive than the baseline: savings clamp at 0, not negative.
+        assert_eq!(Dollars::new(10).savings_versus(Dollars::new(5)), 0.0);
+    }
+}

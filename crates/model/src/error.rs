@@ -1,0 +1,131 @@
+//! Error types for specification validation.
+
+use std::fmt;
+
+use crate::{EdgeId, GraphId, TaskId};
+
+/// Why a task graph or system specification failed validation.
+///
+/// Returned by [`crate::TaskGraph::validate`] and
+/// [`crate::SystemSpec::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateSpecError {
+    /// An edge references a task index that does not exist.
+    DanglingEdge {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The nonexistent task endpoint.
+        task: TaskId,
+    },
+    /// An edge connects a task to itself.
+    SelfLoop {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// The task graph contains a directed cycle (the model requires acyclic
+    /// graphs; loops must be folded *inside* tasks).
+    Cyclic,
+    /// A task cannot be mapped to any PE type (its execution-time vector is
+    /// empty, or its preference vector excludes every mappable type).
+    UnmappableTask {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// The graph period is zero.
+    ZeroPeriod,
+    /// The graph deadline is zero.
+    ZeroDeadline,
+    /// A task graph's deadline exceeds its period *and* the specification
+    /// disallows pipelined overrun.
+    DeadlineBeyondPeriod,
+    /// A graph declared a compatibility vector of the wrong length.
+    CompatibilityLength {
+        /// The graph whose vector is malformed.
+        graph: GraphId,
+        /// Expected number of entries (the number of graphs).
+        expected: usize,
+        /// Number actually supplied.
+        actual: usize,
+    },
+    /// The compatibility matrix is asymmetric: `a` declares `b` compatible
+    /// but not vice versa.
+    CompatibilityAsymmetric {
+        /// First graph.
+        a: GraphId,
+        /// Second graph.
+        b: GraphId,
+    },
+    /// A graph's exclusion vector references a nonexistent task.
+    DanglingExclusion {
+        /// The task whose exclusion vector is malformed.
+        task: TaskId,
+        /// The nonexistent peer.
+        peer: TaskId,
+    },
+    /// The specification contains no task graphs.
+    Empty,
+    /// Task-graph periods produce a hyperperiod that overflows `u64`
+    /// nanoseconds.
+    HyperperiodOverflow,
+}
+
+impl fmt::Display for ValidateSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateSpecError::DanglingEdge { edge, task } => {
+                write!(f, "edge {edge} references nonexistent task {task}")
+            }
+            ValidateSpecError::SelfLoop { edge } => {
+                write!(f, "edge {edge} connects a task to itself")
+            }
+            ValidateSpecError::Cyclic => write!(f, "task graph contains a directed cycle"),
+            ValidateSpecError::UnmappableTask { task } => {
+                write!(f, "task {task} cannot be mapped to any PE type")
+            }
+            ValidateSpecError::ZeroPeriod => write!(f, "task-graph period is zero"),
+            ValidateSpecError::ZeroDeadline => write!(f, "task-graph deadline is zero"),
+            ValidateSpecError::DeadlineBeyondPeriod => {
+                write!(f, "task-graph deadline exceeds its period")
+            }
+            ValidateSpecError::CompatibilityLength {
+                graph,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "graph {graph} has a compatibility vector of length {actual}, expected {expected}"
+            ),
+            ValidateSpecError::CompatibilityAsymmetric { a, b } => {
+                write!(f, "compatibility of graphs {a} and {b} is asymmetric")
+            }
+            ValidateSpecError::DanglingExclusion { task, peer } => {
+                write!(f, "task {task} excludes nonexistent task {peer}")
+            }
+            ValidateSpecError::Empty => write!(f, "specification contains no task graphs"),
+            ValidateSpecError::HyperperiodOverflow => {
+                write!(f, "hyperperiod of task-graph periods overflows u64 nanoseconds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateSpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = ValidateSpecError::Cyclic;
+        let s = e.to_string();
+        assert!(s.starts_with("task graph"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ValidateSpecError>();
+    }
+}

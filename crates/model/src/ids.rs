@@ -1,0 +1,161 @@
+//! Index-based identifiers for specification entities.
+//!
+//! All model collections are flat `Vec`s; these newtypes keep the different
+//! index spaces from being mixed up (a [`TaskId`] can never be used where a
+//! [`PeTypeId`] is expected). Identifiers are created by the builders and
+//! libraries that own the underlying collections.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                $name(index as u32)
+            }
+
+            /// The raw index into the owning collection.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                $name::new(index)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a task within its owning [`crate::TaskGraph`].
+    TaskId,
+    "t"
+);
+define_id!(
+    /// Identifies a directed communication edge within its owning
+    /// [`crate::TaskGraph`].
+    EdgeId,
+    "e"
+);
+define_id!(
+    /// Identifies a task graph within a [`crate::SystemSpec`].
+    GraphId,
+    "g"
+);
+define_id!(
+    /// Identifies a processing-element *type* in the [`crate::ResourceLibrary`].
+    PeTypeId,
+    "pe"
+);
+define_id!(
+    /// Identifies a link *type* in the [`crate::ResourceLibrary`].
+    LinkTypeId,
+    "lk"
+);
+
+/// A task qualified by the graph that owns it.
+///
+/// Co-synthesis operates across many task graphs at once, so most
+/// cross-graph data structures (clusters, schedules, architectures) refer to
+/// tasks by this pair.
+///
+/// ```
+/// use crusade_model::{GraphId, GlobalTaskId, TaskId};
+///
+/// let id = GlobalTaskId::new(GraphId::new(2), TaskId::new(7));
+/// assert_eq!(id.to_string(), "g2.t7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalTaskId {
+    /// The owning task graph.
+    pub graph: GraphId,
+    /// The task within that graph.
+    pub task: TaskId,
+}
+
+impl GlobalTaskId {
+    /// Combines a graph id and a task id.
+    #[inline]
+    pub const fn new(graph: GraphId, task: TaskId) -> Self {
+        GlobalTaskId { graph, task }
+    }
+}
+
+impl fmt::Display for GlobalTaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.graph, self.task)
+    }
+}
+
+/// A communication edge qualified by the graph that owns it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalEdgeId {
+    /// The owning task graph.
+    pub graph: GraphId,
+    /// The edge within that graph.
+    pub edge: EdgeId,
+}
+
+impl GlobalEdgeId {
+    /// Combines a graph id and an edge id.
+    #[inline]
+    pub const fn new(graph: GraphId, edge: EdgeId) -> Self {
+        GlobalEdgeId { graph, edge }
+    }
+}
+
+impl fmt::Display for GlobalEdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.graph, self.edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        let t = TaskId::new(42);
+        assert_eq!(t.index(), 42);
+        assert_eq!(t.to_string(), "t42");
+        assert_eq!(TaskId::from(42usize), t);
+    }
+
+    #[test]
+    fn distinct_id_spaces_have_distinct_types() {
+        // Purely a compile-time property; spot-check display prefixes.
+        assert_eq!(PeTypeId::new(0).to_string(), "pe0");
+        assert_eq!(LinkTypeId::new(3).to_string(), "lk3");
+        assert_eq!(GraphId::new(1).to_string(), "g1");
+        assert_eq!(EdgeId::new(9).to_string(), "e9");
+    }
+
+    #[test]
+    fn global_ids_order_by_graph_then_task() {
+        let a = GlobalTaskId::new(GraphId::new(0), TaskId::new(9));
+        let b = GlobalTaskId::new(GraphId::new(1), TaskId::new(0));
+        assert!(a < b);
+        assert_eq!(a.to_string(), "g0.t9");
+    }
+}

@@ -1,0 +1,69 @@
+//! Specification model for the CRUSADE co-synthesis system.
+//!
+//! This crate defines the *inputs* to hardware/software co-synthesis, as
+//! described in Section 2 of the paper "CRUSADE: Hardware/Software
+//! Co-Synthesis of Dynamically Reconfigurable Heterogeneous Real-Time
+//! Distributed Embedded Systems" (DATE 1999):
+//!
+//! * **Task graphs** ([`TaskGraph`]) — periodic acyclic graphs whose nodes
+//!   are tasks and whose edges are communications, with earliest start
+//!   times, periods and deadlines.
+//! * **Per-task vectors** — execution times per PE type
+//!   ([`ExecutionTimes`]), mapping preferences ([`Preference`]), exclusions
+//!   ([`Exclusions`]), memory ([`MemoryVector`]) and hardware area
+//!   ([`HwDemand`]).
+//! * **The resource library** ([`ResourceLibrary`]) — CPU / ASIC /
+//!   FPGA / CPLD PE types ([`PeType`]) and link types ([`LinkType`]).
+//! * **The system specification** ([`SystemSpec`]) — the graphs plus
+//!   system-wide constraints and the optional a-priori
+//!   [`CompatibilityMatrix`] for dynamic reconfiguration.
+//!
+//! # Examples
+//!
+//! Build a two-task pipeline and validate it:
+//!
+//! ```
+//! use crusade_model::{ExecutionTimes, Nanos, SystemSpec, Task, TaskGraphBuilder};
+//!
+//! # fn main() -> Result<(), crusade_model::ValidateSpecError> {
+//! let mut b = TaskGraphBuilder::new("pipeline", Nanos::from_millis(1));
+//! let parse = b.add_task(Task::new(
+//!     "parse",
+//!     ExecutionTimes::uniform(2, Nanos::from_micros(40)),
+//! ));
+//! let route = b.add_task(Task::new(
+//!     "route",
+//!     ExecutionTimes::uniform(2, Nanos::from_micros(25)),
+//! ));
+//! b.add_edge(parse, route, 128);
+//! let spec = SystemSpec::new(vec![b.build()?]);
+//! spec.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cost;
+mod error;
+mod graph;
+pub mod hyperperiod;
+mod ids;
+mod library;
+mod link;
+mod pe;
+mod spec;
+mod time;
+mod vectors;
+
+pub use cost::Dollars;
+pub use error::ValidateSpecError;
+pub use graph::{Edge, Task, TaskGraph, TaskGraphBuilder};
+pub use ids::{EdgeId, GlobalEdgeId, GlobalTaskId, GraphId, LinkTypeId, PeTypeId, TaskId};
+pub use library::ResourceLibrary;
+pub use link::{CommVector, LinkClass, LinkType};
+pub use pe::{AsicAttrs, CpuAttrs, PeClass, PeType, PpeAttrs, PpeKind};
+pub use spec::{CompatibilityMatrix, SystemConstraints, SystemSpec};
+pub use time::{Nanos, Priority};
+pub use vectors::{ExecutionTimes, Exclusions, HwDemand, MemoryVector, Preference};

@@ -1,0 +1,339 @@
+//! Time quantities used throughout the co-synthesis system.
+//!
+//! All times — execution times, communication times, periods, deadlines,
+//! boot times — are expressed as integral nanoseconds wrapped in the
+//! [`Nanos`] newtype. The paper's examples span periods from 25 µs to one
+//! minute, which comfortably fits in a `u64` nanosecond count (one minute is
+//! 6 × 10¹⁰ ns), while integral arithmetic keeps hyperperiod mathematics
+//! (lcm/gcd) exact.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative duration or instant, in nanoseconds.
+///
+/// `Nanos` is used both for durations (execution times, periods) and for
+/// instants on the schedule timeline (start/finish times measured from time
+/// zero). Arithmetic is checked in debug builds via the standard integer
+/// semantics; use [`Nanos::checked_sub`] when underflow is possible.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_model::Nanos;
+///
+/// let period = Nanos::from_micros(25);
+/// let exec = Nanos::from_nanos(4_000);
+/// assert!(exec < period);
+/// assert_eq!(period.as_nanos(), 25_000);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// The zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable duration; useful as an "unreachable"
+    /// sentinel when searching for minima.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    ///
+    /// ```
+    /// # use crusade_model::Nanos;
+    /// assert_eq!(Nanos::from_nanos(1_000), Nanos::from_micros(1));
+    /// ```
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns `true` if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction; `None` when `rhs > self`.
+    ///
+    /// ```
+    /// # use crusade_model::Nanos;
+    /// assert_eq!(Nanos::from_nanos(5).checked_sub(Nanos::from_nanos(7)), None);
+    /// ```
+    #[inline]
+    pub fn checked_sub(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_sub(rhs.0).map(Nanos)
+    }
+
+    /// Saturating subtraction: clamps at zero instead of underflowing.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition: clamps at [`Nanos::MAX`].
+    #[inline]
+    pub fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Nanos) -> Nanos {
+        Nanos(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Nanos) -> Nanos {
+        Nanos(self.0.min(other.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Div<Nanos> for Nanos {
+    type Output = u64;
+    /// How many whole `rhs` periods fit into `self` (integer division).
+    #[inline]
+    fn div(self, rhs: Nanos) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Nanos> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn rem(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Nanos {
+    /// Human-oriented rendering with an adaptive unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == 0 {
+            write!(f, "0ns")
+        } else if ns % 1_000_000_000 == 0 {
+            write!(f, "{}s", ns / 1_000_000_000)
+        } else if ns % 1_000_000 == 0 {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns % 1_000 == 0 {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl From<u64> for Nanos {
+    fn from(ns: u64) -> Self {
+        Nanos(ns)
+    }
+}
+
+/// A signed time-like quantity used for deadline-based priority levels.
+///
+/// A priority level is the length of a worst-case path *minus* a deadline,
+/// so it is frequently negative (slack available). Higher values mean more
+/// urgent.
+///
+/// ```
+/// use crusade_model::{Nanos, Priority};
+///
+/// let p = Priority::from_path_and_deadline(Nanos::from_micros(8), Nanos::from_micros(10));
+/// assert!(p < Priority::ZERO); // two microseconds of slack
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Priority(i64);
+
+impl Priority {
+    /// The neutral priority (path length equals the deadline exactly).
+    pub const ZERO: Priority = Priority(0);
+    /// Minimum representable priority, lower than every real level.
+    pub const MIN: Priority = Priority(i64::MIN);
+
+    /// Builds a priority level from a worst-case path length and a deadline.
+    #[inline]
+    pub fn from_path_and_deadline(path: Nanos, deadline: Nanos) -> Priority {
+        Priority(path.as_nanos() as i64 - deadline.as_nanos() as i64)
+    }
+
+    /// Raw signed nanosecond value (path minus deadline).
+    #[inline]
+    pub const fn value(self) -> i64 {
+        self.0
+    }
+
+    /// Creates a priority directly from a signed nanosecond value.
+    #[inline]
+    pub const fn from_value(v: i64) -> Priority {
+        Priority(v)
+    }
+
+    /// Adds a duration (e.g. an upstream execution time) to this level.
+    #[inline]
+    pub fn plus(self, d: Nanos) -> Priority {
+        Priority(self.0 + d.as_nanos() as i64)
+    }
+
+    /// The larger (more urgent) of two priorities.
+    #[inline]
+    pub fn max(self, other: Priority) -> Priority {
+        Priority(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_secs(1), Nanos::from_millis(1_000));
+        assert_eq!(Nanos::from_millis(1), Nanos::from_micros(1_000));
+        assert_eq!(Nanos::from_micros(1), Nanos::from_nanos(1_000));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Nanos::from_secs(60).to_string(), "60s");
+        assert_eq!(Nanos::from_millis(5).to_string(), "5ms");
+        assert_eq!(Nanos::from_micros(25).to_string(), "25us");
+        assert_eq!(Nanos::from_nanos(17).to_string(), "17ns");
+        assert_eq!(Nanos::ZERO.to_string(), "0ns");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_nanos(10);
+        let b = Nanos::from_nanos(4);
+        assert_eq!(a + b, Nanos::from_nanos(14));
+        assert_eq!(a - b, Nanos::from_nanos(6));
+        assert_eq!(a * 3, Nanos::from_nanos(30));
+        assert_eq!(a / 2, Nanos::from_nanos(5));
+        assert_eq!(a / b, 2);
+        assert_eq!(a % b, Nanos::from_nanos(2));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Nanos = [1u64, 2, 3].into_iter().map(Nanos::from_nanos).sum();
+        assert_eq!(total, Nanos::from_nanos(6));
+    }
+
+    #[test]
+    fn priority_ordering_reflects_urgency() {
+        // A longer path to the same deadline is more urgent.
+        let d = Nanos::from_micros(10);
+        let urgent = Priority::from_path_and_deadline(Nanos::from_micros(12), d);
+        let relaxed = Priority::from_path_and_deadline(Nanos::from_micros(3), d);
+        assert!(urgent > relaxed);
+        assert!(urgent > Priority::ZERO);
+        assert_eq!(relaxed.value(), -7_000);
+    }
+
+    #[test]
+    fn priority_plus_accumulates_path() {
+        let p = Priority::from_value(-5).plus(Nanos::from_nanos(7));
+        assert_eq!(p.value(), 2);
+    }
+}

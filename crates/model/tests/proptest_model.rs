@@ -1,0 +1,126 @@
+//! Property-based tests for the specification model.
+
+use crusade_model::hyperperiod::{copies, gcd, hyperperiod, lcm};
+use crusade_model::{
+    CompatibilityMatrix, Dollars, ExecutionTimes, GraphId, Nanos, PeTypeId, Task,
+    TaskGraphBuilder, TaskId, ValidateSpecError,
+};
+use proptest::prelude::*;
+
+fn nanos() -> impl Strategy<Value = Nanos> {
+    (1u64..1_000_000_000).prop_map(Nanos::from_nanos)
+}
+
+proptest! {
+    /// gcd divides both operands and lcm is a common multiple.
+    #[test]
+    fn gcd_lcm_laws(a in nanos(), b in nanos()) {
+        let g = gcd(a, b);
+        prop_assert!(!g.is_zero());
+        prop_assert_eq!(a % g, Nanos::ZERO);
+        prop_assert_eq!(b % g, Nanos::ZERO);
+        let l = lcm(a, b).unwrap();
+        prop_assert_eq!(l % a, Nanos::ZERO);
+        prop_assert_eq!(l % b, Nanos::ZERO);
+        // gcd * lcm == a * b (checked in u128 to avoid overflow).
+        prop_assert_eq!(
+            g.as_nanos() as u128 * l.as_nanos() as u128,
+            a.as_nanos() as u128 * b.as_nanos() as u128
+        );
+    }
+
+    /// The hyperperiod is a multiple of every period, and copy counts are
+    /// consistent: copies(h, p) * p == h.
+    #[test]
+    fn hyperperiod_is_common_multiple(periods in proptest::collection::vec(nanos(), 1..6)) {
+        match hyperperiod(periods.iter().copied()) {
+            Ok(h) => {
+                for &p in &periods {
+                    prop_assert_eq!(h % p, Nanos::ZERO);
+                    prop_assert_eq!(p * copies(h, p), h);
+                }
+            }
+            Err(e) => prop_assert_eq!(e, ValidateSpecError::HyperperiodOverflow),
+        }
+    }
+
+    /// Savings percentages are always within [0, 100].
+    #[test]
+    fn savings_bounded(a in 0u64..10_000_000, b in 1u64..10_000_000) {
+        let s = Dollars::new(a).savings_versus(Dollars::new(b));
+        prop_assert!((0.0..=100.0).contains(&s));
+    }
+
+    /// Any DAG built by connecting each task only to higher-indexed tasks
+    /// validates, and its topological order respects every edge.
+    #[test]
+    fn forward_edges_always_build(
+        n in 2usize..30,
+        edges in proptest::collection::vec((0usize..29, 1usize..30, 1u64..4096), 0..60),
+    ) {
+        let mut b = TaskGraphBuilder::new("dag", Nanos::from_millis(1));
+        for i in 0..n {
+            b.add_task(Task::new(
+                format!("t{i}"),
+                ExecutionTimes::uniform(1, Nanos::from_micros(1)),
+            ));
+        }
+        for (from, extra, bytes) in edges {
+            let from = from % n;
+            let to = from + 1 + (extra % (n - from));
+            if to < n {
+                b.add_edge(TaskId::new(from), TaskId::new(to), bytes);
+            }
+        }
+        let g = b.build().expect("forward-edge graphs are acyclic");
+        // Position of each task in the topological order.
+        let mut pos = vec![0usize; g.task_count()];
+        for (i, t) in g.topological_order().iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for (_, e) in g.edges() {
+            prop_assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+    }
+
+    /// The compatibility matrix is symmetric and irreflexive however it is
+    /// populated.
+    #[test]
+    fn compatibility_symmetric(
+        n in 2usize..12,
+        pairs in proptest::collection::vec((0usize..12, 0usize..12), 0..30),
+    ) {
+        let mut m = CompatibilityMatrix::incompatible(n);
+        for (a, b) in pairs {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                m.set_compatible(GraphId::new(a), GraphId::new(b));
+            }
+        }
+        m.validate().unwrap();
+        for i in 0..n {
+            prop_assert!(!m.compatible(GraphId::new(i), GraphId::new(i)));
+            for j in 0..n {
+                prop_assert_eq!(
+                    m.compatible(GraphId::new(i), GraphId::new(j)),
+                    m.compatible(GraphId::new(j), GraphId::new(i))
+                );
+            }
+        }
+    }
+
+    /// Execution-time vectors: fastest <= slowest, and both lie among the
+    /// entries.
+    #[test]
+    fn exec_vector_extremes(entries in proptest::collection::vec((0usize..8, nanos()), 1..8)) {
+        let v = ExecutionTimes::from_entries(
+            8,
+            entries.iter().map(|&(i, t)| (PeTypeId::new(i), t)),
+        );
+        let fast = v.fastest().unwrap();
+        let slow = v.slowest().unwrap();
+        prop_assert!(fast <= slow);
+        prop_assert!(v.iter().any(|(_, t)| t == fast));
+        prop_assert!(v.iter().any(|(_, t)| t == slow));
+    }
+}

@@ -1,0 +1,184 @@
+//! The association array (adopted from COSYN).
+//!
+//! In traditional real-time computing theory, a task graph with period *P*
+//! contributes Γ ÷ *P* copies to the hyperperiod Γ, and every copy's
+//! deadline must be verified — impractical in both CPU time and memory for
+//! multi-rate specifications where the ratio is large (the paper's examples
+//! mix 25 µs and 1 min periods: 2.4 million copies). The association array
+//! instead records, per task graph, the copy count and the rule that copy
+//! *k* of an entity scheduled at offset *s* occupies `s + k·P`.
+//!
+//! Combined with the periodic-interval collision arithmetic of
+//! [`crate::PeriodicInterval`], a schedule computed for copy 0 is valid for
+//! every copy, so the array never needs to be materialised. This module
+//! keeps the bookkeeping type (used for reporting and for the naive
+//! cross-check in tests).
+
+use serde::{Deserialize, Serialize};
+
+use crusade_model::{hyperperiod, GraphId, Nanos, SystemSpec, ValidateSpecError};
+
+/// Per-graph copy bookkeeping over one hyperperiod.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssociationEntry {
+    /// The graph this entry describes.
+    pub graph: GraphId,
+    /// The graph's period.
+    pub period: Nanos,
+    /// The graph's earliest start time.
+    pub est: Nanos,
+    /// Number of copies in one hyperperiod (Γ ÷ period).
+    pub copies: u64,
+}
+
+impl AssociationEntry {
+    /// Release instant of copy `k` (the EST of that activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.copies`.
+    pub fn release(&self, k: u64) -> Nanos {
+        assert!(k < self.copies, "copy index out of range");
+        self.est + self.period * k
+    }
+
+    /// Translates a copy-0 instant to the corresponding copy-`k` instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.copies`.
+    pub fn instant(&self, copy0_instant: Nanos, k: u64) -> Nanos {
+        assert!(k < self.copies, "copy index out of range");
+        copy0_instant + self.period * k
+    }
+}
+
+/// The association array for a specification: one entry per task graph.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_model::{ExecutionTimes, Nanos, SystemSpec, Task, TaskGraphBuilder};
+/// use crusade_sched::AssociationArray;
+///
+/// # fn main() -> Result<(), crusade_model::ValidateSpecError> {
+/// let mut fast = TaskGraphBuilder::new("fast", Nanos::from_micros(25));
+/// fast.add_task(Task::new("t", ExecutionTimes::uniform(1, Nanos::from_micros(1))));
+/// let mut slow = TaskGraphBuilder::new("slow", Nanos::from_micros(100));
+/// slow.add_task(Task::new("t", ExecutionTimes::uniform(1, Nanos::from_micros(1))));
+/// let spec = SystemSpec::new(vec![fast.build()?, slow.build()?]);
+/// let arr = AssociationArray::build(&spec)?;
+/// assert_eq!(arr.hyperperiod(), Nanos::from_micros(100));
+/// assert_eq!(arr.entry(crusade_model::GraphId::new(0)).copies, 4);
+/// assert_eq!(arr.total_copies(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssociationArray {
+    gamma: Nanos,
+    entries: Vec<AssociationEntry>,
+}
+
+impl AssociationArray {
+    /// Builds the array for a specification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hyperperiod computation failures (empty spec, overflow).
+    pub fn build(spec: &SystemSpec) -> Result<Self, ValidateSpecError> {
+        let gamma = spec.hyperperiod()?;
+        let entries = spec
+            .graphs()
+            .map(|(id, g)| AssociationEntry {
+                graph: id,
+                period: g.period(),
+                est: g.est(),
+                copies: hyperperiod::copies(gamma, g.period()),
+            })
+            .collect();
+        Ok(AssociationArray { gamma, entries })
+    }
+
+    /// The hyperperiod Γ.
+    pub fn hyperperiod(&self) -> Nanos {
+        self.gamma
+    }
+
+    /// The entry for one graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` is out of range.
+    pub fn entry(&self, graph: GraphId) -> &AssociationEntry {
+        &self.entries[graph.index()]
+    }
+
+    /// Iterates over all entries.
+    pub fn entries(&self) -> impl Iterator<Item = &AssociationEntry> {
+        self.entries.iter()
+    }
+
+    /// Total number of task-graph copies across the hyperperiod — the
+    /// quantity a naive unrolling approach would have to materialise.
+    pub fn total_copies(&self) -> u64 {
+        self.entries.iter().map(|e| e.copies).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusade_model::{ExecutionTimes, Task, TaskGraphBuilder};
+
+    fn spec(periods_us: &[u64]) -> SystemSpec {
+        let graphs = periods_us
+            .iter()
+            .map(|&p| {
+                let mut b = TaskGraphBuilder::new(format!("g{p}"), Nanos::from_micros(p));
+                b.add_task(Task::new(
+                    "t",
+                    ExecutionTimes::uniform(1, Nanos::from_micros(1)),
+                ));
+                b.build().unwrap()
+            })
+            .collect();
+        SystemSpec::new(graphs)
+    }
+
+    #[test]
+    fn copies_multiply_out() {
+        let arr = AssociationArray::build(&spec(&[25, 50, 100])).unwrap();
+        assert_eq!(arr.hyperperiod(), Nanos::from_micros(100));
+        let copies: Vec<u64> = arr.entries().map(|e| e.copies).collect();
+        assert_eq!(copies, vec![4, 2, 1]);
+        assert_eq!(arr.total_copies(), 7);
+    }
+
+    #[test]
+    fn release_instants() {
+        let arr = AssociationArray::build(&spec(&[25, 100])).unwrap();
+        let e = arr.entry(GraphId::new(0));
+        assert_eq!(e.release(0), Nanos::ZERO);
+        assert_eq!(e.release(3), Nanos::from_micros(75));
+        assert_eq!(
+            e.instant(Nanos::from_micros(7), 2),
+            Nanos::from_micros(57)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn copy_index_bounds_checked() {
+        let arr = AssociationArray::build(&spec(&[25, 100])).unwrap();
+        let _ = arr.entry(GraphId::new(0)).release(4);
+    }
+
+    #[test]
+    fn multirate_scale_matches_paper() {
+        // 25us against 1 minute: 2.4 million copies that are never
+        // materialised.
+        let arr = AssociationArray::build(&spec(&[25, 60_000_000])).unwrap();
+        assert_eq!(arr.entry(GraphId::new(0)).copies, 2_400_000);
+    }
+}

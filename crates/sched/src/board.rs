@@ -1,0 +1,256 @@
+//! The schedule board: all resource timelines of a candidate architecture.
+//!
+//! Co-synthesis builds the schedule *incrementally*: each time the inner
+//! loop tries an allocation, the new cluster's tasks and edges are placed
+//! on the board; if the allocation is rejected the placements are removed
+//! again. The board maps opaque resource ids (assigned by the architecture
+//! model in `crusade-core`) to [`Timeline`]s and keeps a reverse index from
+//! occupant to placement for O(1) window lookups.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crusade_model::Nanos;
+
+use crate::{Occupant, PeriodicInterval, Timeline, Window};
+
+/// Identifies one schedulable resource (a PE mode's execution engine or a
+/// link) on a [`ScheduleBoard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ResourceId(u32);
+
+impl ResourceId {
+    /// Creates a resource id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        ResourceId(index as u32)
+    }
+
+    /// Raw index into the board's timeline list.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// All timelines of a candidate architecture plus the occupant index.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_model::{GlobalTaskId, GraphId, Nanos, TaskId};
+/// use crusade_sched::{Occupant, ScheduleBoard};
+///
+/// let mut board = ScheduleBoard::new();
+/// let cpu = board.add_resource();
+/// let t = Occupant::Task(GlobalTaskId::new(GraphId::new(0), TaskId::new(0)));
+/// let start = board
+///     .place(cpu, t, Nanos::ZERO, Nanos::from_micros(10), Nanos::from_micros(100), Nanos::MAX)
+///     .unwrap();
+/// assert_eq!(start, Nanos::ZERO);
+/// assert_eq!(board.window(t).unwrap().finish, Nanos::from_micros(10));
+/// assert_eq!(board.resource_of(t), Some(cpu));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScheduleBoard {
+    timelines: Vec<Timeline>,
+    index: HashMap<Occupant, (ResourceId, PeriodicInterval)>,
+}
+
+impl ScheduleBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        ScheduleBoard::default()
+    }
+
+    /// Registers a new resource and returns its id.
+    pub fn add_resource(&mut self) -> ResourceId {
+        let id = ResourceId::new(self.timelines.len());
+        self.timelines.push(Timeline::new());
+        id
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.timelines.len()
+    }
+
+    /// Read access to one timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn timeline(&self, id: ResourceId) -> &Timeline {
+        &self.timelines[id.index()]
+    }
+
+    /// Places `occupant` on `resource` at the earliest feasible start, as
+    /// in [`Timeline::place`]. Returns the chosen start, or `None` when it
+    /// does not fit by `limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupant` is already placed (remove it first) or the
+    /// resource id is unknown.
+    pub fn place(
+        &mut self,
+        resource: ResourceId,
+        occupant: Occupant,
+        ready: Nanos,
+        duration: Nanos,
+        period: Nanos,
+        limit: Nanos,
+    ) -> Option<Nanos> {
+        assert!(
+            !self.index.contains_key(&occupant),
+            "occupant {occupant} is already placed"
+        );
+        let start = self.timelines[resource.index()].place(
+            occupant, ready, duration, period, limit,
+        )?;
+        self.index.insert(
+            occupant,
+            (resource, PeriodicInterval::new(start, duration, period)),
+        );
+        Some(start)
+    }
+
+    /// Dry-run variant of [`place`](Self::place): the start that would be
+    /// chosen, without mutating anything.
+    pub fn find_slot(
+        &self,
+        resource: ResourceId,
+        ready: Nanos,
+        duration: Nanos,
+        period: Nanos,
+        limit: Nanos,
+    ) -> Option<Nanos> {
+        self.timelines[resource.index()].find_slot(ready, duration, period, limit)
+    }
+
+    /// Records an occupancy on a *spatial* resource without collision
+    /// checking (see [`Timeline::record`]): hardware tasks that execute in
+    /// parallel on the same device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupant` is already placed or the resource id is
+    /// unknown.
+    pub fn record(
+        &mut self,
+        resource: ResourceId,
+        occupant: Occupant,
+        interval: PeriodicInterval,
+    ) {
+        assert!(
+            !self.index.contains_key(&occupant),
+            "occupant {occupant} is already placed"
+        );
+        self.timelines[resource.index()].record(occupant, interval);
+        self.index.insert(occupant, (resource, interval));
+    }
+
+    /// Removes an occupant's placement; returns `true` if it was placed.
+    pub fn remove(&mut self, occupant: Occupant) -> bool {
+        match self.index.remove(&occupant) {
+            Some((resource, _)) => {
+                self.timelines[resource.index()].remove(occupant);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The copy-0 window of a placed occupant.
+    pub fn window(&self, occupant: Occupant) -> Option<Window> {
+        self.index
+            .get(&occupant)
+            .map(|(_, iv)| Window::new(iv.start(), iv.finish()))
+    }
+
+    /// The periodic interval of a placed occupant.
+    pub fn interval(&self, occupant: Occupant) -> Option<&PeriodicInterval> {
+        self.index.get(&occupant).map(|(_, iv)| iv)
+    }
+
+    /// Which resource an occupant is placed on.
+    pub fn resource_of(&self, occupant: Occupant) -> Option<ResourceId> {
+        self.index.get(&occupant).map(|(r, _)| *r)
+    }
+
+    /// Iterates over all placements as `(occupant, resource, interval)`.
+    pub fn placements(
+        &self,
+    ) -> impl Iterator<Item = (Occupant, ResourceId, &PeriodicInterval)> {
+        self.index.iter().map(|(o, (r, iv))| (*o, *r, iv))
+    }
+
+    /// Total number of placed occupants.
+    pub fn placement_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusade_model::{GlobalTaskId, GraphId, TaskId};
+
+    fn occ(i: usize) -> Occupant {
+        Occupant::Task(GlobalTaskId::new(GraphId::new(0), TaskId::new(i)))
+    }
+
+    fn ns(v: u64) -> Nanos {
+        Nanos::from_nanos(v)
+    }
+
+    #[test]
+    fn place_and_lookup() {
+        let mut b = ScheduleBoard::new();
+        let r0 = b.add_resource();
+        let r1 = b.add_resource();
+        b.place(r0, occ(0), ns(0), ns(10), ns(100), Nanos::MAX).unwrap();
+        b.place(r1, occ(1), ns(0), ns(10), ns(100), Nanos::MAX).unwrap();
+        assert_eq!(b.resource_of(occ(0)), Some(r0));
+        assert_eq!(b.resource_of(occ(1)), Some(r1));
+        assert_eq!(b.window(occ(1)).unwrap().start, ns(0)); // independent resources
+        assert_eq!(b.placement_count(), 2);
+        assert_eq!(b.resource_count(), 2);
+    }
+
+    #[test]
+    fn remove_clears_both_indexes() {
+        let mut b = ScheduleBoard::new();
+        let r0 = b.add_resource();
+        b.place(r0, occ(0), ns(0), ns(10), ns(100), Nanos::MAX).unwrap();
+        assert!(b.remove(occ(0)));
+        assert!(!b.remove(occ(0)));
+        assert_eq!(b.window(occ(0)), None);
+        assert!(b.timeline(r0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn double_placement_panics() {
+        let mut b = ScheduleBoard::new();
+        let r0 = b.add_resource();
+        b.place(r0, occ(0), ns(0), ns(10), ns(100), Nanos::MAX).unwrap();
+        let _ = b.place(r0, occ(0), ns(50), ns(10), ns(100), Nanos::MAX);
+    }
+
+    #[test]
+    fn failed_place_leaves_no_trace() {
+        let mut b = ScheduleBoard::new();
+        let r0 = b.add_resource();
+        b.place(r0, occ(0), ns(0), ns(90), ns(100), Nanos::MAX).unwrap();
+        assert_eq!(b.place(r0, occ(1), ns(0), ns(20), ns(100), Nanos::MAX), None);
+        assert_eq!(b.window(occ(1)), None);
+        assert_eq!(b.placement_count(), 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Finish-time estimation (the paper's performance-evaluation step).
+//!
+//! With the help of the scheduler, the finish time of each task and edge is
+//! estimated using a longest-path computation; afterwards the given
+//! deadlines are checked. Entities that are already placed on a timeline
+//! contribute their *actual* start/finish instants; entities not yet
+//! allocated contribute estimates, so partial architectures can be
+//! evaluated (and bad allocations rejected) early.
+
+use crusade_model::{EdgeId, Nanos, TaskGraph, TaskId};
+
+/// The actual placement of a task or edge on a timeline: absolute start and
+/// finish instants of its first (copy-0) occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Start instant.
+    pub start: Nanos,
+    /// Finish instant (exclusive).
+    pub finish: Nanos,
+}
+
+impl Window {
+    /// Creates a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `finish < start`.
+    pub fn new(start: Nanos, finish: Nanos) -> Self {
+        assert!(finish >= start, "window finishes before it starts");
+        Window { start, finish }
+    }
+}
+
+/// Estimates the worst-case finish time of every task in `graph`.
+///
+/// * `placed_task(t)` / `placed_edge(e)` return the actual window when the
+///   entity is already scheduled;
+/// * `exec_est(t)` / `comm_est(e)` supply estimates otherwise.
+///
+/// Returns per-task finish times. The estimate is a forward longest-path
+/// sweep: an unplaced task starts when all its inputs are available (or at
+/// the graph EST) and runs for its estimated execution time.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_model::{ExecutionTimes, Nanos, Task, TaskGraphBuilder};
+/// use crusade_sched::estimate_finish_times;
+///
+/// # fn main() -> Result<(), crusade_model::ValidateSpecError> {
+/// let mut b = TaskGraphBuilder::new("chain", Nanos::from_micros(100));
+/// let a = b.add_task(Task::new("a", ExecutionTimes::uniform(1, Nanos::from_micros(10))));
+/// let z = b.add_task(Task::new("z", ExecutionTimes::uniform(1, Nanos::from_micros(20))));
+/// b.add_edge(a, z, 64);
+/// let g = b.build()?;
+/// let finishes = estimate_finish_times(
+///     &g,
+///     |_| None,
+///     |t| g.task(t).exec.slowest().unwrap(),
+///     |_| None,
+///     |_| Nanos::from_micros(5),
+/// );
+/// assert_eq!(finishes[z.index()], Nanos::from_micros(35));
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate_finish_times<PT, ET, PE, CE>(
+    graph: &TaskGraph,
+    placed_task: PT,
+    exec_est: ET,
+    placed_edge: PE,
+    comm_est: CE,
+) -> Vec<Nanos>
+where
+    PT: Fn(TaskId) -> Option<Window>,
+    ET: Fn(TaskId) -> Nanos,
+    PE: Fn(EdgeId) -> Option<Window>,
+    CE: Fn(EdgeId) -> Nanos,
+{
+    let mut finish = vec![Nanos::ZERO; graph.task_count()];
+    for &t in graph.topological_order() {
+        if let Some(w) = placed_task(t) {
+            finish[t.index()] = w.finish;
+            continue;
+        }
+        let mut ready = graph.est();
+        for (eid, edge) in graph.predecessors(t) {
+            let arrival = match placed_edge(eid) {
+                Some(w) => w.finish,
+                None => finish[edge.from.index()] + comm_est(eid),
+            };
+            ready = ready.max(arrival);
+        }
+        finish[t.index()] = ready + exec_est(t);
+    }
+    finish
+}
+
+/// Latest-finish times: the backward counterpart of
+/// [`estimate_finish_times`].
+///
+/// `lf(t)` is the latest instant task `t` may finish while every downstream
+/// deadline can still be met assuming the *estimated* execution and
+/// communication times for the remaining path. The allocator uses
+/// `lf(t) − exec(t)` as the latest admissible start when searching a
+/// timeline, and as the trigger for attempting preemption.
+///
+/// Tasks with no deadline anywhere downstream get [`Nanos::MAX`].
+pub fn latest_finish_times<ET, CE>(graph: &TaskGraph, exec_est: ET, comm_est: CE) -> Vec<Nanos>
+where
+    ET: Fn(TaskId) -> Nanos,
+    CE: Fn(EdgeId) -> Nanos,
+{
+    let mut lf = vec![Nanos::MAX; graph.task_count()];
+    for &t in graph.topological_order().iter().rev() {
+        let mut bound = Nanos::MAX;
+        if let Some(d) = graph.effective_deadline(t) {
+            bound = bound.min(graph.est() + d);
+        }
+        for (eid, edge) in graph.successors(t) {
+            let succ = lf[edge.to.index()];
+            if succ != Nanos::MAX {
+                let need = exec_est(edge.to) + comm_est(eid);
+                bound = bound.min(succ.saturating_sub(need));
+            }
+        }
+        lf[t.index()] = bound;
+    }
+    lf
+}
+
+/// A deadline violation discovered by [`check_deadlines`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineMiss {
+    /// The violating task.
+    pub task: TaskId,
+    /// Its absolute deadline (EST + effective deadline).
+    pub deadline: Nanos,
+    /// Its estimated finish time.
+    pub finish: Nanos,
+}
+
+/// Checks every task with an effective deadline against the estimated
+/// finish times, returning all misses (empty = schedulable).
+///
+/// Deadlines are interpreted relative to the graph's release: copy 0 of a
+/// task with effective deadline *D* must finish by `EST + D`. Periodic
+/// placement makes copy-0 feasibility imply feasibility of all hyperperiod
+/// copies.
+pub fn check_deadlines(graph: &TaskGraph, finishes: &[Nanos]) -> Vec<DeadlineMiss> {
+    let mut misses = Vec::new();
+    for (t, _) in graph.tasks() {
+        if let Some(d) = graph.effective_deadline(t) {
+            let absolute = graph.est() + d;
+            let f = finishes[t.index()];
+            if f > absolute {
+                misses.push(DeadlineMiss {
+                    task: t,
+                    deadline: absolute,
+                    finish: f,
+                });
+            }
+        }
+    }
+    misses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusade_model::{ExecutionTimes, Task, TaskGraphBuilder};
+
+    fn t(us: u64) -> Task {
+        Task::new("t", ExecutionTimes::uniform(1, Nanos::from_micros(us)))
+    }
+
+    fn chain() -> (TaskGraph, TaskId, TaskId, TaskId) {
+        let mut b = TaskGraphBuilder::new("c", Nanos::from_micros(100));
+        let a = b.add_task(t(10));
+        let m = b.add_task(t(10));
+        let z = b.add_task(t(10));
+        b.add_edge(a, m, 0);
+        b.add_edge(m, z, 0);
+        let g = b.deadline(Nanos::from_micros(40)).build().unwrap();
+        (g, a, m, z)
+    }
+
+    #[test]
+    fn pure_estimate_accumulates_path() {
+        let (g, _, _, z) = chain();
+        let f = estimate_finish_times(
+            &g,
+            |_| None,
+            |t| g.task(t).exec.slowest().unwrap(),
+            |_| None,
+            |_| Nanos::from_micros(2),
+        );
+        assert_eq!(f[z.index()], Nanos::from_micros(34));
+        assert!(check_deadlines(&g, &f).is_empty());
+    }
+
+    #[test]
+    fn placed_windows_override_estimates() {
+        let (g, a, _, z) = chain();
+        // Task a actually finished late at 25us.
+        let f = estimate_finish_times(
+            &g,
+            |t| {
+                (t == a).then(|| Window::new(Nanos::from_micros(15), Nanos::from_micros(25)))
+            },
+            |t| g.task(t).exec.slowest().unwrap(),
+            |_| None,
+            |_| Nanos::ZERO,
+        );
+        assert_eq!(f[z.index()], Nanos::from_micros(45));
+        let misses = check_deadlines(&g, &f);
+        assert_eq!(misses.len(), 1);
+        assert_eq!(misses[0].task, z);
+        assert_eq!(misses[0].deadline, Nanos::from_micros(40));
+        assert_eq!(misses[0].finish, Nanos::from_micros(45));
+    }
+
+    #[test]
+    fn placed_edges_override_comm_estimates() {
+        let (g, _, _, z) = chain();
+        // First edge delivered only at 50us (slow link).
+        let f = estimate_finish_times(
+            &g,
+            |_| None,
+            |t| g.task(t).exec.slowest().unwrap(),
+            |e| (e.index() == 0).then(|| Window::new(Nanos::from_micros(10), Nanos::from_micros(50))),
+            |_| Nanos::ZERO,
+        );
+        assert_eq!(f[z.index()], Nanos::from_micros(70));
+    }
+
+    #[test]
+    fn est_shifts_everything() {
+        let mut b = TaskGraphBuilder::new("e", Nanos::from_millis(1));
+        let a = b.add_task(t(10));
+        let g = b.est(Nanos::from_micros(500)).build().unwrap();
+        let f = estimate_finish_times(
+            &g,
+            |_| None,
+            |t| g.task(t).exec.slowest().unwrap(),
+            |_| None,
+            |_| Nanos::ZERO,
+        );
+        assert_eq!(f[a.index()], Nanos::from_micros(510));
+    }
+
+    #[test]
+    #[should_panic(expected = "finishes before")]
+    fn inverted_window_rejected() {
+        let _ = Window::new(Nanos::from_micros(10), Nanos::from_micros(5));
+    }
+
+    #[test]
+    fn latest_finish_backward_pass() {
+        let (g, a, m, z) = chain();
+        let lf = latest_finish_times(
+            &g,
+            |t| g.task(t).exec.slowest().unwrap(),
+            |_| Nanos::from_micros(2),
+        );
+        // z must finish by its 40us deadline; m by 40 - 10 - 2 = 28; a by 16.
+        assert_eq!(lf[z.index()], Nanos::from_micros(40));
+        assert_eq!(lf[m.index()], Nanos::from_micros(28));
+        assert_eq!(lf[a.index()], Nanos::from_micros(16));
+    }
+
+    #[test]
+    fn latest_finish_honours_intermediate_deadlines() {
+        let mut b = TaskGraphBuilder::new("mid", Nanos::from_millis(1));
+        let a = b.add_task(t(10));
+        let mut mid = t(10);
+        mid.deadline = Some(Nanos::from_micros(25));
+        let m = b.add_task(mid);
+        let z = b.add_task(t(10));
+        b.add_edge(a, m, 0);
+        b.add_edge(m, z, 0);
+        let g = b.deadline(Nanos::from_micros(500)).build().unwrap();
+        let lf = latest_finish_times(
+            &g,
+            |t| g.task(t).exec.slowest().unwrap(),
+            |_| Nanos::ZERO,
+        );
+        assert_eq!(lf[m.index()], Nanos::from_micros(25));
+        assert_eq!(lf[a.index()], Nanos::from_micros(15));
+        assert_eq!(lf[z.index()], Nanos::from_micros(500));
+    }
+
+    #[test]
+    fn latest_finish_without_deadline_is_unbounded() {
+        // A task with a successor that carries no deadline path would be
+        // unbounded, but sinks always inherit the graph deadline, so only
+        // an isolated analysis exposes MAX; emulate by giving the graph a
+        // huge deadline and checking monotonicity instead.
+        let (g, a, m, z) = chain();
+        let lf = latest_finish_times(&g, |_| Nanos::ZERO, |_| Nanos::ZERO);
+        assert!(lf[a.index()] <= lf[m.index()]);
+        assert!(lf[m.index()] <= lf[z.index()]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Identities of schedule occupants.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crusade_model::{GlobalEdgeId, GlobalTaskId};
+
+/// Who owns a busy interval on a timeline.
+///
+/// Tasks occupy PE (mode) timelines, edges occupy link timelines, and
+/// `Reboot` intervals occupy a programmable PE while it is being
+/// reconfigured between modes (the paper's `reboot_task`, Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Occupant {
+    /// A task copy executing on a PE.
+    Task(GlobalTaskId),
+    /// A message transfer on a link.
+    Edge(GlobalEdgeId),
+    /// A reconfiguration of a programmable PE entering the given mode.
+    Reboot {
+        /// Index of the PE instance in the architecture.
+        pe_instance: u32,
+        /// The mode being loaded.
+        mode: u32,
+    },
+    /// The processor-side cost of a message transfer: when a CPU has no
+    /// communication coprocessor (`comm_overlap == false`), it is busy
+    /// driving the link for the transfer's duration and this occupant
+    /// claims that time on the CPU's own timeline (`receiver` tells the
+    /// sending and receiving ends apart).
+    CpuTransfer {
+        /// The transfer being driven.
+        edge: GlobalEdgeId,
+        /// `true` on the consuming CPU, `false` on the producing one.
+        receiver: bool,
+    },
+}
+
+impl fmt::Display for Occupant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Occupant::Task(t) => write!(f, "task {t}"),
+            Occupant::Edge(e) => write!(f, "edge {e}"),
+            Occupant::Reboot { pe_instance, mode } => {
+                write!(f, "reboot pe#{pe_instance} mode {mode}")
+            }
+            Occupant::CpuTransfer { edge, receiver } => {
+                write!(f, "cpu-{} {edge}", if *receiver { "rx" } else { "tx" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusade_model::{EdgeId, GraphId, TaskId};
+
+    #[test]
+    fn display_forms() {
+        let t = Occupant::Task(GlobalTaskId::new(GraphId::new(1), TaskId::new(2)));
+        assert_eq!(t.to_string(), "task g1.t2");
+        let e = Occupant::Edge(GlobalEdgeId::new(GraphId::new(0), EdgeId::new(3)));
+        assert_eq!(e.to_string(), "edge g0.e3");
+        let r = Occupant::Reboot {
+            pe_instance: 4,
+            mode: 1,
+        };
+        assert_eq!(r.to_string(), "reboot pe#4 mode 1");
+    }
+
+    #[test]
+    fn cpu_transfer_distinct_from_edge() {
+        let e = GlobalEdgeId::new(GraphId::new(0), EdgeId::new(1));
+        let tx = Occupant::CpuTransfer { edge: e, receiver: false };
+        let rx = Occupant::CpuTransfer { edge: e, receiver: true };
+        assert_ne!(Occupant::Edge(e), tx);
+        assert_ne!(tx, rx);
+        assert_eq!(tx.to_string(), "cpu-tx g0.e1");
+        assert_eq!(rx.to_string(), "cpu-rx g0.e1");
+    }
+
+    #[test]
+    fn equality_distinguishes_kinds() {
+        let t = Occupant::Task(GlobalTaskId::new(GraphId::new(0), TaskId::new(0)));
+        let r = Occupant::Reboot {
+            pe_instance: 0,
+            mode: 0,
+        };
+        assert_ne!(t, r);
+    }
+}

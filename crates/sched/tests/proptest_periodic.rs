@@ -1,0 +1,153 @@
+//! Property-based validation of the periodic-interval scheduler.
+//!
+//! The association-array scheduling shortcut is only sound if the O(1)
+//! collision predicate agrees with naive unrolling of all task copies over
+//! the hyperperiod. These tests check that equivalence exhaustively on
+//! randomly drawn interval pairs, plus timeline-level invariants.
+
+use crusade_model::{GlobalTaskId, GraphId, Nanos, TaskId};
+use crusade_sched::{Occupant, PeriodicInterval, ScheduleBoard, Timeline};
+use proptest::prelude::*;
+
+/// Naive ground truth: unroll both intervals over one common hyperperiod
+/// (plus guard copies either side) and test every pair of occurrences.
+fn naive_collides(s1: u64, d1: u64, p1: u64, s2: u64, d2: u64, p2: u64) -> bool {
+    let g = {
+        let (mut a, mut b) = (p1, p2);
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    };
+    let gamma = p1 / g * p2;
+    for k1 in 0..(gamma / p1) {
+        for k2 in 0..(gamma / p2) {
+            for shift in [-(gamma as i128), 0, gamma as i128] {
+                let a0 = (s1 + k1 * p1) as i128;
+                let b0 = (s2 + k2 * p2) as i128 + shift;
+                if a0 < b0 + d2 as i128 && b0 < a0 + d1 as i128 {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Strategy producing a (start, duration, period) triple with period drawn
+/// from divisors of a small hyperperiod so that cross-period gcds vary.
+fn interval() -> impl Strategy<Value = (u64, u64, u64)> {
+    // Periods from a menu with interesting gcd structure.
+    let periods = prop::sample::select(vec![6u64, 8, 12, 18, 20, 24, 30, 36, 60]);
+    periods.prop_flat_map(|p| {
+        (0..p, 1..=p).prop_map(move |(s, d)| (s, d, p))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// The O(1) collision predicate agrees with naive unrolling.
+    #[test]
+    fn collision_matches_naive((s1, d1, p1) in interval(), (s2, d2, p2) in interval()) {
+        let a = PeriodicInterval::new(
+            Nanos::from_nanos(s1), Nanos::from_nanos(d1), Nanos::from_nanos(p1));
+        let b = PeriodicInterval::new(
+            Nanos::from_nanos(s2), Nanos::from_nanos(d2), Nanos::from_nanos(p2));
+        prop_assert_eq!(a.collides(&b), naive_collides(s1, d1, p1, s2, d2, p2));
+        // Symmetry.
+        prop_assert_eq!(a.collides(&b), b.collides(&a));
+    }
+
+    /// earliest_clear returns a non-colliding start no earlier than `from`,
+    /// and the interval (from, earliest) contains no feasible start it
+    /// skipped over (checked by sampling).
+    #[test]
+    fn earliest_clear_is_sound((s1, d1, p1) in interval(), (s2, d2, p2) in interval(), from in 0u64..64) {
+        let probe = PeriodicInterval::new(
+            Nanos::from_nanos(s1), Nanos::from_nanos(d1), Nanos::from_nanos(p1));
+        let other = PeriodicInterval::new(
+            Nanos::from_nanos(s2), Nanos::from_nanos(d2), Nanos::from_nanos(p2));
+        match probe.earliest_clear(&other, Nanos::from_nanos(from)) {
+            Some(t) => {
+                prop_assert!(t >= Nanos::from_nanos(from));
+                let placed = PeriodicInterval::new(t, probe.duration(), probe.period());
+                prop_assert!(!placed.collides(&other));
+                // Minimality: every earlier start collides.
+                for earlier in from..t.as_nanos() {
+                    let e = PeriodicInterval::new(
+                        Nanos::from_nanos(earlier), probe.duration(), probe.period());
+                    prop_assert!(e.collides(&other), "skipped feasible start {earlier}");
+                }
+            }
+            None => {
+                // Infeasible forever: durations must jointly exceed the gcd.
+                let g = {
+                    let (mut a, mut b) = (p1, p2);
+                    while b != 0 { let t = a % b; a = b; b = t; }
+                    a
+                };
+                prop_assert!(d1 + d2 > g);
+            }
+        }
+    }
+
+    /// No two occupants of a timeline ever collide, whatever the placement
+    /// order; and placements never start before their ready time.
+    #[test]
+    fn timeline_placements_disjoint(
+        requests in prop::collection::vec(
+            (0u64..48, 1u64..12, prop::sample::select(vec![12u64, 24, 48]), 0u64..48),
+            1..12,
+        )
+    ) {
+        let mut tl = Timeline::new();
+        let mut placed = Vec::new();
+        for (i, (_, d, p, ready)) in requests.iter().enumerate() {
+            let occ = Occupant::Task(GlobalTaskId::new(GraphId::new(0), TaskId::new(i)));
+            if let Some(start) = tl.place(
+                occ,
+                Nanos::from_nanos(*ready),
+                Nanos::from_nanos(*d),
+                Nanos::from_nanos(*p),
+                Nanos::MAX,
+            ) {
+                prop_assert!(start >= Nanos::from_nanos(*ready));
+                placed.push(PeriodicInterval::new(start, Nanos::from_nanos(*d), Nanos::from_nanos(*p)));
+            }
+        }
+        for i in 0..placed.len() {
+            for j in (i + 1)..placed.len() {
+                prop_assert!(!placed[i].collides(&placed[j]));
+            }
+        }
+    }
+
+    /// Board-level bookkeeping: remove undoes place exactly.
+    #[test]
+    fn board_place_remove_roundtrip(
+        requests in prop::collection::vec((1u64..10, prop::sample::select(vec![20u64, 40])), 1..8)
+    ) {
+        let mut board = ScheduleBoard::new();
+        let r = board.add_resource();
+        let mut occs = Vec::new();
+        for (i, (d, p)) in requests.iter().enumerate() {
+            let occ = Occupant::Task(GlobalTaskId::new(GraphId::new(1), TaskId::new(i)));
+            if board
+                .place(r, occ, Nanos::ZERO, Nanos::from_nanos(*d), Nanos::from_nanos(*p), Nanos::MAX)
+                .is_some()
+            {
+                occs.push(occ);
+            }
+        }
+        let count = board.placement_count();
+        prop_assert_eq!(count, occs.len());
+        for occ in &occs {
+            prop_assert!(board.remove(*occ));
+        }
+        prop_assert_eq!(board.placement_count(), 0);
+        prop_assert!(board.timeline(r).is_empty());
+    }
+}

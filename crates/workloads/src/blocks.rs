@@ -1,0 +1,286 @@
+//! Graph building blocks for the synthetic telecom workloads.
+//!
+//! The paper's field task graphs come from SONET/ATM transport, video
+//! distribution and cellular base stations; their recurring shapes are
+//! datapath pipelines mapped to hardware (framing, cell processing, MPEG
+//! stages), control/provisioning chains in software, and line-interface
+//! functions bound to specific ASICs. These blocks generate those shapes
+//! with seeded randomness.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crusade_model::{
+    ExecutionTimes, HwDemand, MemoryVector, Nanos, PeTypeId, Preference, Task, TaskGraph,
+    TaskGraphBuilder,
+};
+
+use crate::library::PaperLibrary;
+
+/// Execution vector of a software task: `base` scaled by each CPU's speed
+/// factor.
+pub fn cpu_exec(lib: &PaperLibrary, base: Nanos) -> ExecutionTimes {
+    ExecutionTimes::from_entries(
+        lib.lib.pe_count(),
+        lib.cpus.iter().zip(&lib.cpu_speed).map(|(&id, &s)| {
+            (id, Nanos::from_nanos((base.as_nanos() as f64 * s) as u64).max(Nanos::from_nanos(1)))
+        }),
+    )
+}
+
+/// Execution vector of an FPGA task: `base` scaled per device family.
+pub fn fpga_exec(lib: &PaperLibrary, base: Nanos) -> ExecutionTimes {
+    ExecutionTimes::from_entries(
+        lib.lib.pe_count(),
+        lib.fpgas.iter().zip(&lib.fpga_speed).map(|(&id, &s)| {
+            (id, Nanos::from_nanos((base.as_nanos() as f64 * s) as u64).max(Nanos::from_nanos(1)))
+        }),
+    )
+}
+
+/// Execution vector of a task bound to one specific ASIC.
+pub fn asic_exec(lib: &PaperLibrary, asic: PeTypeId, base: Nanos) -> ExecutionTimes {
+    ExecutionTimes::from_entries(lib.lib.pe_count(), [(asic, base)])
+}
+
+/// A software control/provisioning chain: `n` tasks, occasional fan-out
+/// side branches, CPU-only execution.
+///
+/// Deadline defaults to 80 % of the period.
+pub fn sw_pipeline(
+    lib: &PaperLibrary,
+    rng: &mut SmallRng,
+    name: &str,
+    n: usize,
+    period: Nanos,
+) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new(name, period);
+    let base_lo = period.as_nanos() / (n as u64 * 40).max(1);
+    let mut spine = Vec::new();
+    for i in 0..n {
+        let base = Nanos::from_nanos(rng.gen_range(base_lo.max(500)..=base_lo.max(500) * 3));
+        let mut t = Task::new(format!("{name}-sw{i}"), cpu_exec(lib, base));
+        t.error_transparent = rng.gen_bool(0.2);
+        t.memory = MemoryVector::new(
+            rng.gen_range(2_000..20_000),
+            rng.gen_range(500..8_000),
+            rng.gen_range(200..2_000),
+        );
+        let id = b.add_task(t);
+        if let Some(&prev) = spine.last() {
+            // Mostly a chain; sometimes branch from an earlier task.
+            let from = if spine.len() > 2 && rng.gen_bool(0.25) {
+                spine[rng.gen_range(0..spine.len() - 1)]
+            } else {
+                prev
+            };
+            b.add_edge(from, id, rng.gen_range(32..1024));
+        }
+        spine.push(id);
+    }
+    b.deadline(period * 4 / 5).build().expect("generated graph is a DAG")
+}
+
+/// A hardware datapath pipeline (framing / cell processing / codec
+/// stages): FPGA-preferring tasks with PFU demand, executing inside the
+/// window `[est, est + span)` of each period.
+#[allow(clippy::too_many_arguments)]
+pub fn hw_pipeline(
+    lib: &PaperLibrary,
+    rng: &mut SmallRng,
+    name: &str,
+    n: usize,
+    period: Nanos,
+    est: Nanos,
+    span: Nanos,
+    pfus_total: u32,
+) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new(name, period);
+    // Keep the worst-case path at ~65 % of the span: base ~ span/2n and
+    // the slowest family factor is 1.3.
+    let per_task = (span.as_nanos() / (2 * n as u64)).max(200);
+    let mut prev = None;
+    for i in 0..n {
+        let base = Nanos::from_nanos(rng.gen_range(per_task / 2..=per_task));
+        let mut t = Task::new(format!("{name}-hw{i}"), fpga_exec(lib, base));
+        t.preference = Preference::Only(lib.fpgas.clone());
+        let pfus = (pfus_total / n as u32).max(8);
+        t.hw = HwDemand::new(0, pfus, pfus, rng.gen_range(2..8));
+        // Datapath stages commonly forward corrupt data unchanged, letting
+        // CRUSADE-FT share a downstream check (error transparency).
+        t.error_transparent = rng.gen_bool(0.45);
+        let id = b.add_task(t);
+        if let Some(p) = prev {
+            b.add_edge(p, id, rng.gen_range(64..2048));
+        }
+        prev = Some(id);
+    }
+    b.est(est).deadline(span).build().expect("generated graph is a DAG")
+}
+
+/// A small control-glue block on CPLDs (protection switching, scan
+/// control): like a hardware pipeline but preferring the CPLD types.
+pub fn cpld_glue(
+    lib: &PaperLibrary,
+    rng: &mut SmallRng,
+    name: &str,
+    n: usize,
+    period: Nanos,
+    est: Nanos,
+    span: Nanos,
+) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new(name, period);
+    let per_task = (span.as_nanos() / (2 * n as u64)).max(200);
+    let mut prev = None;
+    for i in 0..n {
+        let base = Nanos::from_nanos(rng.gen_range(per_task / 2..=per_task));
+        let exec = ExecutionTimes::from_entries(
+            lib.lib.pe_count(),
+            lib.cplds.iter().map(|&id| (id, base)),
+        );
+        let mut t = Task::new(format!("{name}-pld{i}"), exec);
+        t.preference = Preference::Only(lib.cplds.clone());
+        t.hw = HwDemand::new(0, rng.gen_range(8..24), rng.gen_range(8..24), rng.gen_range(2..6));
+        let id = b.add_task(t);
+        if let Some(p) = prev {
+            b.add_edge(p, id, rng.gen_range(16..128));
+        }
+        prev = Some(id);
+    }
+    b.est(est).deadline(span).build().expect("generated graph is a DAG")
+}
+
+/// A line-interface function bound to a specific ASIC, bracketed by
+/// software pre/post-processing: CPU → ASIC stages → CPU.
+pub fn asic_interface(
+    lib: &PaperLibrary,
+    rng: &mut SmallRng,
+    name: &str,
+    n: usize,
+    asic: PeTypeId,
+    period: Nanos,
+) -> TaskGraph {
+    assert!(n >= 3, "needs at least ingress, datapath and egress tasks");
+    let mut b = TaskGraphBuilder::new(name, period);
+    let sw_base = Nanos::from_nanos((period.as_nanos() / 50).clamp(1_000, 100_000));
+    let hw_base = Nanos::from_nanos((period.as_nanos() / 80).clamp(500, 50_000));
+    let mut ingress = Task::new(format!("{name}-in"), cpu_exec(lib, sw_base));
+    ingress.memory = MemoryVector::new(4_000, 1_000, 400);
+    let mut prev = b.add_task(ingress);
+    for i in 0..n - 2 {
+        let mut t = Task::new(
+            format!("{name}-asic{i}"),
+            asic_exec(lib, asic, hw_base),
+        );
+        t.preference = Preference::Only(vec![asic]);
+        t.hw = HwDemand::new(
+            rng.gen_range(3_000..12_000),
+            0,
+            0,
+            rng.gen_range(4..16),
+        );
+        let id = b.add_task(t);
+        b.add_edge(prev, id, rng.gen_range(128..4096));
+        prev = id;
+    }
+    let mut egress = Task::new(format!("{name}-out"), cpu_exec(lib, sw_base));
+    egress.memory = MemoryVector::new(4_000, 1_000, 400);
+    let id = b.add_task(egress);
+    b.add_edge(prev, id, rng.gen_range(128..4096));
+    b.deadline(period * 4 / 5).build().expect("generated graph is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::paper_library;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn sw_pipeline_validates_and_sizes() {
+        let lib = paper_library();
+        let g = sw_pipeline(&lib, &mut rng(), "ctl", 12, Nanos::from_millis(10));
+        assert_eq!(g.task_count(), 12);
+        g.validate().unwrap();
+        assert_eq!(g.deadline(), Nanos::from_millis(8));
+        // Every task runs on every CPU and nothing else.
+        for (_, t) in g.tasks() {
+            assert_eq!(t.exec.iter().count(), lib.cpus.len());
+        }
+    }
+
+    #[test]
+    fn hw_pipeline_fits_its_span() {
+        let lib = paper_library();
+        let span = Nanos::from_millis(2);
+        let g = hw_pipeline(
+            &lib,
+            &mut rng(),
+            "atm",
+            6,
+            Nanos::from_millis(10),
+            Nanos::from_millis(5),
+            span,
+            600,
+        );
+        g.validate().unwrap();
+        assert_eq!(g.est(), Nanos::from_millis(5));
+        // Worst-case serial execution must stay within the span/deadline.
+        let worst: Nanos = g
+            .tasks()
+            .map(|(_, t)| t.exec.slowest().unwrap())
+            .sum();
+        assert!(worst < span, "worst path {worst} exceeds span {span}");
+        // PFU demand sums close to the request.
+        let pfus: u32 = g.tasks().map(|(_, t)| t.hw.pfus).sum();
+        assert!((500..=700).contains(&pfus), "got {pfus}");
+    }
+
+    #[test]
+    fn asic_interface_shape() {
+        let lib = paper_library();
+        let g = asic_interface(
+            &lib,
+            &mut rng(),
+            "sonet-oc3",
+            5,
+            lib.asics[3],
+            Nanos::from_millis(100),
+        );
+        assert_eq!(g.task_count(), 5);
+        g.validate().unwrap();
+        // Middle tasks are ASIC-only.
+        let mid = g.task(crusade_model::TaskId::new(2));
+        assert!(matches!(mid.preference, Preference::Only(ref v) if v == &vec![lib.asics[3]]));
+    }
+
+    #[test]
+    fn cpld_glue_prefers_cplds() {
+        let lib = paper_library();
+        let g = cpld_glue(
+            &lib,
+            &mut rng(),
+            "prot",
+            3,
+            Nanos::from_millis(10),
+            Nanos::ZERO,
+            Nanos::from_millis(1),
+        );
+        g.validate().unwrap();
+        for (_, t) in g.tasks() {
+            assert!(matches!(t.preference, Preference::Only(ref v) if v == &lib.cplds));
+        }
+    }
+
+    #[test]
+    fn blocks_are_deterministic() {
+        let lib = paper_library();
+        let a = sw_pipeline(&lib, &mut rng(), "x", 8, Nanos::from_millis(1));
+        let b = sw_pipeline(&lib, &mut rng(), "x", 8, Nanos::from_millis(1));
+        assert_eq!(a, b);
+    }
+}

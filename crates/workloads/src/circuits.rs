@@ -1,0 +1,112 @@
+//! The ten functional-block circuits of Table 1.
+//!
+//! The paper measured post-route delay growth on ten proprietary circuits
+//! (cvs1 … pewxfm, 18–84 PFUs). The PFU counts are published in the
+//! table; everything else is reconstructed: each circuit is a seeded
+//! synthetic netlist with the published PFU count and a plausible I/O and
+//! fan-out profile, mapped on a device whose routing capacity makes the
+//! baseline comfortable and full utilisation strained — the regime the
+//! experiment probes.
+
+use crusade_fabric::{Netlist, UtilisationExperiment};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Circuit {
+    /// The paper's circuit name.
+    pub name: &'static str,
+    /// PFU count from the paper.
+    pub pfus: usize,
+    /// Netlist/fill seed.
+    pub seed: u64,
+    /// Average net fan-out of the reconstruction.
+    pub fanout: f64,
+    /// Bonded I/O count of the reconstruction.
+    pub io: usize,
+    /// Routing tracks per channel of the device the circuit targets.
+    pub tracks: u32,
+}
+
+impl Table1Circuit {
+    /// The reconstructed netlist.
+    pub fn netlist(&self) -> Netlist {
+        Netlist::generate(self.seed, self.pfus, self.fanout, self.io).with_name(self.name)
+    }
+
+    /// Runs the full ERUF sweep of Table 1 at the given EPUF, returning
+    /// the delay increase (%) per ERUF point, `None` marking the paper's
+    /// "Not routable" entries.
+    pub fn run_row(&self, erufs: &[f64], epuf: f64) -> Vec<Option<f64>> {
+        let netlist = self.netlist();
+        let exp = UtilisationExperiment::new(&netlist, self.tracks, self.seed);
+        erufs
+            .iter()
+            .map(|&eruf| exp.delay_increase_percent(eruf, epuf).unwrap_or(None))
+            .collect()
+    }
+}
+
+/// The ERUF grid of Table 1.
+pub const TABLE1_ERUFS: [f64; 7] = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00];
+
+/// The EPUF used throughout Table 1.
+pub const TABLE1_EPUF: f64 = 0.80;
+
+/// All ten circuits, with the paper's PFU counts.
+pub fn table1_circuits() -> Vec<Table1Circuit> {
+    vec![
+        Table1Circuit { name: "cvs1", pfus: 18, seed: 57, fanout: 2.8, io: 8, tracks: 3 },
+        Table1Circuit { name: "cvs2", pfus: 20, seed: 31, fanout: 2.8, io: 8, tracks: 5 },
+        Table1Circuit { name: "xtrs1", pfus: 36, seed: 57, fanout: 2.0, io: 10, tracks: 5 },
+        Table1Circuit { name: "xtrs2", pfus: 40, seed: 7, fanout: 2.8, io: 12, tracks: 5 },
+        Table1Circuit { name: "rnvk", pfus: 48, seed: 31, fanout: 2.8, io: 12, tracks: 5 },
+        Table1Circuit { name: "fcsdp", pfus: 35, seed: 83, fanout: 2.8, io: 10, tracks: 5 },
+        Table1Circuit { name: "r2d2p", pfus: 46, seed: 31, fanout: 2.0, io: 12, tracks: 4 },
+        Table1Circuit { name: "cv46", pfus: 74, seed: 19, fanout: 2.8, io: 14, tracks: 5 },
+        Table1Circuit { name: "wamxp", pfus: 84, seed: 31, fanout: 2.4, io: 16, tracks: 5 },
+        Table1Circuit { name: "pewxfm", pfus: 47, seed: 19, fanout: 2.8, io: 12, tracks: 5 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pfu_counts_match_the_paper() {
+        let expected = [
+            ("cvs1", 18),
+            ("cvs2", 20),
+            ("xtrs1", 36),
+            ("xtrs2", 40),
+            ("rnvk", 48),
+            ("fcsdp", 35),
+            ("r2d2p", 46),
+            ("cv46", 74),
+            ("wamxp", 84),
+            ("pewxfm", 47),
+        ];
+        let circuits = table1_circuits();
+        assert_eq!(circuits.len(), 10);
+        for ((name, pfus), c) in expected.iter().zip(&circuits) {
+            assert_eq!(c.name, *name);
+            assert_eq!(c.pfus, *pfus);
+            assert_eq!(c.netlist().cell_count(), *pfus);
+        }
+    }
+
+    #[test]
+    fn baseline_column_is_all_zero() {
+        // Table 1's ERUF = 0.70 column is 0.0 for every circuit.
+        for c in table1_circuits() {
+            let row = c.run_row(&[0.70], TABLE1_EPUF);
+            assert_eq!(row[0], Some(0.0), "{} baseline", c.name);
+        }
+    }
+
+    #[test]
+    fn netlists_are_deterministic() {
+        let c = &table1_circuits()[2];
+        assert_eq!(c.netlist(), c.netlist());
+    }
+}

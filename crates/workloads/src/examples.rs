@@ -1,0 +1,244 @@
+//! Reconstruction of the paper's eight benchmark systems (Table 2/3).
+//!
+//! The originals — A1TR, VDRTX, HROST, EST189A, HRXC, ADMR, B192G and
+//! NG XM, between 1 126 and 7 416 tasks — are proprietary Lucent field
+//! task graphs. These generators rebuild their *statistical shape*: the
+//! same task counts, periods spanning 25 µs to one minute, a mix of
+//! hardware datapath pipelines (FPGA-bound, operating in staggered phase
+//! windows — the structure that makes dynamic reconfiguration profitable),
+//! ASIC-bound line interfaces, CPLD control glue, and software
+//! control/provisioning chains. Identical seeds produce identical
+//! specifications.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crusade_model::{Nanos, SystemConstraints, SystemSpec, TaskGraph};
+
+use crate::blocks::{asic_interface, cpld_glue, hw_pipeline, sw_pipeline};
+use crate::library::PaperLibrary;
+
+/// One of the paper's benchmark systems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperExample {
+    /// The paper's example name.
+    pub name: &'static str,
+    /// Exact task count (matches Table 2's "No. of tasks").
+    pub task_count: usize,
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+    /// Number of staggered execution phases for hardware pipelines; more
+    /// phases mean more temporal-sharing opportunity.
+    pub phases: u64,
+    /// Fraction of tasks in FPGA-bound hardware pipelines.
+    pub hw_share: f64,
+    /// Fraction of tasks in ASIC-bound line interfaces.
+    pub asic_share: f64,
+    /// Fraction of tasks in CPLD control glue.
+    pub cpld_share: f64,
+}
+
+/// The eight examples of Tables 2 and 3, with phase/share profiles chosen
+/// so the reconfiguration savings *spread* resembles the paper's
+/// (≈26 % … 57 %, larger systems generally saving more).
+pub fn paper_examples() -> Vec<PaperExample> {
+    vec![
+        PaperExample { name: "A1TR", task_count: 1126, seed: 0xA17B, phases: 3, hw_share: 0.44, asic_share: 0.10, cpld_share: 0.06 },
+        PaperExample { name: "VDRTX", task_count: 1634, seed: 0x7D47, phases: 3, hw_share: 0.33, asic_share: 0.14, cpld_share: 0.05 },
+        PaperExample { name: "HROST", task_count: 2645, seed: 0x4057, phases: 2, hw_share: 0.37, asic_share: 0.12, cpld_share: 0.06 },
+        PaperExample { name: "EST189A", task_count: 3826, seed: 0xE189, phases: 2, hw_share: 0.35, asic_share: 0.14, cpld_share: 0.05 },
+        PaperExample { name: "HRXC", task_count: 4571, seed: 0x44C1, phases: 2, hw_share: 0.32, asic_share: 0.16, cpld_share: 0.05 },
+        PaperExample { name: "ADMR", task_count: 5419, seed: 0xAD49, phases: 3, hw_share: 0.31, asic_share: 0.14, cpld_share: 0.06 },
+        PaperExample { name: "B192G", task_count: 6815, seed: 0xB192, phases: 4, hw_share: 0.38, asic_share: 0.10, cpld_share: 0.06 },
+        PaperExample { name: "NGXM", task_count: 7416, seed: 0x96F1, phases: 4, hw_share: 0.46, asic_share: 0.08, cpld_share: 0.06 },
+    ]
+}
+
+impl PaperExample {
+    /// Generates the specification against the given library.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crusade_workloads::{paper_examples, paper_library};
+    ///
+    /// let lib = paper_library();
+    /// let a1tr = &paper_examples()[0];
+    /// let spec = a1tr.build(&lib);
+    /// assert_eq!(spec.task_count(), 1126);
+    /// spec.validate().unwrap();
+    /// ```
+    pub fn build(&self, lib: &PaperLibrary) -> SystemSpec {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut graphs: Vec<TaskGraph> = Vec::new();
+        let mut remaining = self.task_count;
+        let mut hw_phase = 0u64;
+        let mut asic_idx = 0usize;
+        let mut block = 0usize;
+
+        // The HW phase structure: pipelines of one phase run inside their
+        // slot of the 100 ms frame; slots are staggered so different
+        // phases never overlap and can time-share devices.
+        let hw_period = Nanos::from_millis(100);
+        let slot = hw_period / self.phases;
+        let span = slot * 11 / 20; // 55 % duty inside the slot
+
+        // Anchor graphs covering the paper's period extremes: a 25 us
+        // cell-processing pipeline and a one-minute provisioning chain.
+        if remaining > 16 {
+            graphs.push(hw_pipeline(
+                lib,
+                &mut rng,
+                &format!("{}-cell25us", self.name),
+                4,
+                Nanos::from_micros(25),
+                Nanos::ZERO,
+                Nanos::from_micros(20),
+                120,
+            ));
+            graphs.push(sw_pipeline(
+                lib,
+                &mut rng,
+                &format!("{}-provision", self.name),
+                12,
+                Nanos::from_secs(60),
+            ));
+            remaining -= 16;
+        }
+
+        while remaining > 0 {
+            if remaining <= 3 {
+                graphs.push(sw_pipeline(
+                    lib,
+                    &mut rng,
+                    &format!("{}-tail", self.name),
+                    remaining,
+                    Nanos::from_millis(100),
+                ));
+                break;
+            }
+            block += 1;
+            let r: f64 = rng.gen();
+            if r < self.hw_share {
+                let n = rng.gen_range(4..=8).min(remaining);
+                let pfus = rng.gen_range(250..650);
+                let phase = hw_phase % self.phases;
+                hw_phase += 1;
+                graphs.push(hw_pipeline(
+                    lib,
+                    &mut rng,
+                    &format!("{}-dp{block}", self.name),
+                    n,
+                    hw_period,
+                    slot * phase,
+                    span,
+                    pfus,
+                ));
+                remaining -= n;
+            } else if r < self.hw_share + self.asic_share {
+                let n = rng.gen_range(4..=7).min(remaining).max(3);
+                let asic = lib.asics[asic_idx % lib.asics.len()];
+                asic_idx += 1;
+                graphs.push(asic_interface(
+                    lib,
+                    &mut rng,
+                    &format!("{}-line{block}", self.name),
+                    n,
+                    asic,
+                    Nanos::from_secs(1),
+                ));
+                remaining -= n;
+            } else if r < self.hw_share + self.asic_share + self.cpld_share {
+                let n = rng.gen_range(3..=5).min(remaining);
+                let phase = hw_phase % self.phases;
+                hw_phase += 1;
+                graphs.push(cpld_glue(
+                    lib,
+                    &mut rng,
+                    &format!("{}-glue{block}", self.name),
+                    n,
+                    hw_period,
+                    slot * phase,
+                    span,
+                ));
+                remaining -= n;
+            } else {
+                let n = rng.gen_range(6..=14).min(remaining);
+                let menu = [
+                    Nanos::from_millis(1),
+                    Nanos::from_millis(10),
+                    Nanos::from_millis(100),
+                    Nanos::from_secs(1),
+                ];
+                let period = menu[rng.gen_range(0..menu.len())];
+                graphs.push(sw_pipeline(
+                    lib,
+                    &mut rng,
+                    &format!("{}-ctl{block}", self.name),
+                    n,
+                    period,
+                ));
+                remaining -= n;
+            }
+        }
+
+        SystemSpec::new(graphs).with_constraints(SystemConstraints {
+            boot_time_requirement: Nanos::from_millis(5),
+            preemption_overhead: Nanos::from_micros(60),
+            average_link_ports: 4,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::paper_library;
+
+    #[test]
+    fn all_examples_have_exact_task_counts() {
+        let lib = paper_library();
+        for ex in paper_examples() {
+            let spec = ex.build(&lib);
+            assert_eq!(
+                spec.task_count(),
+                ex.task_count,
+                "task count mismatch for {}",
+                ex.name
+            );
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", ex.name));
+        }
+    }
+
+    #[test]
+    fn examples_are_deterministic() {
+        let lib = paper_library();
+        let ex = &paper_examples()[0];
+        assert_eq!(ex.build(&lib), ex.build(&lib));
+    }
+
+    #[test]
+    fn period_range_matches_paper() {
+        let lib = paper_library();
+        let spec = paper_examples()[0].build(&lib);
+        let periods: Vec<Nanos> = spec.graphs().map(|(_, g)| g.period()).collect();
+        assert!(periods.contains(&Nanos::from_micros(25)));
+        assert!(periods.contains(&Nanos::from_secs(60)));
+        // Hyperperiod stays computable.
+        assert_eq!(spec.hyperperiod().unwrap(), Nanos::from_secs(60));
+    }
+
+    #[test]
+    fn phases_stagger_hw_windows() {
+        let lib = paper_library();
+        let ex = &paper_examples()[7]; // NGXM, 5 phases
+        let spec = ex.build(&lib);
+        let ests: std::collections::HashSet<Nanos> = spec
+            .graphs()
+            .filter(|(_, g)| g.name().contains("-dp"))
+            .map(|(_, g)| g.est())
+            .collect();
+        assert!(ests.len() >= 4, "expected several distinct phases, got {ests:?}");
+    }
+}

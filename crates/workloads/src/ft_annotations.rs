@@ -1,0 +1,165 @@
+//! Fault-tolerance annotations for the reconstructed workloads.
+//!
+//! The paper's communication systems check most tasks with cheap
+//! assertions — parity, address-range, checksum, bipolar-coding and
+//! protection-switch-control error detection — and fall back to
+//! duplicate-and-compare only where no assertion reaches the required
+//! coverage. This module attaches a plausible assertion profile to a
+//! generated specification: most tasks carry one strong assertion, some
+//! carry a pair of weaker ones that must be combined, and a minority have
+//! none at all.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crusade_ft::{AssertionSpec, FtAnnotations, FtConfig};
+use crusade_model::{ExecutionTimes, GraphId, Nanos, SystemSpec};
+
+use crate::library::PaperLibrary;
+
+/// The assertion menu of Section 6, with coverages typical of each check.
+const ASSERTION_MENU: [(&str, f64); 5] = [
+    ("parity", 0.90),
+    ("address-range", 0.85),
+    ("protection-switch-ctl", 0.92),
+    ("bipolar-coding", 0.96),
+    ("checksum", 0.98),
+];
+
+/// Builds assertion annotations for every task of `spec`:
+/// ~70 % of tasks get one strong assertion, ~15 % a pair of weak ones
+/// (forcing combination), and ~15 % none (forcing duplicate-and-compare).
+///
+/// Assertion tasks execute on any PE at roughly a fifth of the checked
+/// task's time, so they cluster beside the work they monitor.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_workloads::{paper_examples, paper_ft_annotations, paper_library};
+///
+/// let lib = paper_library();
+/// let spec = paper_examples()[0].build(&lib);
+/// let ann = paper_ft_annotations(&spec, &lib, 7);
+/// // Annotations exist for every task of every graph (spot-check one).
+/// let g0 = crusade_model::GraphId::new(0);
+/// let _ = ann.task(g0, crusade_model::TaskId::new(0));
+/// ```
+pub fn paper_ft_annotations(
+    spec: &SystemSpec,
+    lib: &PaperLibrary,
+    seed: u64,
+) -> FtAnnotations {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF7A0_17A5);
+    let mut ann = FtAnnotations::none_for(spec);
+    let pe_count = lib.lib.pe_count();
+    for (gid, graph) in spec.graphs() {
+        // Sub-millisecond datapaths cannot afford duplicate-and-compare
+        // (shipping a duplicate's fat input edge across PEs costs more
+        // than the period); real line-rate hardware carries inline checks,
+        // so these graphs always get a strong assertion.
+        let fast_datapath = graph.period() < Nanos::from_millis(1);
+        for (t, task) in graph.tasks() {
+            let r: f64 = if fast_datapath { 0.0 } else { rng.gen() };
+            let base = task
+                .exec
+                .fastest()
+                .unwrap_or(Nanos::from_micros(1))
+                .as_nanos()
+                / 5;
+            let exec = ExecutionTimes::uniform(pe_count, Nanos::from_nanos(base.max(200)));
+            let slot = &mut ann.task_mut(gid, t).assertions;
+            if r < 0.70 {
+                let (name, coverage) = ASSERTION_MENU[rng.gen_range(3..5)];
+                slot.push(AssertionSpec {
+                    name: name.into(),
+                    coverage,
+                    exec,
+                    bytes: rng.gen_range(4..64),
+                });
+            } else if r < 0.85 {
+                for &(name, coverage) in &ASSERTION_MENU[0..2] {
+                    slot.push(AssertionSpec {
+                        name: name.into(),
+                        coverage,
+                        exec: exec.clone(),
+                        bytes: rng.gen_range(4..64),
+                    });
+                }
+            }
+            // else: no assertion — duplicate-and-compare.
+        }
+    }
+    ann
+}
+
+/// The paper's FT configuration for a reconstructed spec: 0.95 required
+/// coverage, two-hour MTTR, and the 12/4 minutes-per-year unavailability
+/// requirements (4 min/yr for transmission "-line" graphs, 12 min/yr for
+/// everything else, matching the provisioning/transmission split).
+pub fn paper_ft_config(spec: &SystemSpec, lib: &PaperLibrary) -> FtConfig {
+    let mut cfg = FtConfig::new(lib.lib.pe_count());
+    cfg.required_coverage = 0.95;
+    cfg.service_module_size = 8;
+    for (gid, graph) in spec.graphs() {
+        let budget = if graph.name().contains("-line") { 4.0 } else { 12.0 };
+        cfg.unavailability_min_per_year.push((gid, budget));
+    }
+    let _ = GraphId::new(0);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_examples;
+    use crate::library::paper_library;
+
+    #[test]
+    fn annotations_cover_every_task_slot() {
+        let lib = paper_library();
+        let spec = paper_examples()[0].build(&lib);
+        let ann = paper_ft_annotations(&spec, &lib, 1);
+        let mut with_assertion = 0usize;
+        let mut without = 0usize;
+        for (gid, graph) in spec.graphs() {
+            for (t, _) in graph.tasks() {
+                if ann.task(gid, t).assertions.is_empty() {
+                    without += 1;
+                } else {
+                    with_assertion += 1;
+                }
+            }
+        }
+        let frac = with_assertion as f64 / (with_assertion + without) as f64;
+        assert!(frac > 0.75 && frac < 0.95, "assertion fraction {frac}");
+    }
+
+    #[test]
+    fn config_uses_tight_budget_for_line_graphs() {
+        let lib = paper_library();
+        let spec = paper_examples()[4].build(&lib); // HRXC has many -line graphs
+        let cfg = paper_ft_config(&spec, &lib);
+        let mut tight = 0;
+        for (gid, graph) in spec.graphs() {
+            let b = cfg.unavailability_budget(gid);
+            if graph.name().contains("-line") {
+                assert_eq!(b, 4.0);
+                tight += 1;
+            } else {
+                assert_eq!(b, 12.0);
+            }
+        }
+        assert!(tight > 0);
+    }
+
+    #[test]
+    fn annotations_are_deterministic() {
+        let lib = paper_library();
+        let spec = paper_examples()[0].build(&lib);
+        assert_eq!(
+            paper_ft_annotations(&spec, &lib, 5),
+            paper_ft_annotations(&spec, &lib, 5)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthetic reconstruction of the CRUSADE paper's benchmarks.
+//!
+//! The paper evaluates on proprietary Lucent assets: ten functional-block
+//! circuits (Table 1) and eight field task-graph systems of 1 126 – 7 416
+//! tasks from base stations, video routers and SONET/ATM transport
+//! (Tables 2 and 3), against a resource library of Motorola processors,
+//! sixteen ASICs and XILINX/ATMEL/ORCA programmable devices. This crate
+//! rebuilds all of it synthetically and deterministically:
+//!
+//! * [`paper_library`] — the PE/link library with the paper's part list;
+//! * [`paper_examples`] — the eight benchmark systems with exact task
+//!   counts, 25 µs – 1 min periods, and the staggered-phase hardware
+//!   structure that gives dynamic reconfiguration its opportunity;
+//! * [`table1_circuits`] — the ten delay-management circuits with the
+//!   published PFU counts;
+//! * [`blocks`] — the reusable telecom graph generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use crusade_workloads::{paper_examples, paper_library};
+//!
+//! let lib = paper_library();
+//! let spec = paper_examples()[0].build(&lib); // A1TR, 1126 tasks
+//! assert_eq!(spec.task_count(), 1126);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blocks;
+mod circuits;
+mod examples;
+mod ft_annotations;
+mod library;
+
+pub use circuits::{table1_circuits, Table1Circuit, TABLE1_EPUF, TABLE1_ERUFS};
+pub use ft_annotations::{paper_ft_annotations, paper_ft_config};
+pub use examples::{paper_examples, PaperExample};
+pub use library::{paper_library, PaperLibrary};

@@ -1,0 +1,303 @@
+//! The paper's resource library, reconstructed.
+//!
+//! Section 7 lists the PE library used for the communication-system
+//! experiments: Motorola 68360 / 68040 / 68060 / Power QUICC processors
+//! (each with and without a 256 KB second-level cache), sixteen ASICs,
+//! XILINX 3195A / 4025 / 6700-series and ATMEL AT6000 FPGAs, XILINX
+//! XC9500 / XC7300 CPLDs, and ORCA 2T15 / 2T40 FPGAs; the link library
+//! holds 680X0 and Power QUICC buses, a 10 Mb/s LAN and a 31 Mb/s serial
+//! link. Capacities are taken from the period data books; dollar costs
+//! are era-plausible volume prices (the paper's absolute prices are
+//! proprietary — only relative magnitudes matter to the algorithm).
+
+use crusade_model::{
+    AsicAttrs, CpuAttrs, Dollars, LinkClass, LinkType, LinkTypeId, Nanos, PeClass, PeType,
+    PeTypeId, PpeAttrs, PpeKind, ResourceLibrary,
+};
+
+/// The reconstructed library plus typed indexes into it.
+#[derive(Debug, Clone)]
+pub struct PaperLibrary {
+    /// The library itself.
+    pub lib: ResourceLibrary,
+    /// General-purpose processors (8: four parts × with/without cache).
+    pub cpus: Vec<PeTypeId>,
+    /// Relative speed factor of each CPU (smaller is faster), parallel to
+    /// `cpus`; execution times scale by this.
+    pub cpu_speed: Vec<f64>,
+    /// The sixteen function-specific ASICs.
+    pub asics: Vec<PeTypeId>,
+    /// FPGAs (3195A, 4025, 6700, AT6000, ORCA 2T15, ORCA 2T40).
+    pub fpgas: Vec<PeTypeId>,
+    /// Relative speed factor per FPGA, parallel to `fpgas`.
+    pub fpga_speed: Vec<f64>,
+    /// CPLDs (XC9500, XC7300).
+    pub cplds: Vec<PeTypeId>,
+    /// Links: 680X0 bus, Power QUICC bus, 10 Mb/s LAN, 31 Mb/s serial.
+    pub links: Vec<LinkTypeId>,
+}
+
+fn cpu(name: &str, cost: u64, cache: bool, ctx_us: u64, comm_overlap: bool) -> PeType {
+    PeType::new(
+        name,
+        Dollars::new(cost),
+        PeClass::Cpu(CpuAttrs {
+            // Four DRAM banks of up to 64 MB were evaluated; model the
+            // fitted configuration.
+            memory_bytes: if cache { 64 << 20 } else { 16 << 20 },
+            context_switch: Nanos::from_micros(ctx_us),
+            comm_ports: 2,
+            comm_overlap,
+        }),
+    )
+}
+
+fn fpga(
+    name: &str,
+    cost: u64,
+    pfus: u32,
+    pins: u32,
+    bits_per_pfu: u32,
+    partial: bool,
+) -> PeType {
+    PeType::new(
+        name,
+        Dollars::new(cost),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus,
+            flip_flops: pfus * 2,
+            pins,
+            boot_memory_bytes: (pfus as u64 * bits_per_pfu as u64) / 8,
+            config_bits_per_pfu: bits_per_pfu,
+            partial_reconfig: partial,
+        }),
+    )
+}
+
+fn cpld(name: &str, cost: u64, macrocells: u32, pins: u32) -> PeType {
+    PeType::new(
+        name,
+        Dollars::new(cost),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Cpld,
+            pfus: macrocells,
+            flip_flops: macrocells,
+            pins,
+            boot_memory_bytes: (macrocells as u64 * 96) / 8,
+            config_bits_per_pfu: 96,
+            partial_reconfig: false,
+        }),
+    )
+}
+
+/// Builds the paper's resource library.
+///
+/// # Examples
+///
+/// ```
+/// use crusade_workloads::paper_library;
+///
+/// let lib = paper_library();
+/// assert_eq!(lib.cpus.len(), 8);
+/// assert_eq!(lib.asics.len(), 16);
+/// assert_eq!(lib.fpgas.len(), 6);
+/// assert_eq!(lib.cplds.len(), 2);
+/// assert_eq!(lib.links.len(), 4);
+/// ```
+pub fn paper_library() -> PaperLibrary {
+    let mut lib = ResourceLibrary::new();
+    let mut cpus = Vec::new();
+    let mut cpu_speed = Vec::new();
+    // (name, cost, relative speed, context switch us, communication
+    // coprocessor present). The 68360 and Power QUICC integrate a
+    // communication processor module, so computation overlaps transfers;
+    // the plain 68040/68060 must drive the bus themselves.
+    let cpu_parts: [(&str, u64, f64, u64, bool); 4] = [
+        ("mc68360", 95, 1.60, 10, true),
+        ("mc68040", 140, 1.25, 8, false),
+        ("mc68060", 190, 0.80, 6, false),
+        ("power-quicc", 165, 1.00, 7, true),
+    ];
+    for (name, cost, speed, ctx, overlap) in cpu_parts {
+        cpus.push(lib.add_pe(cpu(name, cost, false, ctx, overlap)));
+        cpu_speed.push(speed);
+        cpus.push(lib.add_pe(cpu(
+            &format!("{name}+256k-l2"),
+            cost + 60,
+            true,
+            ctx,
+            overlap,
+        )));
+        cpu_speed.push(speed * 0.8);
+    }
+
+    // Sixteen function-specific ASICs (framers, mappers, cross-connects,
+    // codecs, ...) with graded sizes and prices.
+    let mut asics = Vec::new();
+    for i in 0..16u32 {
+        let gates = 30_000 + 15_000 * i as u64;
+        asics.push(lib.add_pe(PeType::new(
+            format!("asic-{i:02}"),
+            Dollars::new(120 + 30 * i as u64),
+            PeClass::Asic(AsicAttrs {
+                gates,
+                pins: 120 + 8 * i,
+            }),
+        )));
+    }
+
+    let mut fpgas = Vec::new();
+    let mut fpga_speed = Vec::new();
+    // (name, cost, pfus, pins, bits/pfu, partial, speed)
+    let fpga_parts: [(&str, u64, u32, u32, u32, bool, f64); 6] = [
+        ("xc3195a", 150, 484, 176, 140, false, 1.30),
+        ("xc4025", 420, 1024, 256, 180, false, 1.00),
+        ("xc6700", 300, 2048, 240, 160, true, 0.95),
+        ("at6005", 180, 1024, 160, 120, true, 1.10),
+        ("orca-2t15", 340, 1600, 256, 150, false, 0.90),
+        ("orca-2t40", 720, 3600, 352, 150, false, 0.85),
+    ];
+    for (name, cost, pfus, pins, bits, partial, speed) in fpga_parts {
+        fpgas.push(lib.add_pe(fpga(name, cost, pfus, pins, bits, partial)));
+        fpga_speed.push(speed);
+    }
+
+    let cplds = vec![
+        lib.add_pe(cpld("xc9536", 45, 288, 72)),
+        lib.add_pe(cpld("xc7336", 38, 144, 44)),
+    ];
+
+    #[allow(clippy::vec_init_then_push)] // each push carries its own comment
+    let links = {
+    let mut links = Vec::new();
+    // 680X0 bus: parallel, moderate arbitration growth.
+    links.push(lib.add_link(LinkType::new(
+        "mc680x0-bus",
+        Dollars::new(12),
+        LinkClass::Bus,
+        8,
+        vec![
+            Nanos::from_nanos(250),
+            Nanos::from_nanos(400),
+            Nanos::from_nanos(650),
+            Nanos::from_nanos(950),
+        ],
+        64,
+        Nanos::from_micros(2),
+    )));
+    // Power QUICC bus: faster.
+    links.push(lib.add_link(LinkType::new(
+        "quicc-bus",
+        Dollars::new(18),
+        LinkClass::Bus,
+        8,
+        vec![
+            Nanos::from_nanos(150),
+            Nanos::from_nanos(250),
+            Nanos::from_nanos(420),
+            Nanos::from_nanos(600),
+        ],
+        64,
+        Nanos::from_micros(1),
+    )));
+    // 10 Mb/s LAN: 1500-byte frames at ~1.2 ms each.
+    links.push(lib.add_link(LinkType::new(
+        "lan-10mbps",
+        Dollars::new(55),
+        LinkClass::Lan,
+        16,
+        vec![
+            Nanos::from_micros(20),
+            Nanos::from_micros(40),
+            Nanos::from_micros(80),
+            Nanos::from_micros(140),
+        ],
+        1500,
+        Nanos::from_micros(1200),
+    )));
+    // 31 Mb/s serial link: point-to-point-ish, two ports.
+    links.push(lib.add_link(LinkType::new(
+        "serial-31mbps",
+        Dollars::new(25),
+        LinkClass::Serial,
+        2,
+        vec![Nanos::from_micros(4)],
+        256,
+        Nanos::from_micros(66),
+    )));
+    links
+    };
+
+    PaperLibrary {
+        lib,
+        cpus,
+        cpu_speed,
+        asics,
+        fpgas,
+        fpga_speed,
+        cplds,
+        links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_paper() {
+        let l = paper_library();
+        assert_eq!(l.lib.pe_count(), 8 + 16 + 6 + 2);
+        assert_eq!(l.lib.link_count(), 4);
+        assert_eq!(l.cpu_speed.len(), l.cpus.len());
+        assert_eq!(l.fpga_speed.len(), l.fpgas.len());
+    }
+
+    #[test]
+    fn classes_are_consistent() {
+        let l = paper_library();
+        for &id in &l.cpus {
+            assert!(l.lib.pe(id).is_cpu());
+        }
+        for &id in &l.asics {
+            assert!(l.lib.pe(id).is_asic());
+        }
+        for &id in l.fpgas.iter().chain(&l.cplds) {
+            assert!(l.lib.pe(id).is_reconfigurable());
+        }
+    }
+
+    #[test]
+    fn cache_variant_is_faster_and_dearer() {
+        let l = paper_library();
+        // Pairs are (plain, cached).
+        for pair in l.cpus.chunks(2) {
+            let plain = l.lib.pe(pair[0]);
+            let cached = l.lib.pe(pair[1]);
+            assert!(cached.cost() > plain.cost());
+        }
+        for (i, pair) in l.cpu_speed.chunks(2).enumerate() {
+            assert!(pair[1] < pair[0], "cache speeds up cpu pair {i}");
+        }
+    }
+
+    #[test]
+    fn partial_reconfig_devices_present() {
+        let l = paper_library();
+        let partials = l
+            .fpgas
+            .iter()
+            .filter(|&&id| l.lib.pe(id).as_ppe().unwrap().partial_reconfig)
+            .count();
+        assert_eq!(partials, 2, "XC6700 and AT6000 are partially reconfigurable");
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        let l = paper_library();
+        assert!(l.lib.pe_by_name("xc4025").is_some());
+        assert!(l.lib.pe_by_name("power-quicc+256k-l2").is_some());
+        assert!(l.lib.link_by_name("lan-10mbps").is_some());
+    }
+}

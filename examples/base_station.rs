@@ -1,0 +1,108 @@
+//! A digital cellular base station (the paper's A1TR-style system):
+//! per-carrier channel processing on FPGAs, rotating through three time
+//! phases, with cell-rate processing at a 25 µs period and slow
+//! operations & maintenance software at up to one minute.
+//!
+//! Also demonstrates the a-priori compatibility matrix: the operator
+//! declares which carrier graphs may time-share hardware instead of
+//! leaving detection to the scheduler.
+//!
+//! Run with `cargo run --release -p crusade --example base_station`.
+
+use crusade::core::{CoSynthesis, CosynOptions};
+use crusade::model::{CompatibilityMatrix, GraphId, Nanos, SystemConstraints, SystemSpec};
+use crusade::workloads::blocks::{hw_pipeline, sw_pipeline};
+use crusade::workloads::paper_library;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = paper_library();
+    let mut rng = SmallRng::seed_from_u64(0xBA5E);
+    let mut graphs = Vec::new();
+
+    // Nine carriers, three per phase of the 100 ms processing frame.
+    let frame = Nanos::from_millis(100);
+    let phases = 3u64;
+    let slot = frame / phases;
+    for carrier in 0..9u64 {
+        let phase = carrier % phases;
+        graphs.push(hw_pipeline(
+            &lib,
+            &mut rng,
+            &format!("carrier-{carrier}"),
+            6,
+            frame,
+            slot * phase,
+            slot * 11 / 20,
+            480,
+        ));
+    }
+    let carriers = graphs.len();
+    // Fast cell-rate pipeline (the 25 us extreme of the paper's range).
+    graphs.push(hw_pipeline(
+        &lib,
+        &mut rng,
+        "cell-proc",
+        4,
+        Nanos::from_micros(25),
+        Nanos::ZERO,
+        Nanos::from_micros(20),
+        120,
+    ));
+    // O&M software at the slow extreme.
+    graphs.push(sw_pipeline(&lib, &mut rng, "oam", 12, Nanos::from_secs(60)));
+    graphs.push(sw_pipeline(&lib, &mut rng, "call-ctl", 10, Nanos::from_millis(10)));
+
+    // Declare carrier compatibility a priori: carriers in different phases
+    // may share devices (Section 4.1's compatibility vectors).
+    let mut matrix = CompatibilityMatrix::incompatible(graphs.len());
+    for i in 0..carriers {
+        for j in 0..carriers {
+            if i != j && (i as u64 % phases) != (j as u64 % phases) {
+                matrix.set_compatible(GraphId::new(i), GraphId::new(j));
+            }
+        }
+    }
+
+    let spec = SystemSpec::new(graphs)
+        .with_compatibility(matrix)
+        .with_constraints(SystemConstraints {
+            boot_time_requirement: Nanos::from_millis(5),
+            preemption_overhead: Nanos::from_micros(60),
+            average_link_ports: 4,
+        });
+    println!(
+        "base station: {} graphs, {} tasks, periods 25us..60s",
+        spec.graph_count(),
+        spec.task_count()
+    );
+
+    let without = CoSynthesis::new(&spec, &lib.lib)
+        .with_options(CosynOptions::without_reconfiguration())
+        .run()?;
+    let with = CoSynthesis::new(&spec, &lib.lib).run()?;
+
+    println!(
+        "  without reconfiguration: {:>3} PEs, {}",
+        without.report.pe_count, without.report.cost
+    );
+    println!(
+        "  with reconfiguration:    {:>3} PEs, {}  ({} modes across {} multi-mode devices)",
+        with.report.pe_count,
+        with.report.cost,
+        with.report.total_modes,
+        with.report.multi_mode_devices
+    );
+    if let Some(iface) = &with.architecture.interface {
+        println!(
+            "  programming interface: {:?}/{:?} @ {} MHz, worst boot {}",
+            iface.option.mode, iface.option.controller, iface.option.frequency_mhz, iface.worst_boot_time
+        );
+    }
+    println!(
+        "  cost savings: {:.1}%",
+        with.report.cost.savings_versus(without.report.cost)
+    );
+    Ok(())
+}

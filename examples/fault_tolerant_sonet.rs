@@ -1,0 +1,109 @@
+//! A fault-tolerant SONET transport shelf synthesized with CRUSADE-FT:
+//! assertion tasks guard the datapaths, tasks without usable assertions
+//! are duplicated and compared, and standby spare modules are provisioned
+//! until the provisioning (12 min/yr) and transmission (4 min/yr)
+//! unavailability requirements hold.
+//!
+//! Run with `cargo run --release -p crusade --example fault_tolerant_sonet`.
+
+use crusade::core::CosynOptions;
+use crusade::ft::{AssertionSpec, CrusadeFt, FtAnnotations, FtConfig};
+use crusade::model::{ExecutionTimes, GraphId, Nanos, SystemConstraints, SystemSpec};
+use crusade::workloads::blocks::{asic_interface, hw_pipeline, sw_pipeline};
+use crusade::workloads::paper_library;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = paper_library();
+    let mut rng = SmallRng::seed_from_u64(0x50E7);
+    let mut graphs = Vec::new();
+
+    // Transmission plane: framing/pointer-processing datapaths in two
+    // phases plus an OC-3 line interface.
+    let frame = Nanos::from_millis(100);
+    for (i, est) in [(0u32, 0u64), (1, 50)] {
+        graphs.push(hw_pipeline(
+            &lib,
+            &mut rng,
+            &format!("framer-{i}"),
+            5,
+            frame,
+            Nanos::from_millis(est),
+            Nanos::from_millis(27),
+            380,
+        ));
+    }
+    graphs.push(asic_interface(
+        &lib,
+        &mut rng,
+        "oc3-line",
+        5,
+        lib.asics[3],
+        Nanos::from_secs(1),
+    ));
+    let transmission = graphs.len(); // graphs [0, transmission) are transmission-plane
+    // Provisioning plane: software.
+    graphs.push(sw_pipeline(&lib, &mut rng, "provisioning", 10, Nanos::from_secs(1)));
+    graphs.push(sw_pipeline(&lib, &mut rng, "perf-monitor", 8, Nanos::from_millis(100)));
+
+    let spec = SystemSpec::new(graphs).with_constraints(SystemConstraints {
+        boot_time_requirement: Nanos::from_millis(5),
+        preemption_overhead: Nanos::from_micros(60),
+        average_link_ports: 4,
+    });
+
+    // Assertions: the datapaths carry parity/bipolar checks; the software
+    // planes rely on checksums; everything else duplicates-and-compares.
+    let mut annotations = FtAnnotations::none_for(&spec);
+    for (gid, graph) in spec.graphs() {
+        for (t, task) in graph.tasks() {
+            let exec = ExecutionTimes::uniform(
+                lib.lib.pe_count(),
+                Nanos::from_nanos(
+                    (task.exec.fastest().unwrap_or(Nanos::from_micros(1)).as_nanos() / 5).max(200),
+                ),
+            );
+            let name = if gid.index() < transmission { "bipolar-coding" } else { "checksum" };
+            annotations.task_mut(gid, t).assertions.push(AssertionSpec {
+                name: name.into(),
+                coverage: 0.96,
+                exec,
+                bytes: 16,
+            });
+        }
+    }
+    // Unavailability budgets: 4 min/yr for transmission, 12 min/yr for
+    // provisioning (the paper's requirements).
+    let mut config = FtConfig::new(lib.lib.pe_count());
+    for (gid, _) in spec.graphs() {
+        let budget = if gid.index() < transmission { 4.0 } else { 12.0 };
+        config.unavailability_min_per_year.push((gid, budget));
+    }
+    let _ = GraphId::new(0);
+
+    let result = CrusadeFt::new(&spec, &lib.lib)
+        .with_options(CosynOptions::default())
+        .with_annotations(annotations)
+        .with_config(config)
+        .run()?;
+
+    println!("fault-tolerant SONET shelf:");
+    println!(
+        "  checks woven in: {} assertions, {} duplicate-and-compare pairs, {} transparent skips",
+        result.transform.assertions_added,
+        result.transform.duplicates_added,
+        result.transform.transparent_skips
+    );
+    println!(
+        "  architecture: {} PEs, {} links, {}",
+        result.synthesis.report.pe_count,
+        result.synthesis.report.link_count,
+        result.synthesis.report.cost
+    );
+    println!("  standby spare modules: {}", result.spares_added);
+    for (gid, u) in &result.unavailability {
+        println!("  graph {gid}: unavailability {u:.3} min/year");
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Field upgrade: ship a new feature to a deployed system as a firmware
+//! (reconfiguration) update — Section 3's first two motivations for
+//! reconfigurable architectures.
+//!
+//! A v1 system (control software + an early-window framing datapath) is
+//! synthesized and "deployed"; v2 adds a late-window statistics engine.
+//! `upgrade_in_field` proves the new feature fits the deployed hardware by
+//! opening a second configuration image on the existing FPGA; a v3 with an
+//! overlapping, oversized feature correctly reports that new hardware is
+//! required.
+//!
+//! Run with `cargo run --release -p crusade --example field_upgrade`.
+
+use crusade::core::{upgrade_in_field, CoSynthesis, CosynOptions};
+use crusade::model::{Nanos, SystemConstraints, SystemSpec};
+use crusade::workloads::blocks::{hw_pipeline, sw_pipeline};
+use crusade::workloads::paper_library;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn constraints() -> SystemConstraints {
+    SystemConstraints {
+        boot_time_requirement: Nanos::from_millis(5),
+        preemption_overhead: Nanos::from_micros(60),
+        average_link_ports: 4,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = paper_library();
+    let mut rng = SmallRng::seed_from_u64(0xF1E1D);
+    let frame = Nanos::from_millis(100);
+
+    // v1: what shipped.
+    let v1 = SystemSpec::new(vec![
+        sw_pipeline(&lib, &mut rng, "ctl", 8, Nanos::from_millis(10)),
+        hw_pipeline(&lib, &mut rng, "framer", 5, frame, Nanos::ZERO, Nanos::from_millis(30), 420),
+    ])
+    .with_constraints(constraints());
+    let deployed = CoSynthesis::new(&v1, &lib.lib).run()?;
+    println!(
+        "deployed v1: {} PEs, {} links, {}",
+        deployed.report.pe_count, deployed.report.link_count, deployed.report.cost
+    );
+
+    // v2: the framer plus a new statistics engine in the idle late window.
+    let mut rng = SmallRng::seed_from_u64(0xF1E1D);
+    let v2 = SystemSpec::new(vec![
+        sw_pipeline(&lib, &mut rng, "ctl", 8, Nanos::from_millis(10)),
+        hw_pipeline(&lib, &mut rng, "framer", 5, frame, Nanos::ZERO, Nanos::from_millis(30), 420),
+        hw_pipeline(&lib, &mut rng, "stats", 4, frame, Nanos::from_millis(60), Nanos::from_millis(30), 500),
+    ])
+    .with_constraints(constraints());
+    match upgrade_in_field(&deployed.architecture, &v2, &lib.lib, &CosynOptions::default()) {
+        Ok(up) => println!(
+            "v2 upgrade: ships as firmware — {} new configuration image(s), {} multi-mode device(s), hardware unchanged ({} PEs)",
+            up.extra_modes,
+            up.synthesis.report.multi_mode_devices,
+            up.synthesis.report.pe_count
+        ),
+        Err(e) => println!("v2 upgrade: needs new hardware ({e})"),
+    }
+
+    // v3: an oversized feature overlapping the framer in time.
+    let mut rng = SmallRng::seed_from_u64(0xF1E1D);
+    let v3 = SystemSpec::new(vec![
+        sw_pipeline(&lib, &mut rng, "ctl", 8, Nanos::from_millis(10)),
+        hw_pipeline(&lib, &mut rng, "framer", 5, frame, Nanos::ZERO, Nanos::from_millis(30), 420),
+        hw_pipeline(&lib, &mut rng, "hungry", 6, frame, Nanos::from_millis(5), Nanos::from_millis(30), 700),
+    ])
+    .with_constraints(constraints());
+    match upgrade_in_field(&deployed.architecture, &v3, &lib.lib, &CosynOptions::default()) {
+        Ok(up) => println!(
+            "v3 upgrade: unexpectedly fits with {} new image(s)",
+            up.extra_modes
+        ),
+        Err(e) => println!("v3 upgrade: needs new hardware ({e})"),
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: specify a small embedded system and co-synthesize an
+//! architecture for it.
+//!
+//! Run with `cargo run -p crusade --example quickstart`.
+
+use crusade::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A resource library: one CPU, one FPGA, one bus.
+    use crusade::model::{CpuAttrs, LinkClass, LinkType, PeClass, PeType, PpeAttrs, PpeKind};
+    let mut lib = ResourceLibrary::new();
+    let cpu = lib.add_pe(PeType::new(
+        "mc68360",
+        Dollars::new(95),
+        PeClass::Cpu(CpuAttrs {
+            memory_bytes: 4 << 20,
+            context_switch: Nanos::from_micros(8),
+            comm_ports: 2,
+            comm_overlap: true,
+        }),
+    ));
+    let fpga = lib.add_pe(PeType::new(
+        "xc4025",
+        Dollars::new(420),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 1024,
+            flip_flops: 2048,
+            pins: 256,
+            boot_memory_bytes: 32 << 10,
+            config_bits_per_pfu: 180,
+            partial_reconfig: false,
+        }),
+    ));
+    lib.add_link(LinkType::new(
+        "bus",
+        Dollars::new(12),
+        LinkClass::Bus,
+        8,
+        vec![Nanos::from_nanos(300)],
+        64,
+        Nanos::from_micros(1),
+    ));
+
+    // 2. A periodic task graph: software parse -> hardware filter ->
+    //    software log, one activation per millisecond, done within 800 us.
+    let mut b = TaskGraphBuilder::new("sensor-chain", Nanos::from_millis(1));
+    let parse = b.add_task(Task::new(
+        "parse",
+        ExecutionTimes::from_entries(2, [(cpu, Nanos::from_micros(60))]),
+    ));
+    let mut filter = Task::new(
+        "filter",
+        ExecutionTimes::from_entries(2, [(fpga, Nanos::from_micros(12))]),
+    );
+    filter.preference = Preference::Only(vec![fpga]);
+    filter.hw = HwDemand::new(0, 220, 220, 12);
+    let filter = b.add_task(filter);
+    let log = b.add_task(Task::new(
+        "log",
+        ExecutionTimes::from_entries(2, [(cpu, Nanos::from_micros(40))]),
+    ));
+    b.add_edge(parse, filter, 512);
+    b.add_edge(filter, log, 128);
+    let graph = b.deadline(Nanos::from_micros(800)).build()?;
+
+    // 3. Co-synthesize.
+    let spec = SystemSpec::new(vec![graph]);
+    let result = CoSynthesis::new(&spec, &lib).run()?;
+
+    println!("synthesized architecture:");
+    println!("  PEs:   {}", result.report.pe_count);
+    println!("  links: {}", result.report.link_count);
+    println!("  cost:  {}", result.report.cost);
+    for (id, pe) in result.architecture.pes() {
+        println!(
+            "  {id}: {} ({} mode{})",
+            lib.pe(pe.ty).name(),
+            pe.modes.len(),
+            if pe.modes.len() == 1 { "" } else { "s" },
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! End-to-end synthesis of a paper-scale benchmark: the full A1TR system
+//! (1126 tasks) through both synthesis modes, checking the Table-2 shape —
+//! reconfiguration reduces PEs and cost at similar link count — plus
+//! determinism and final-schedule deadline safety.
+
+use crusade::core::{CoSynthesis, CosynOptions};
+use crusade::model::{GlobalEdgeId, GlobalTaskId, Nanos};
+use crusade::sched::{check_deadlines, estimate_finish_times, Occupant};
+use crusade::workloads::{paper_examples, paper_library};
+
+#[test]
+fn a1tr_baseline_vs_reconfiguration() {
+    let lib = paper_library();
+    let ex = &paper_examples()[0];
+    let spec = ex.build(&lib);
+    assert_eq!(spec.task_count(), 1126);
+
+    let base = CoSynthesis::new(&spec, &lib.lib)
+        .with_options(CosynOptions::without_reconfiguration())
+        .run()
+        .expect("baseline synthesis");
+    let recon = CoSynthesis::new(&spec, &lib.lib)
+        .run()
+        .expect("reconfiguration synthesis");
+
+    // The Table-2 shape: fewer devices, lower cost, real savings.
+    assert!(recon.report.pe_count < base.report.pe_count);
+    assert!(recon.report.cost < base.report.cost);
+    let savings = recon.report.cost.savings_versus(base.report.cost);
+    assert!(
+        (15.0..70.0).contains(&savings),
+        "savings {savings}% out of plausible range"
+    );
+    assert!(recon.report.multi_mode_devices > 0);
+    assert!(recon.report.reconfig.merges_accepted > 0);
+    // Baseline has no multi-mode devices and no programming interface.
+    assert_eq!(base.report.multi_mode_devices, 0);
+    assert!(base.architecture.interface.is_none());
+    assert!(recon.architecture.interface.is_some());
+}
+
+#[test]
+fn every_deadline_holds_on_the_final_schedule() {
+    let lib = paper_library();
+    let spec = paper_examples()[0].build(&lib);
+    let r = CoSynthesis::new(&spec, &lib.lib).run().unwrap();
+    for (g, graph) in spec.graphs() {
+        // All tasks must be placed, with exact windows.
+        for (t, _) in graph.tasks() {
+            assert!(
+                r.architecture
+                    .board
+                    .window(Occupant::Task(GlobalTaskId::new(g, t)))
+                    .is_some(),
+                "task {t} of graph {g} unplaced"
+            );
+        }
+        let finishes = estimate_finish_times(
+            graph,
+            |t| r.architecture.board.window(Occupant::Task(GlobalTaskId::new(g, t))),
+            |_| Nanos::ZERO,
+            |e| r.architecture.board.window(Occupant::Edge(GlobalEdgeId::new(g, e))),
+            |_| Nanos::ZERO,
+        );
+        let misses = check_deadlines(graph, &finishes);
+        assert!(misses.is_empty(), "graph {g} misses: {misses:?}");
+    }
+}
+
+#[test]
+fn synthesis_is_deterministic() {
+    let lib = paper_library();
+    let spec = paper_examples()[0].build(&lib);
+    let a = CoSynthesis::new(&spec, &lib.lib).run().unwrap();
+    let b = CoSynthesis::new(&spec, &lib.lib).run().unwrap();
+    assert_eq!(a.report.pe_count, b.report.pe_count);
+    assert_eq!(a.report.link_count, b.report.link_count);
+    assert_eq!(a.report.cost, b.report.cost);
+    assert_eq!(a.report.total_modes, b.report.total_modes);
+}
+
+#[test]
+fn mode_capacities_respect_delay_management_caps() {
+    // Every mode of every programmable device stays within the ERUF/EPUF
+    // caps — the guarantee behind Table 1's "delay constraints hold".
+    let lib = paper_library();
+    let spec = paper_examples()[0].build(&lib);
+    let r = CoSynthesis::new(&spec, &lib.lib).run().unwrap();
+    for (_, pe) in r.architecture.pes() {
+        if let Some(attrs) = lib.lib.pe(pe.ty).as_ppe() {
+            let pfu_cap = (attrs.pfus as f64 * 0.70) as u32;
+            let pin_cap = (attrs.pins as f64 * 0.80) as u32;
+            for mode in &pe.modes {
+                assert!(
+                    mode.used_hw.pfus <= pfu_cap,
+                    "{}: mode uses {} of {} capped PFUs",
+                    lib.lib.pe(pe.ty).name(),
+                    mode.used_hw.pfus,
+                    pfu_cap
+                );
+                assert!(mode.used_hw.pins <= pin_cap);
+            }
+        }
+    }
+}

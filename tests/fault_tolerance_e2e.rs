@@ -1,0 +1,132 @@
+//! End-to-end CRUSADE-FT on the A1TR-scale benchmark: fault detection
+//! woven in, deadlines still met, unavailability budgets enforced, and the
+//! Table-3 shape (FT architectures larger than plain ones, reconfiguration
+//! still saving cost).
+
+use crusade::core::{CoSynthesis, CosynOptions};
+use crusade::ft::CrusadeFt;
+use crusade::workloads::{paper_examples, paper_ft_annotations, paper_ft_config, paper_library};
+
+#[test]
+fn ft_architecture_is_larger_and_checked() {
+    let lib = paper_library();
+    let ex = &paper_examples()[0];
+    let spec = ex.build(&lib);
+    let ann = paper_ft_annotations(&spec, &lib, ex.seed);
+    let cfg = paper_ft_config(&spec, &lib);
+
+    let plain = CoSynthesis::new(&spec, &lib.lib)
+        .with_options(CosynOptions::without_reconfiguration())
+        .run()
+        .unwrap();
+    let ft = CrusadeFt::new(&spec, &lib.lib)
+        .with_options(CosynOptions::without_reconfiguration())
+        .with_annotations(ann)
+        .with_config(cfg)
+        .run()
+        .unwrap();
+
+    // Fault detection costs hardware: Table 3's rows dominate Table 2's.
+    assert!(ft.synthesis.report.pe_count > plain.report.pe_count);
+    assert!(ft.synthesis.report.cost > plain.report.cost);
+    // Checks were actually woven in.
+    assert!(ft.transform.assertions_added > 100);
+    assert!(ft.transform.duplicates_added > 10);
+    assert_eq!(ft.transform.duplicates_added, ft.transform.compares_added);
+    assert!(ft.transform.transparent_skips > 0, "error transparency exploited");
+}
+
+#[test]
+fn ft_reconfiguration_still_saves() {
+    let lib = paper_library();
+    let ex = &paper_examples()[0];
+    let spec = ex.build(&lib);
+    let ann = paper_ft_annotations(&spec, &lib, ex.seed);
+    let cfg = paper_ft_config(&spec, &lib);
+    let run = |options: CosynOptions| {
+        CrusadeFt::new(&spec, &lib.lib)
+            .with_options(options)
+            .with_annotations(ann.clone())
+            .with_config(cfg.clone())
+            .run()
+            .unwrap()
+    };
+    let base = run(CosynOptions::without_reconfiguration());
+    let recon = run(CosynOptions::default());
+    let savings = recon
+        .synthesis
+        .report
+        .cost
+        .savings_versus(base.synthesis.report.cost);
+    assert!(
+        (10.0..60.0).contains(&savings),
+        "FT savings {savings}% out of plausible range"
+    );
+    assert!(recon.synthesis.report.multi_mode_devices > 0);
+}
+
+#[test]
+fn unavailability_budgets_hold_with_spares() {
+    let lib = paper_library();
+    let ex = &paper_examples()[0];
+    let spec = ex.build(&lib);
+    let ann = paper_ft_annotations(&spec, &lib, ex.seed);
+    let cfg = paper_ft_config(&spec, &lib);
+    let r = CrusadeFt::new(&spec, &lib.lib)
+        .with_annotations(ann)
+        .with_config(cfg.clone())
+        .run()
+        .unwrap();
+    assert!(r.spares_added >= 1, "a shared standby pool is provisioned");
+    for (gid, u) in &r.unavailability {
+        let budget = cfg.unavailability_budget(*gid);
+        assert!(
+            *u <= budget,
+            "graph {gid} unavailability {u} min/yr exceeds budget {budget}"
+        );
+    }
+}
+
+#[test]
+fn duplicates_never_share_hardware_with_originals() {
+    let lib = paper_library();
+    let ex = &paper_examples()[0];
+    let spec = ex.build(&lib);
+    let ann = paper_ft_annotations(&spec, &lib, ex.seed);
+    let cfg = paper_ft_config(&spec, &lib);
+    let r = CrusadeFt::new(&spec, &lib.lib)
+        .with_annotations(ann)
+        .with_config(cfg)
+        .run()
+        .unwrap();
+    // Reconstruct the transformed spec to find original/duplicate pairs,
+    // then check their hosting PEs differ.
+    let (ft_spec, _) = crusade::ft::transform_spec(
+        &spec,
+        &paper_ft_annotations(&spec, &lib, ex.seed),
+        &paper_ft_config(&spec, &lib),
+    );
+    use crusade::model::GlobalTaskId;
+    use crusade::sched::Occupant;
+    let arch = &r.synthesis.architecture;
+    let pe_of = |g, t| {
+        let res = arch.board.resource_of(Occupant::Task(GlobalTaskId::new(g, t)))?;
+        arch.pes().find(|(_, p)| p.resource == res).map(|(id, _)| id)
+    };
+    let mut checked = 0;
+    for (gid, graph) in ft_spec.graphs() {
+        for (tid, task) in graph.tasks() {
+            if let Some(orig_name) = task.name.strip_suffix("^dup") {
+                let (orig_id, _) = graph
+                    .tasks()
+                    .find(|(_, t)| t.name == orig_name)
+                    .expect("original exists");
+                let (a, b) = (pe_of(gid, orig_id), pe_of(gid, tid));
+                assert!(a.is_some() && b.is_some());
+                assert_ne!(a, b, "{orig_name} and its duplicate share a PE");
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 10, "checked {checked} duplicate pairs");
+}

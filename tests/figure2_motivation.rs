@@ -1,0 +1,174 @@
+//! Reproduces Figure 2 of the paper as an executable test: three task
+//! graphs, a small FPGA F1 and a big FPGA F2; dynamic reconfiguration
+//! turns the two-F1 baseline into a single two-mode F1 with T1 shared
+//! across both configuration images.
+
+use crusade::core::{CoSynthesis, CosynOptions};
+use crusade::model::{
+    Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass, PeType, PeTypeId,
+    PpeAttrs, PpeKind, Preference, ResourceLibrary, SystemConstraints, SystemSpec, TaskGraph,
+    TaskGraphBuilder,
+};
+
+fn graph(name: &str, fpgas: &[PeTypeId], est_ms: u64, span_ms: u64, pfus: u32) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new(name, Nanos::from_millis(100));
+    let mut prev = None;
+    for i in 0..3 {
+        let mut t = crusade::model::Task::new(
+            format!("{name}-t{i}"),
+            ExecutionTimes::from_entries(
+                fpgas.iter().map(|f| f.index()).max().unwrap() + 1,
+                // Three tasks stretched across the whole window: the graph is
+                // genuinely busy for its entire span.
+                fpgas.iter().map(|&f| (f, Nanos::from_millis(span_ms * 10 / 32))),
+            ),
+        );
+        t.preference = Preference::Only(fpgas.to_vec());
+        t.hw = HwDemand::new(0, pfus / 3, pfus / 3, 4);
+        let id = b.add_task(t);
+        if let Some(p) = prev {
+            b.add_edge(p, id, 64);
+        }
+        prev = Some(id);
+    }
+    b.est(Nanos::from_millis(est_ms))
+        .deadline(Nanos::from_millis(span_ms))
+        .build()
+        .unwrap()
+}
+
+fn library() -> (ResourceLibrary, PeTypeId, PeTypeId) {
+    let mut lib = ResourceLibrary::new();
+    let f1 = lib.add_pe(PeType::new(
+        "F1",
+        Dollars::new(200),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 840,
+            flip_flops: 1800,
+            pins: 160,
+            boot_memory_bytes: 20 << 10,
+            config_bits_per_pfu: 150,
+            partial_reconfig: true,
+        }),
+    ));
+    let f2 = lib.add_pe(PeType::new(
+        "F2",
+        Dollars::new(520),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 2000,
+            flip_flops: 4000,
+            pins: 240,
+            boot_memory_bytes: 40 << 10,
+            config_bits_per_pfu: 150,
+            partial_reconfig: true,
+        }),
+    ));
+    lib.add_link(LinkType::new(
+        "bus",
+        Dollars::new(10),
+        LinkClass::Bus,
+        4,
+        vec![Nanos::from_nanos(300)],
+        64,
+        Nanos::from_micros(1),
+    ));
+    (lib, f1, f2)
+}
+
+fn spec(f1: PeTypeId, f2: PeTypeId) -> SystemSpec {
+    let both = [f1, f2];
+    SystemSpec::new(vec![
+        graph("T1", &both, 0, 95, 280),
+        graph("T2", &both, 0, 38, 300),
+        graph("T3", &both, 50, 38, 300),
+    ])
+    .with_constraints(SystemConstraints {
+        boot_time_requirement: Nanos::from_millis(10),
+        preemption_overhead: Nanos::from_micros(50),
+        average_link_ports: 2,
+    })
+}
+
+#[test]
+fn baseline_needs_two_devices() {
+    let (lib, f1, f2) = library();
+    let r = CoSynthesis::new(&spec(f1, f2), &lib)
+        .with_options(CosynOptions::without_reconfiguration())
+        .run()
+        .unwrap();
+    assert_eq!(r.report.pe_count, 2);
+    assert_eq!(r.report.cost, Dollars::new(400));
+    assert_eq!(r.report.multi_mode_devices, 0);
+}
+
+#[test]
+fn reconfiguration_collapses_to_one_two_mode_device() {
+    let (lib, f1, f2) = library();
+    let r = CoSynthesis::new(&spec(f1, f2), &lib).run().unwrap();
+    assert_eq!(r.report.pe_count, 1);
+    assert_eq!(r.report.multi_mode_devices, 1);
+    assert_eq!(r.report.total_modes, 2);
+    // One F1 plus a programming interface beats two F1s comfortably.
+    assert!(r.report.cost < Dollars::new(300), "got {}", r.report.cost);
+    // T1 is resident in both modes: both modes carry the always-on graph.
+    let (_, pe) = r
+        .architecture
+        .pes()
+        .find(|(_, p)| p.modes.len() == 2)
+        .expect("the merged device");
+    for mode in &pe.modes {
+        assert!(
+            mode.graphs.contains(&crusade::model::GraphId::new(0)),
+            "T1 must be shared into every image, got {:?}",
+            mode.graphs
+        );
+    }
+    // The interface meets the 10 ms boot budget.
+    let iface = r.architecture.interface.as_ref().unwrap();
+    assert!(iface.worst_boot_time <= Nanos::from_millis(10));
+}
+
+#[test]
+fn full_reconfiguration_devices_cannot_share_t1() {
+    // Same scenario on a *fully* reconfigurable F1: T1 cannot stay alive
+    // across a whole-device reprogram, so no merge happens.
+    let (_, _, _) = library();
+    let mut lib = ResourceLibrary::new();
+    let f1 = lib.add_pe(PeType::new(
+        "F1-full",
+        Dollars::new(200),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 840,
+            flip_flops: 1800,
+            pins: 160,
+            boot_memory_bytes: 20 << 10,
+            config_bits_per_pfu: 150,
+            partial_reconfig: false,
+        }),
+    ));
+    lib.add_link(LinkType::new(
+        "bus",
+        Dollars::new(10),
+        LinkClass::Bus,
+        4,
+        vec![Nanos::from_nanos(300)],
+        64,
+        Nanos::from_micros(1),
+    ));
+    let only = [f1];
+    let s = SystemSpec::new(vec![
+        graph("T1", &only, 0, 95, 280),
+        graph("T2", &only, 0, 38, 300),
+        graph("T3", &only, 50, 38, 300),
+    ])
+    .with_constraints(SystemConstraints {
+        boot_time_requirement: Nanos::from_millis(10),
+        preemption_overhead: Nanos::from_micros(50),
+        average_link_ports: 2,
+    });
+    let r = CoSynthesis::new(&s, &lib).run().unwrap();
+    assert_eq!(r.report.pe_count, 2, "always-on T1 blocks full-device merging");
+}

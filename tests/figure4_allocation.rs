@@ -1,0 +1,155 @@
+//! Reproduces the allocation walk-through of Figure 4: clusters are
+//! allocated in decreasing priority order; a software cluster lands on a
+//! CPU, hardware clusters land on an FPGA, and clusters whose execution
+//! windows overlap share the device *spatially* while non-overlapping ones
+//! can time-share through modes.
+
+use crusade::core::{cluster_tasks, CoSynthesis};
+use crusade::model::{
+    CpuAttrs, Dollars, ExecutionTimes, GraphId, HwDemand, LinkClass, LinkType, MemoryVector,
+    Nanos, PeClass, PeType, PeTypeId, PpeAttrs, PpeKind, Preference, ResourceLibrary,
+    SystemConstraints, SystemSpec, Task, TaskGraph, TaskGraphBuilder,
+};
+
+const CPU: usize = 0;
+const FPGA: usize = 1;
+
+fn library() -> ResourceLibrary {
+    let mut lib = ResourceLibrary::new();
+    lib.add_pe(PeType::new(
+        "cpu",
+        Dollars::new(90),
+        PeClass::Cpu(CpuAttrs {
+            memory_bytes: 4 << 20,
+            context_switch: Nanos::from_micros(8),
+            comm_ports: 2,
+            comm_overlap: true,
+        }),
+    ));
+    lib.add_pe(PeType::new(
+        "fpga",
+        Dollars::new(250),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 1000,
+            flip_flops: 2000,
+            pins: 160,
+            boot_memory_bytes: 20 << 10,
+            config_bits_per_pfu: 150,
+            partial_reconfig: false,
+        }),
+    ));
+    lib.add_link(LinkType::new(
+        "bus",
+        Dollars::new(10),
+        LinkClass::Bus,
+        8,
+        vec![Nanos::from_nanos(300)],
+        64,
+        Nanos::from_micros(1),
+    ));
+    lib
+}
+
+/// C0: a software control chain (highest priority via tight deadline).
+fn c0() -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("c0-sw", Nanos::from_millis(100));
+    let mut prev = None;
+    for i in 0..3 {
+        let mut t = Task::new(
+            format!("sw{i}"),
+            ExecutionTimes::from_entries(2, [(PeTypeId::new(CPU), Nanos::from_micros(100))]),
+        );
+        t.memory = MemoryVector::new(1000, 200, 100);
+        let id = b.add_task(t);
+        if let Some(p) = prev {
+            b.add_edge(p, id, 64);
+        }
+        prev = Some(id);
+    }
+    b.deadline(Nanos::from_millis(1)).build().unwrap()
+}
+
+/// A hardware cluster graph in the window `[est, est+span)`.
+fn hw(name: &str, est_ms: u64, span_ms: u64, pfus: u32) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new(name, Nanos::from_millis(100));
+    let mut t = Task::new(
+        format!("{name}-hw"),
+        ExecutionTimes::from_entries(2, [(PeTypeId::new(FPGA), Nanos::from_millis(span_ms) / 4)]),
+    );
+    t.preference = Preference::Only(vec![PeTypeId::new(FPGA)]);
+    t.hw = HwDemand::new(0, pfus, pfus, 8);
+    b.add_task(t);
+    b.est(Nanos::from_millis(est_ms))
+        .deadline(Nanos::from_millis(span_ms))
+        .build()
+        .unwrap()
+}
+
+fn spec() -> SystemSpec {
+    // C1 runs early, C2 late (non-overlapping with C1), C3 overlaps C1.
+    SystemSpec::new(vec![
+        c0(),
+        hw("c1", 0, 30, 400),  // early window
+        hw("c2", 60, 30, 400), // late window: compatible with C1
+        hw("c3", 5, 30, 250),  // overlaps C1: must share spatially
+    ])
+    .with_constraints(SystemConstraints {
+        boot_time_requirement: Nanos::from_millis(5),
+        preemption_overhead: Nanos::from_micros(50),
+        average_link_ports: 2,
+    })
+}
+
+#[test]
+fn clusters_ordered_by_priority_and_c0_first() {
+    let lib = library();
+    let clustering = cluster_tasks(&spec(), &lib, 8);
+    // First cluster (highest priority) is the tight-deadline software one.
+    let (_, first) = clustering.clusters().next().unwrap();
+    assert_eq!(first.graph, GraphId::new(0));
+    assert_eq!(first.tasks.len(), 3);
+}
+
+#[test]
+fn figure4_architecture_shape() {
+    let lib = library();
+    let r = CoSynthesis::new(&spec(), &lib).run().unwrap();
+    // One CPU for C0; C1+C3 overlap (share device spatially: 400+250 <=
+    // 700 ERUF cap); C2 is time-disjoint from both and merges in as a
+    // second mode.
+    let cpus = r
+        .architecture
+        .pes()
+        .filter(|(_, p)| lib.pe(p.ty).is_cpu())
+        .count();
+    let fpgas: Vec<_> = r
+        .architecture
+        .pes()
+        .filter(|(_, p)| lib.pe(p.ty).is_reconfigurable())
+        .collect();
+    assert_eq!(cpus, 1);
+    assert_eq!(fpgas.len(), 1, "C1..C3 fit one physical device");
+    assert_eq!(fpgas[0].1.modes.len(), 2, "mode 1 = C1+C3, mode 2 = C2");
+    // Mode membership: one mode holds two graphs, the other one.
+    let mut sizes: Vec<usize> = fpgas[0].1.modes.iter().map(|m| m.graphs.len()).collect();
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![1, 2]);
+}
+
+#[test]
+fn without_merge_the_windows_still_pack_spatially() {
+    let lib = library();
+    let r = CoSynthesis::new(&spec(), &lib)
+        .with_options(crusade::core::CosynOptions::without_reconfiguration())
+        .run()
+        .unwrap();
+    // Baseline: C1+C3 on one device (spatial), C2 forced onto a second
+    // device only if it cannot pack — 400+250+400 > 700, so two FPGAs.
+    let fpgas = r
+        .architecture
+        .pes()
+        .filter(|(_, p)| lib.pe(p.ty).is_reconfigurable())
+        .count();
+    assert_eq!(fpgas, 2);
+}

@@ -1,0 +1,182 @@
+//! Property-based invariants of dynamic reconfiguration: on randomly
+//! generated phase-structured workloads, merging never raises cost, never
+//! breaks a deadline, keeps modes within capacity, and leaves the tasks of
+//! any two different modes of one device time-disjoint (with boot room)
+//! unless the graph is shared across the images.
+
+use crusade::core::{CoSynthesis, CosynOptions};
+use crusade::model::{
+    Dollars, ExecutionTimes, GlobalEdgeId, GlobalTaskId, HwDemand, LinkClass, LinkType, Nanos,
+    PeClass, PeType, PeTypeId, PpeAttrs, PpeKind, Preference, ResourceLibrary,
+    SystemConstraints, SystemSpec, Task, TaskGraph, TaskGraphBuilder,
+};
+use crusade::sched::{check_deadlines, estimate_finish_times, Occupant};
+use proptest::prelude::*;
+
+const FRAME_MS: u64 = 100;
+const BOOT_MS: u64 = 5;
+
+fn library() -> ResourceLibrary {
+    let mut lib = ResourceLibrary::new();
+    lib.add_pe(PeType::new(
+        "fpga",
+        Dollars::new(220),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 1000,
+            flip_flops: 2000,
+            pins: 200,
+            boot_memory_bytes: 24 << 10,
+            config_bits_per_pfu: 150,
+            partial_reconfig: false,
+        }),
+    ));
+    lib.add_link(LinkType::new(
+        "bus",
+        Dollars::new(10),
+        LinkClass::Bus,
+        8,
+        vec![Nanos::from_nanos(300)],
+        64,
+        Nanos::from_micros(1),
+    ));
+    lib
+}
+
+fn hw_graph(name: String, phase: u64, phases: u64, n_tasks: usize, pfus: u32) -> TaskGraph {
+    let slot_ms = FRAME_MS / phases;
+    let span = Nanos::from_millis(slot_ms * 11 / 20);
+    let mut b = TaskGraphBuilder::new(name, Nanos::from_millis(FRAME_MS));
+    let per_task = span / (2 * n_tasks as u64);
+    let mut prev = None;
+    for i in 0..n_tasks {
+        let mut t = Task::new(
+            format!("hw{i}"),
+            ExecutionTimes::from_entries(1, [(PeTypeId::new(0), per_task)]),
+        );
+        t.preference = Preference::Only(vec![PeTypeId::new(0)]);
+        let p = (pfus / n_tasks as u32).max(4);
+        t.hw = HwDemand::new(0, p, p, 4);
+        let id = b.add_task(t);
+        if let Some(prev) = prev {
+            b.add_edge(prev, id, 64);
+        }
+        prev = Some(id);
+    }
+    b.est(Nanos::from_millis(slot_ms * phase))
+        .deadline(span)
+        .build()
+        .unwrap()
+}
+
+fn spec_from(phases: u64, blocks: &[(u64, usize, u32)]) -> SystemSpec {
+    let graphs = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, &(phase, n, pfus))| {
+            hw_graph(format!("g{i}"), phase % phases, phases, n, pfus)
+        })
+        .collect();
+    SystemSpec::new(graphs).with_constraints(SystemConstraints {
+        boot_time_requirement: Nanos::from_millis(BOOT_MS),
+        preemption_overhead: Nanos::from_micros(50),
+        average_link_ports: 2,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merging_never_raises_cost_and_keeps_deadlines(
+        phases in 2u64..5,
+        blocks in prop::collection::vec((0u64..5, 2usize..5, 100u32..500), 2..8),
+    ) {
+        let lib = library();
+        let spec = spec_from(phases, &blocks);
+        let base = CoSynthesis::new(&spec, &lib)
+            .with_options(CosynOptions::without_reconfiguration())
+            .run();
+        let recon = CoSynthesis::new(&spec, &lib).run();
+        let (Ok(base), Ok(recon)) = (base, recon) else {
+            // Some random workloads are infeasible; both modes must agree.
+            return Ok(());
+        };
+        prop_assert!(recon.report.cost <= base.report.cost,
+            "reconfig {} > baseline {}", recon.report.cost, base.report.cost);
+        prop_assert!(recon.report.pe_count <= base.report.pe_count);
+
+        // Deadlines hold on the final (merged) schedule.
+        for (g, graph) in spec.graphs() {
+            let finishes = estimate_finish_times(
+                graph,
+                |t| recon.architecture.board.window(Occupant::Task(GlobalTaskId::new(g, t))),
+                |_| Nanos::ZERO,
+                |e| recon.architecture.board.window(Occupant::Edge(GlobalEdgeId::new(g, e))),
+                |_| Nanos::ZERO,
+            );
+            prop_assert!(check_deadlines(graph, &finishes).is_empty());
+        }
+    }
+
+    #[test]
+    fn modes_stay_within_caps_and_disjoint(
+        phases in 2u64..5,
+        blocks in prop::collection::vec((0u64..5, 2usize..5, 100u32..500), 2..8),
+    ) {
+        let lib = library();
+        let spec = spec_from(phases, &blocks);
+        let Ok(recon) = CoSynthesis::new(&spec, &lib).run() else { return Ok(()); };
+        let attrs = lib.pe(PeTypeId::new(0)).as_ppe().unwrap().clone();
+        let pfu_cap = (attrs.pfus as f64 * 0.70) as u32;
+        let boot = Nanos::from_millis(BOOT_MS);
+
+        for (_, pe) in recon.architecture.pes() {
+            for mode in &pe.modes {
+                prop_assert!(mode.used_hw.pfus <= pfu_cap);
+            }
+            // Cross-mode tasks (of graphs not shared between the two
+            // modes) never overlap, and keep boot room between them.
+            for (i, mi) in pe.modes.iter().enumerate() {
+                for mj in pe.modes.iter().skip(i + 1) {
+                    for &gi in &mi.graphs {
+                        if mj.graphs.contains(&gi) {
+                            continue; // shared across images
+                        }
+                        for &gj in &mj.graphs {
+                            if mi.graphs.contains(&gj) || gi == gj {
+                                continue;
+                            }
+                            let win = |g: crusade::model::GraphId| {
+                                let graph = spec.graph(g);
+                                let mut lo = Nanos::MAX;
+                                let mut hi = Nanos::ZERO;
+                                for (t, _) in graph.tasks() {
+                                    if let Some(w) = recon.architecture.board.window(
+                                        Occupant::Task(GlobalTaskId::new(g, t)),
+                                    ) {
+                                        lo = lo.min(w.start);
+                                        hi = hi.max(w.finish);
+                                    }
+                                }
+                                (lo, hi)
+                            };
+                            let (lo_i, hi_i) = win(gi);
+                            let (lo_j, hi_j) = win(gj);
+                            // Disjoint with >= boot gap on one side
+                            // (within the common 100 ms frame).
+                            let gap_ij = lo_j.checked_sub(hi_i);
+                            let gap_ji = lo_i.checked_sub(hi_j);
+                            let ok = gap_ij.map(|g| g >= boot).unwrap_or(false)
+                                || gap_ji.map(|g| g >= boot).unwrap_or(false);
+                            prop_assert!(
+                                ok,
+                                "modes overlap or lack boot room: [{lo_i},{hi_i}) vs [{lo_j},{hi_j})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Serialization round-trips: specifications and libraries survive JSON —
+//! the contract behind the `crusade` CLI's spec files.
+
+use crusade::model::{ResourceLibrary, SystemSpec};
+use crusade::workloads::{paper_examples, paper_library};
+
+#[test]
+fn paper_library_round_trips() {
+    let lib = paper_library();
+    let json = serde_json::to_string(&lib.lib).unwrap();
+    let back: ResourceLibrary = serde_json::from_str(&json).unwrap();
+    assert_eq!(lib.lib, back);
+}
+
+#[test]
+fn full_spec_round_trips() {
+    let lib = paper_library();
+    let spec = paper_examples()[0].build(&lib);
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: SystemSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, back);
+    back.validate().unwrap();
+}
+
+#[test]
+fn deserialized_spec_synthesizes_identically() {
+    use crusade::core::CoSynthesis;
+    let lib = paper_library();
+    let spec = paper_examples()[0].build(&lib);
+    let back: SystemSpec =
+        serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+    let a = CoSynthesis::new(&spec, &lib.lib).run().unwrap();
+    let b = CoSynthesis::new(&back, &lib.lib).run().unwrap();
+    assert_eq!(a.report.cost, b.report.cost);
+    assert_eq!(a.report.pe_count, b.report.pe_count);
+}
+
+#[test]
+fn malformed_spec_is_rejected_cleanly() {
+    let err = serde_json::from_str::<SystemSpec>("{\"graphs\": 3}").unwrap_err();
+    assert!(err.to_string().contains("invalid"));
+}
