@@ -27,8 +27,8 @@
 //! ```
 //! use crusade_fabric::{Netlist, UtilisationExperiment};
 //!
-//! let circuit = Netlist::generate(7, 30, 2.0, 8);
-//! let exp = UtilisationExperiment::new(&circuit, 3, 7);
+//! let circuit = Netlist::generate(8, 30, 2.0, 8);
+//! let exp = UtilisationExperiment::new(&circuit, 3, 8);
 //! let at_baseline = exp.delay_increase_percent(0.70, 0.80).unwrap();
 //! assert_eq!(at_baseline, Some(0.0));
 //! ```

@@ -1,0 +1,483 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a simplified serialization framework with the same surface the code
+//! uses: `#[derive(Serialize, Deserialize)]`, `#[serde(transparent)]`, and
+//! JSON round-trips through the companion `serde_json` stand-in.
+//!
+//! Instead of serde's visitor architecture, everything funnels through a
+//! small [`Value`] tree: [`Serialize`] renders a value into a [`Value`],
+//! [`Deserialize`] rebuilds it from one. Formats (the vendored
+//! `serde_json`) print and parse [`Value`]s. The derive macro emits the
+//! same external representations real serde would for this workspace's
+//! types: structs as maps, newtype structs transparently as their inner
+//! value, and enums externally tagged.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The universal data tree both traits speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (positive ones normalize to [`Value::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with string keys, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's shape, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Creates a "invalid type" error.
+    pub fn invalid_type(expected: &str, found: &Value) -> Self {
+        DeError {
+            msg: format!("invalid type: expected {expected}, found {}", found.kind()),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into the universal [`Value`] tree.
+pub trait Serialize {
+    /// The [`Value`] representation of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from the universal [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses a [`Value`] into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match `Self`.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetches a struct field from a map, treating a missing key as `null`
+/// (which lets `Option` fields default to `None` while any other type
+/// reports an invalid-type error naming the field).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when `v` is not a map at all.
+pub fn map_field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+    match v {
+        Value::Map(_) => Ok(v.get(name).unwrap_or(&Value::Null)),
+        other => Err(DeError::invalid_type("map", other)),
+    }
+}
+
+/// Wraps a field deserialization so errors name the field.
+///
+/// # Errors
+///
+/// Propagates the inner [`DeError`] with the field name prefixed.
+pub fn field<T: Deserialize>(v: &Value, ty: &str, name: &str) -> Result<T, DeError> {
+    let inner = map_field(v, name)?;
+    T::deserialize_value(inner).map_err(|e| DeError::custom(format!("field `{ty}.{name}`: {e}")))
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("integer {n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("integer {n} out of range"))),
+                    other => Err(DeError::invalid_type("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("integer {n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("integer {n} out of range"))),
+                    other => Err(DeError::invalid_type("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::invalid_type("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::invalid_type("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap_or('\0')),
+            other => Err(DeError::invalid_type("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::invalid_type("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+impl Deserialize for std::time::Duration {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let secs = field(v, "Duration", "secs")?;
+        let nanos: u32 = field(v, "Duration", "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+// Maps serialize as sequences of `[key, value]` pairs: keys here are not
+// strings (e.g. schedule occupants), which a JSON object cannot hold.
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        entry_pairs(v)?
+            .map(|pair| {
+                let (k, v) = pair?;
+                Ok((K::deserialize_value(k)?, V::deserialize_value(v)?))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        entry_pairs(v)?
+            .map(|pair| {
+                let (k, v) = pair?;
+                Ok((K::deserialize_value(k)?, V::deserialize_value(v)?))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::invalid_type("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::invalid_type("sequence", other)),
+        }
+    }
+}
+
+/// Iterates a map-as-pair-sequence value, yielding `(key, value)` value
+/// pairs for the map impls above.
+fn entry_pairs(v: &Value) -> Result<impl Iterator<Item = Result<(&Value, &Value), DeError>>, DeError> {
+    match v {
+        Value::Seq(items) => Ok(items.iter().map(|pair| match pair {
+            Value::Seq(kv) if kv.len() == 2 => Ok((&kv[0], &kv[1])),
+            other => Err(DeError::invalid_type("[key, value] pair", other)),
+        })),
+        other => Err(DeError::invalid_type("sequence of pairs", other)),
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(DeError::custom(format!(
+                                "expected a tuple of {expected}, found {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::deserialize_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::invalid_type("sequence", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(u32::deserialize_value(&42u32.serialize_value()), Ok(42));
+        assert_eq!(i64::deserialize_value(&(-7i64).serialize_value()), Ok(-7));
+        assert_eq!(
+            String::deserialize_value(&"hi".to_string().serialize_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Option::<u8>::deserialize_value(&Value::Null),
+            Ok(None::<u8>)
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize_value(&vec![1u8, 2].serialize_value()),
+            Ok(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn missing_map_field_reads_as_null() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(map_field(&v, "b"), Ok(&Value::Null));
+        assert!(map_field(&Value::U64(3), "a").is_err());
+    }
+
+    #[test]
+    fn range_checked_integers() {
+        assert!(u8::deserialize_value(&Value::U64(300)).is_err());
+        assert!(u32::deserialize_value(&Value::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits `Serialize`/`Deserialize` impls for the simplified `Value`-tree
+//! model in the vendored `serde` crate. The parser is hand-rolled over
+//! `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline) and supports exactly the shapes this workspace derives on:
+//! non-generic structs with named fields, tuple (newtype) structs, and
+//! enums with unit / tuple / struct variants. Container attributes such
+//! as `#[serde(transparent)]` are accepted; newtype structs always
+//! serialize transparently (matching real serde's JSON behaviour).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error invocation parses")
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde derive does not support generic type `{name}`"
+        ));
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive serde traits for `{other}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a named-field body. Commas inside angle
+/// brackets (e.g. `Vec<(A, B)>` is fine, but `HashMap<K, V>` has a
+/// top-level-token comma) are skipped by tracking `<`/`>` depth; commas
+/// inside parentheses/brackets live in nested groups and never surface.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        fields.push(name);
+        skip_until_comma(&tokens, &mut i);
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma would over-count; the workspace doesn't write them
+    // in tuple bodies, but be safe.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        // Skip any explicit discriminant, then the separating comma.
+        skip_until_comma(&tokens, &mut i);
+    }
+    Ok(variants)
+}
+
+/// Advances `i` past the next top-level comma (angle-bracket aware),
+/// leaving it on the token after the comma.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::Named(fields) => serialize_map_expr(fields, |f| format!("&self.{f}")),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from({vname:?}), \
+                         ::serde::Serialize::serialize_value(f0))]),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Value::Seq(::std::vec![{elems}]))]),",
+                            binds = binds.join(", "),
+                            elems = elems.join(", "),
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let payload = serialize_map_expr(fields, |f| f.to_string());
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => \
+                             ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({vname:?}), {payload})]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+/// `Value::Map(vec![("field", ser(<access>)), ...])`.
+fn serialize_map_expr(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::serialize_value({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => format!(
+            "match v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             other => ::std::result::Result::Err(\
+             ::serde::DeError::invalid_type(\"null\", other)) }}"
+        ),
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Seq(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({elems})), \
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::invalid_type(\"sequence of {n}\", other)) }}",
+                elems = elems.join(", "),
+            )
+        }
+        Shape::Named(fields) => deserialize_struct_expr(name, name, fields, "v"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(vname, _)| {
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let tag_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, shape)| {
+                    let expr = match shape {
+                        VariantShape::Unit => return None,
+                        VariantShape::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize_value(payload)?))"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "match payload {{ \
+                                 ::serde::Value::Seq(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vname}({elems})), \
+                                 other => ::std::result::Result::Err(\
+                                 ::serde::DeError::invalid_type(\"sequence of {n}\", other)) }}",
+                                elems = elems.join(", "),
+                            )
+                        }
+                        VariantShape::Named(fields) => deserialize_struct_expr(
+                            &format!("{name}::{vname}"),
+                            name,
+                            fields,
+                            "payload",
+                        ),
+                    };
+                    Some(format!("{vname:?} => {expr},"))
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {unit_arms} \
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                 }}, \
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                     let (tag, payload) = &entries[0]; \
+                     match tag.as_str() {{ \
+                         {tag_arms} \
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                     }} \
+                 }}, \
+                 other => ::std::result::Result::Err(\
+                     ::serde::DeError::invalid_type(\"externally tagged {name}\", other)), \
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                tag_arms = tag_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
+
+/// `Ok(Path { f: ::serde::field(src, "Ty", "f")?, ... })`.
+fn deserialize_struct_expr(path: &str, ty: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field({src}, {ty:?}, {f:?})?"))
+        .collect();
+    format!(
+        "::std::result::Result::Ok({path} {{ {} }})",
+        inits.join(", ")
+    )
+}
