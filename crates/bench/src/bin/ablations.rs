@@ -15,7 +15,10 @@ use crusade_workloads::{paper_examples, paper_library};
 fn run(options: CosynOptions) -> Option<(usize, usize, u64, f64)> {
     let lib = paper_library();
     let spec = paper_examples()[0].build(&lib);
-    let r = CoSynthesis::new(&spec, &lib.lib).with_options(options).run().ok()?;
+    let r = CoSynthesis::new(&spec, &lib.lib)
+        .with_options(options)
+        .run()
+        .ok()?;
     Some((
         r.report.pe_count,
         r.report.cluster_count,
@@ -28,9 +31,15 @@ fn main() {
     println!("ablations on A1TR (1126 tasks), dynamic reconfiguration on\n");
 
     println!("cluster-size cap:");
-    println!("{:>5} {:>9} {:>6} {:>9} {:>9}", "cap", "clusters", "PEs", "cost", "CPU(s)");
+    println!(
+        "{:>5} {:>9} {:>6} {:>9} {:>9}",
+        "cap", "clusters", "PEs", "cost", "CPU(s)"
+    );
     for cap in [1usize, 2, 4, 8, 16] {
-        let options = CosynOptions { cluster_size_cap: cap, ..CosynOptions::default() };
+        let options = CosynOptions {
+            cluster_size_cap: cap,
+            ..CosynOptions::default()
+        };
         match run(options) {
             Some((pes, clusters, cost, t)) => {
                 println!("{cap:>5} {clusters:>9} {pes:>6} {cost:>8}$ {t:>9.3}")
@@ -42,7 +51,10 @@ fn main() {
     println!("\nERUF cap (delay-management aggressiveness):");
     println!("{:>5} {:>6} {:>9} {:>9}", "eruf", "PEs", "cost", "CPU(s)");
     for eruf in [0.5f64, 0.6, 0.7, 0.8, 0.9] {
-        let options = CosynOptions { eruf, ..CosynOptions::default() };
+        let options = CosynOptions {
+            eruf,
+            ..CosynOptions::default()
+        };
         match run(options) {
             Some((pes, _, cost, t)) => println!("{eruf:>5.2} {pes:>6} {cost:>8}$ {t:>9.3}"),
             None => println!("{eruf:>5.2} infeasible"),
@@ -51,7 +63,10 @@ fn main() {
 
     println!("\npreemption:");
     for (label, preemption) in [("on", true), ("off", false)] {
-        let options = CosynOptions { preemption, ..CosynOptions::default() };
+        let options = CosynOptions {
+            preemption,
+            ..CosynOptions::default()
+        };
         match run(options) {
             Some((pes, _, cost, t)) => {
                 println!("  {label:<4} {pes:>4} PEs  ${cost}  {t:.3}s")
@@ -62,7 +77,10 @@ fn main() {
 
     println!("\nconfiguration-image sharing (partially reconfigurable devices):");
     for (label, image_sharing) in [("on", true), ("off", false)] {
-        let options = CosynOptions { image_sharing, ..CosynOptions::default() };
+        let options = CosynOptions {
+            image_sharing,
+            ..CosynOptions::default()
+        };
         match run(options) {
             Some((pes, _, cost, t)) => {
                 println!("  {label:<4} {pes:>4} PEs  ${cost}  {t:.3}s")

@@ -194,7 +194,10 @@ pub fn table1_rows() -> Vec<DelayRow> {
 /// Propagates the first failing row.
 pub fn table2_rows() -> Result<Vec<SynthesisRow>, SynthesisError> {
     let lib = paper_library();
-    paper_examples().iter().map(|ex| table2_row(&lib, ex)).collect()
+    paper_examples()
+        .iter()
+        .map(|ex| table2_row(&lib, ex))
+        .collect()
 }
 
 /// Runs all of Table 3.
@@ -204,7 +207,10 @@ pub fn table2_rows() -> Result<Vec<SynthesisRow>, SynthesisError> {
 /// Propagates the first failing row.
 pub fn table3_rows() -> Result<Vec<SynthesisRow>, SynthesisError> {
     let lib = paper_library();
-    paper_examples().iter().map(|ex| table3_row(&lib, ex)).collect()
+    paper_examples()
+        .iter()
+        .map(|ex| table3_row(&lib, ex))
+        .collect()
 }
 
 #[cfg(test)]
@@ -238,7 +244,11 @@ mod tests {
             .filter(|r| r.increases.last().unwrap().is_none())
             .map(|r| r.name)
             .collect();
-        assert_eq!(nr, vec!["r2d2p", "cv46", "wamxp"], "paper's Not-routable set");
+        assert_eq!(
+            nr,
+            vec!["r2d2p", "cv46", "wamxp"],
+            "paper's Not-routable set"
+        );
     }
 
     #[test]

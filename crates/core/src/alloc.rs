@@ -98,7 +98,6 @@ impl<'a> Allocator<'a> {
         options: &'a CosynOptions,
         clustering: &'a Clustering,
     ) -> Self {
-        
         let mut latest_finish = Vec::with_capacity(spec.graph_count());
         let mut priorities = Vec::with_capacity(spec.graph_count());
         for (gid, graph) in spec.graphs() {
@@ -159,6 +158,24 @@ impl<'a> Allocator<'a> {
         a
     }
 
+    /// Prepares an allocator for *repair* synthesis: `arch` is a partially
+    /// populated (damaged, evicted) architecture whose remaining placements
+    /// must be preserved. New PE and link instances may be created, but new
+    /// configuration images may not — fresh allocation only ever joins
+    /// existing images, so a repaired architecture's merge structure stays
+    /// exactly what reconfiguration generation verified.
+    pub fn resume(
+        spec: &'a SystemSpec,
+        lib: &'a ResourceLibrary,
+        options: &'a CosynOptions,
+        clustering: &'a Clustering,
+        arch: Architecture,
+    ) -> Self {
+        let mut a = Allocator::new(spec, lib, options, clustering);
+        a.arch = arch;
+        a
+    }
+
     /// Builds the allocation array for `cluster`, ordered by increasing
     /// incremental cost; among free (existing) candidates, the least-loaded
     /// instance comes first so placements finish early and load spreads.
@@ -174,11 +191,7 @@ impl<'a> Allocator<'a> {
             let load = self.arch.board.timeline(pe.resource).len();
             for mode in 0..pe.modes.len() {
                 if self.capacity_fits(cluster, pid, mode) {
-                    entries.push((
-                        AllocTarget::Existing { pe: pid, mode },
-                        Dollars::ZERO,
-                        load,
-                    ));
+                    entries.push((AllocTarget::Existing { pe: pid, mode }, Dollars::ZERO, load));
                 }
             }
             if self.allow_new_modes
@@ -188,7 +201,11 @@ impl<'a> Allocator<'a> {
             {
                 // A fresh image: tried after the existing ones (same cost,
                 // biased later by a load bump so spatial packing wins).
-                entries.push((AllocTarget::NewMode { pe: pid }, Dollars::ZERO, load + 1_000_000));
+                entries.push((
+                    AllocTarget::NewMode { pe: pid },
+                    Dollars::ZERO,
+                    load + 1_000_000,
+                ));
             }
         }
         if self.allow_new_instances {
@@ -214,13 +231,10 @@ impl<'a> Allocator<'a> {
         let ty = self.lib.pe(pe.ty);
         let mode = &pe.modes[mode];
         match ty.class() {
-            PeClass::Cpu(attrs) => {
-                pe.memory_used + cluster.memory.total() <= attrs.memory_bytes
-            }
+            PeClass::Cpu(attrs) => pe.memory_used + cluster.memory.total() <= attrs.memory_bytes,
             PeClass::Asic(attrs) => {
                 let hw = mode.used_hw + cluster.hw;
-                hw.gates <= attrs.gates
-                    && hw.pins <= (attrs.pins as f64 * self.options.epuf) as u32
+                hw.gates <= attrs.gates && hw.pins <= (attrs.pins as f64 * self.options.epuf) as u32
             }
             PeClass::Ppe(attrs) => {
                 let hw = mode.used_hw + cluster.hw;
@@ -372,7 +386,7 @@ impl<'a> Allocator<'a> {
                         } else {
                             // Inter-PE edge: schedule it on a link now.
                             let geid = GlobalEdgeId::new(gid, eid);
-                            
+
                             self.place_edge(
                                 &mut arch,
                                 geid,
@@ -448,14 +462,7 @@ impl<'a> Allocator<'a> {
                     } else {
                         let geid = GlobalEdgeId::new(gid, eid);
                         let arrive = self.place_edge(
-                            &mut arch,
-                            geid,
-                            pid,
-                            dst_pe,
-                            edge.bytes,
-                            finish,
-                            period,
-                            w.start,
+                            &mut arch, geid, pid, dst_pe, edge.bytes, finish, period, w.start,
                         )?;
                         if arrive > w.start {
                             return None;
@@ -613,8 +620,7 @@ impl<'a> Allocator<'a> {
                     // Same-PE consumers with no edge in between.
                     Some(w) => {
                         w.start >= vfinish
-                            || self
-                                .pe_of_task(&scratch, GlobalTaskId::new(victim.graph, edge.to))
+                            || self.pe_of_task(&scratch, GlobalTaskId::new(victim.graph, edge.to))
                                 != Some(pid)
                     }
                     None => true,
@@ -683,7 +689,11 @@ impl<'a> Allocator<'a> {
             }
         }
         for (ty, l) in self.lib.links() {
-            options.push((l.cost(), l.worst_transfer_time(bytes), LinkOption::Create(ty)));
+            options.push((
+                l.cost(),
+                l.worst_transfer_time(bytes),
+                LinkOption::Create(ty),
+            ));
         }
         options.sort_by_key(|&(cost, dur, _)| (cost, dur));
 
@@ -729,9 +739,7 @@ impl<'a> Allocator<'a> {
             // hardware, which is rolled back below if the slot search
             // fails.
             let (link_resource, created) = match &option {
-                LinkOption::Use(id) | LinkOption::Extend(id, _) => {
-                    (arch.link(*id).resource, None)
-                }
+                LinkOption::Use(id) | LinkOption::Extend(id, _) => (arch.link(*id).resource, None),
                 LinkOption::Create(ty) => {
                     let id = arch.add_link(*ty);
                     let l = arch.link_mut(id);
@@ -751,18 +759,42 @@ impl<'a> Allocator<'a> {
             );
             match slot {
                 Some(start) => {
-                    arch.board
+                    // The fixpoint search verified the slot on every
+                    // resource, but treat placement defensively: if any
+                    // leg disagrees, roll this option back and continue
+                    // with the next instead of panicking mid-synthesis.
+                    let mut placed: Vec<Occupant> = Vec::new();
+                    let mut ok = arch
+                        .board
                         .place(link_resource, occupant, start, dur, period, start)
-                        .expect("slot was verified free");
-                    for &(r, occ) in &cpu_sides {
-                        arch.board
-                            .place(r, occ, start, dur, period, start)
-                            .expect("slot was verified free");
+                        .is_some();
+                    if ok {
+                        placed.push(occupant);
+                        for &(r, occ) in &cpu_sides {
+                            if arch
+                                .board
+                                .place(r, occ, start, dur, period, start)
+                                .is_some()
+                            {
+                                placed.push(occ);
+                            } else {
+                                ok = false;
+                                break;
+                            }
+                        }
                     }
-                    if let LinkOption::Extend(id, missing) = option {
-                        arch.link_mut(id).attached.push(missing);
+                    if ok {
+                        if let LinkOption::Extend(id, missing) = option {
+                            arch.link_mut(id).attached.push(missing);
+                        }
+                        return Some(start + dur);
                     }
-                    return Some(start + dur);
+                    for occ in placed {
+                        arch.board.remove(occ);
+                    }
+                    if let Some(id) = created {
+                        arch.link_mut(id).retired = true;
+                    }
                 }
                 None => {
                     if let Some(id) = created {
@@ -797,15 +829,9 @@ impl<'a> Allocator<'a> {
         let graph = self.spec.graph(g);
         estimate_finish_times(
             graph,
-            |t| {
-                arch.board
-                    .window(Occupant::Task(GlobalTaskId::new(g, t)))
-            },
+            |t| arch.board.window(Occupant::Task(GlobalTaskId::new(g, t))),
             |t| graph.task(t).exec.slowest().unwrap_or(Nanos::ZERO),
-            |e| {
-                arch.board
-                    .window(Occupant::Edge(GlobalEdgeId::new(g, e)))
-            },
+            |e| arch.board.window(Occupant::Edge(GlobalEdgeId::new(g, e))),
             |e| {
                 let edge = graph.edge(e);
                 if self.clustering.same_cluster(g, edge.from, edge.to) {
@@ -820,9 +846,7 @@ impl<'a> Allocator<'a> {
     /// The PE instance hosting a placed task.
     fn pe_of_task(&self, arch: &Architecture, gt: GlobalTaskId) -> Option<PeInstanceId> {
         let r = arch.board.resource_of(Occupant::Task(gt))?;
-        arch.pes()
-            .find(|(_, p)| p.resource == r)
-            .map(|(id, _)| id)
+        arch.pes().find(|(_, p)| p.resource == r).map(|(id, _)| id)
     }
 
     /// Public window lookup used by the synthesis driver's reporting.

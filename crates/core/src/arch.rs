@@ -232,6 +232,16 @@ impl Architecture {
             .map(|(i, l)| (LinkInstanceId::new(i), l))
     }
 
+    /// Total PE slots ever instantiated, retired included (id-space size).
+    pub(crate) fn pe_slots(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Total link slots ever instantiated, retired included.
+    pub(crate) fn link_slots(&self) -> usize {
+        self.links.len()
+    }
+
     /// Number of live PE instances — the paper's "No. of PEs" column.
     pub fn pe_count(&self) -> usize {
         self.pes.iter().filter(|p| !p.retired).count()

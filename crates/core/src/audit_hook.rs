@@ -1,0 +1,36 @@
+//! Registry for the independent architecture auditor.
+//!
+//! The auditor lives in the `crusade-verify` crate, which depends on this
+//! one — so the synthesis driver cannot call it directly. Instead,
+//! `crusade-verify` installs a function pointer here once per process, and
+//! [`crate::CoSynthesis::run`] invokes it as a post-pass whenever
+//! [`crate::CosynOptions::audit`] is set. The indirection keeps the audit
+//! genuinely *independent*: the auditor re-derives every invariant from
+//! the specification and schedule with its own arithmetic, none of which
+//! this crate can reach into.
+
+use std::sync::OnceLock;
+
+use crusade_model::{ResourceLibrary, SystemSpec};
+
+use crate::options::CosynOptions;
+use crate::synthesis::SynthesisResult;
+
+/// Signature of an installed auditor: returns one human-readable line per
+/// violation found (empty = architecture verified clean).
+pub type AuditHook =
+    fn(&SystemSpec, &ResourceLibrary, &CosynOptions, &SynthesisResult) -> Vec<String>;
+
+static HOOK: OnceLock<AuditHook> = OnceLock::new();
+
+/// Installs the process-wide auditor. The first installation wins;
+/// subsequent calls are ignored (the hook is a pure function, so
+/// re-installation has nothing to change).
+pub fn install_audit_hook(hook: AuditHook) {
+    let _ = HOOK.set(hook);
+}
+
+/// The installed auditor, if any.
+pub fn audit_hook() -> Option<AuditHook> {
+    HOOK.get().copied()
+}

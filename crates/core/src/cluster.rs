@@ -18,6 +18,7 @@ use crusade_model::{
 };
 use crusade_sched::priority_levels;
 
+use crate::error::SynthesisError;
 use crate::options::CosynOptions;
 
 /// Identifies a cluster across the whole specification.
@@ -131,6 +132,12 @@ fn allowed_pes(lib: &ResourceLibrary, exec: &ExecutionTimes, pref: &Preference) 
 /// `cluster_size_cap` bounds cluster growth. Returns clusters sorted by
 /// decreasing priority level, ready for the allocation loop.
 ///
+/// # Errors
+///
+/// [`SynthesisError::Internal`] when the clustering bookkeeping
+/// desynchronises (a bug, reported instead of panicking so long
+/// verification campaigns degrade gracefully).
+///
 /// # Examples
 ///
 /// ```
@@ -140,7 +147,7 @@ fn allowed_pes(lib: &ResourceLibrary, exec: &ExecutionTimes, pref: &Preference) 
 ///     Task, TaskGraphBuilder,
 /// };
 ///
-/// # fn main() -> Result<(), crusade_model::ValidateSpecError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut lib = ResourceLibrary::new();
 /// lib.add_pe(PeType::new("cpu", Dollars::new(50), PeClass::Cpu(CpuAttrs {
 ///     memory_bytes: 1 << 20,
@@ -153,13 +160,17 @@ fn allowed_pes(lib: &ResourceLibrary, exec: &ExecutionTimes, pref: &Preference) 
 /// let z = b.add_task(Task::new("z", ExecutionTimes::uniform(1, Nanos::from_micros(10))));
 /// b.add_edge(a, z, 64);
 /// let spec = SystemSpec::new(vec![b.build()?]);
-/// let clustering = cluster_tasks(&spec, &lib, 8);
+/// let clustering = cluster_tasks(&spec, &lib, 8)?;
 /// // A two-task chain collapses into one cluster.
 /// assert_eq!(clustering.cluster_count(), 1);
 /// # Ok(())
 /// # }
 /// ```
-pub fn cluster_tasks(spec: &SystemSpec, lib: &ResourceLibrary, cluster_size_cap: usize) -> Clustering {
+pub fn cluster_tasks(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    cluster_size_cap: usize,
+) -> Result<Clustering, SynthesisError> {
     let options = CosynOptions {
         cluster_size_cap,
         ..CosynOptions::default()
@@ -180,8 +191,7 @@ fn fits_some_pe(
     allowed.iter().any(|&ty| match lib.pe(ty).class() {
         crusade_model::PeClass::Cpu(attrs) => memory.total() <= attrs.memory_bytes,
         crusade_model::PeClass::Asic(attrs) => {
-            hw.gates <= attrs.gates
-                && hw.pins <= (attrs.pins as f64 * options.epuf) as u32
+            hw.gates <= attrs.gates && hw.pins <= (attrs.pins as f64 * options.epuf) as u32
         }
         crusade_model::PeClass::Ppe(attrs) => {
             hw.pfus <= (attrs.pfus as f64 * options.eruf) as u32
@@ -193,11 +203,16 @@ fn fits_some_pe(
 
 /// [`cluster_tasks`] with explicit co-synthesis options (the ERUF/EPUF
 /// caps bound cluster growth against PE capacities).
+///
+/// # Errors
+///
+/// [`SynthesisError::Internal`] when the clustering bookkeeping
+/// desynchronises.
 pub fn cluster_tasks_with(
     spec: &SystemSpec,
     lib: &ResourceLibrary,
     options: &CosynOptions,
-) -> Clustering {
+) -> Result<Clustering, SynthesisError> {
     let cluster_size_cap = options.cluster_size_cap;
     let avg_ports = spec.constraints().average_link_ports;
     let mut clusters: Vec<Cluster> = Vec::new();
@@ -227,17 +242,21 @@ pub fn cluster_tasks_with(
                 |e| comm[e.index()],
             );
             // Highest-priority unclustered task seeds the cluster.
-            let seed = (0..n)
+            let Some(seed) = (0..n)
                 .filter(|&t| cluster_of[t].is_none())
                 .max_by_key(|&t| prios[t])
                 .map(TaskId::new)
-                .expect("unclustered > 0");
+            else {
+                return Err(SynthesisError::Internal(format!(
+                    "graph {gid}: unclustered-task count desynchronised ({unclustered} left)"
+                )));
+            };
 
             let idx = clusters.len();
             let mut members = vec![seed];
-            let mut allowed = allowed_pes(lib, &graph.task(seed).exec, &graph.task(seed).preference);
-            let mut excluded: HashSet<TaskId> =
-                graph.task(seed).exclusions.iter().collect();
+            let mut allowed =
+                allowed_pes(lib, &graph.task(seed).exec, &graph.task(seed).preference);
+            let mut excluded: HashSet<TaskId> = graph.task(seed).exclusions.iter().collect();
             cluster_of[seed.index()] = Some(idx);
             unclustered -= 1;
 
@@ -266,9 +285,7 @@ pub fn cluster_tasks_with(
                         if next_allowed.is_empty() {
                             return false;
                         }
-                        let hw = members
-                            .iter()
-                            .fold(t.hw, |acc, &m| acc + graph.task(m).hw);
+                        let hw = members.iter().fold(t.hw, |acc, &m| acc + graph.task(m).hw);
                         let memory = members
                             .iter()
                             .fold(t.memory, |acc, &m| acc + graph.task(m).memory);
@@ -368,12 +385,18 @@ pub fn cluster_tasks_with(
                 .map(|&t| final_prios[t.index()])
                 .fold(Priority::MIN, Priority::max);
         }
-        assignment.push(
-            cluster_of
-                .into_iter()
-                .map(|o| ClusterId::new(o.expect("all tasks clustered")))
-                .collect(),
-        );
+        let mut per_graph = Vec::with_capacity(cluster_of.len());
+        for (t, o) in cluster_of.into_iter().enumerate() {
+            match o {
+                Some(i) => per_graph.push(ClusterId::new(i)),
+                None => {
+                    return Err(SynthesisError::Internal(format!(
+                        "graph {gid}: task {t} left unclustered"
+                    )))
+                }
+            }
+        }
+        assignment.push(per_graph);
     }
 
     // Allocation order: decreasing priority. Remap assignment accordingly.
@@ -392,10 +415,10 @@ pub fn cluster_tasks_with(
             *c = ClusterId::new(remap[c.index()]);
         }
     }
-    Clustering {
+    Ok(Clustering {
         clusters: sorted,
         assignment,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -442,7 +465,7 @@ mod tests {
             prev = next;
         }
         let spec = SystemSpec::new(vec![b.build().unwrap()]);
-        let c = cluster_tasks(&spec, &lib(), 8);
+        let c = cluster_tasks(&spec, &lib(), 8).unwrap();
         assert_eq!(c.cluster_count(), 1);
         assert_eq!(c.cluster(ClusterId::new(0)).tasks.len(), 5);
     }
@@ -457,7 +480,7 @@ mod tests {
             prev = next;
         }
         let spec = SystemSpec::new(vec![b.build().unwrap()]);
-        let c = cluster_tasks(&spec, &lib(), 4);
+        let c = cluster_tasks(&spec, &lib(), 4).unwrap();
         assert!(c.cluster_count() >= 3);
         for (_, cl) in c.clusters() {
             assert!(cl.tasks.len() <= 4);
@@ -472,7 +495,7 @@ mod tests {
         b.add_edge(a, z, 100);
         b.task_mut(z).exclusions.add(a);
         let spec = SystemSpec::new(vec![b.build().unwrap()]);
-        let c = cluster_tasks(&spec, &lib(), 8);
+        let c = cluster_tasks(&spec, &lib(), 8).unwrap();
         assert_eq!(c.cluster_count(), 2);
         assert!(!c.same_cluster(GraphId::new(0), a, z));
     }
@@ -486,7 +509,7 @@ mod tests {
         b.task_mut(a).preference = Preference::Only(vec![PeTypeId::new(0)]);
         b.task_mut(z).preference = Preference::Only(vec![PeTypeId::new(1)]);
         let spec = SystemSpec::new(vec![b.build().unwrap()]);
-        let c = cluster_tasks(&spec, &lib(), 8);
+        let c = cluster_tasks(&spec, &lib(), 8).unwrap();
         assert_eq!(c.cluster_count(), 2);
         let first = c.cluster(ClusterId::new(0));
         assert_eq!(first.allowed_pes.len(), 1);
@@ -502,7 +525,7 @@ mod tests {
             b.deadline(Nanos::from_micros(deadline_us)).build().unwrap()
         };
         let spec = SystemSpec::new(vec![mk(5000), mk(100)]);
-        let c = cluster_tasks(&spec, &lib(), 8);
+        let c = cluster_tasks(&spec, &lib(), 8).unwrap();
         assert_eq!(c.cluster_count(), 2);
         let first = c.cluster(ClusterId::new(0));
         assert_eq!(first.graph, GraphId::new(1), "tight deadline first");
@@ -523,7 +546,7 @@ mod tests {
         let z = b.add_task(t2);
         b.add_edge(a, z, 10);
         let spec = SystemSpec::new(vec![b.build().unwrap()]);
-        let c = cluster_tasks(&spec, &lib(), 8);
+        let c = cluster_tasks(&spec, &lib(), 8).unwrap();
         let cl = c.cluster(ClusterId::new(0));
         assert_eq!(cl.memory.total(), 345);
         assert_eq!(cl.hw.pfus, 6);
@@ -542,7 +565,7 @@ mod tests {
             b.add_edge(root, leaf, 64);
         }
         let spec = SystemSpec::new(vec![b.build().unwrap()]);
-        let c = cluster_tasks(&spec, &lib(), 3);
+        let c = cluster_tasks(&spec, &lib(), 3).unwrap();
         let g = GraphId::new(0);
         for t in (0..7).map(TaskId::new) {
             let cid = c.cluster_of(g, t);

@@ -25,6 +25,17 @@ pub enum SynthesisError {
     /// A multi-mode device was produced but no reconfiguration-controller
     /// interface meets the system boot-time requirement.
     NoFeasibleInterface,
+    /// The post-synthesis architecture audit was requested
+    /// ([`crate::CosynOptions::audit`]) and the independent auditor found
+    /// violations in the produced architecture.
+    AuditFailed {
+        /// Human-readable description of every violation found.
+        violations: Vec<String>,
+    },
+    /// An internal invariant of the synthesis engine was broken — a bug,
+    /// not a property of the specification. Reported instead of panicking
+    /// so long campaigns degrade gracefully.
+    Internal(String),
 }
 
 impl fmt::Display for SynthesisError {
@@ -36,8 +47,26 @@ impl fmt::Display for SynthesisError {
                 "no feasible allocation for cluster {cluster} (first task {task_name})"
             ),
             SynthesisError::NoFeasibleInterface => {
-                write!(f, "no programming interface meets the boot-time requirement")
+                write!(
+                    f,
+                    "no programming interface meets the boot-time requirement"
+                )
             }
+            SynthesisError::AuditFailed { violations } => {
+                write!(
+                    f,
+                    "architecture audit found {} violation(s)",
+                    violations.len()
+                )?;
+                for v in violations.iter().take(5) {
+                    write!(f, "; {v}")?;
+                }
+                if violations.len() > 5 {
+                    write!(f, "; …")?;
+                }
+                Ok(())
+            }
+            SynthesisError::Internal(msg) => write!(f, "internal synthesis error: {msg}"),
         }
     }
 }

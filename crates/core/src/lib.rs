@@ -34,10 +34,12 @@
 
 mod alloc;
 mod arch;
+mod audit_hook;
 mod cluster;
 mod error;
 mod options;
 mod reconfig;
+mod repair;
 mod report;
 mod synthesis;
 mod upgrade;
@@ -46,13 +48,14 @@ pub use alloc::{AllocTarget, AllocationDecision, Allocator};
 pub use arch::{
     Architecture, LinkInstance, LinkInstanceId, Mode, ModeIndex, PeInstance, PeInstanceId,
 };
+pub use audit_hook::{audit_hook, install_audit_hook, AuditHook};
 pub use cluster::{cluster_tasks, cluster_tasks_with, Cluster, ClusterId, Clustering};
 pub use error::SynthesisError;
 pub use options::CosynOptions;
 pub use reconfig::ReconfigReport;
+pub use repair::{repair, Damage, RepairError, RepairOptions, RepairOutcome};
 pub use report::{
-    describe, describe_architecture, describe_schedule, describe_timing, graph_timings,
-    GraphTiming,
+    describe, describe_architecture, describe_schedule, describe_timing, graph_timings, GraphTiming,
 };
 pub use synthesis::{CoSynthesis, SynthesisReport, SynthesisResult};
 pub use upgrade::{hardware_shell, upgrade_in_field, UpgradeResult};

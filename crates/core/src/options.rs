@@ -32,6 +32,12 @@ pub struct CosynOptions {
     /// mechanism that keeps the paper's always-on T1 alive across modes).
     /// Disable for ablation studies.
     pub image_sharing: bool,
+    /// Whether the independent architecture auditor (from
+    /// `crusade-verify`, installed via
+    /// [`crate::install_audit_hook`]) re-derives and re-checks every
+    /// claimed invariant as a post-pass; violations turn into
+    /// [`crate::SynthesisError::AuditFailed`].
+    pub audit: bool,
 }
 
 impl Default for CosynOptions {
@@ -44,6 +50,7 @@ impl Default for CosynOptions {
             cluster_size_cap: 8,
             max_modes_per_device: 8,
             image_sharing: true,
+            audit: false,
         }
     }
 }
@@ -57,6 +64,12 @@ impl CosynOptions {
             reconfiguration: false,
             ..CosynOptions::default()
         }
+    }
+
+    /// Enables the independent post-synthesis audit.
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
     }
 }
 

@@ -85,11 +85,7 @@ fn mode_parts(
             // configuration images (handled by the caller for partially
             // reconfigurable devices). Mark it with a full-period
             // envelope, which collides with everything.
-            parts.push((
-                g,
-                PeriodicInterval::new(Nanos::ZERO, period, period),
-                hw,
-            ));
+            parts.push((g, PeriodicInterval::new(Nanos::ZERO, period, period), hw));
             continue;
         }
         // Expand at the front; shifting by a full period keeps the same
@@ -234,9 +230,17 @@ fn plan_merge(
                     }
                     // Share the smaller part (less area replicated).
                     if hwa.pfus <= hwb.pfus {
-                        shared.push(SharedPart { owner_a: true, mode: ma, graph: ga });
+                        shared.push(SharedPart {
+                            owner_a: true,
+                            mode: ma,
+                            graph: ga,
+                        });
                     } else {
-                        shared.push(SharedPart { owner_a: false, mode: mb, graph: gb });
+                        shared.push(SharedPart {
+                            owner_a: false,
+                            mode: mb,
+                            graph: gb,
+                        });
                     }
                 }
             }
@@ -280,7 +284,12 @@ fn plan_merge(
 
 /// Whether the compatibility matrix (when supplied) blesses merging the
 /// graph sets of two devices.
-fn declared_compatible(spec: &SystemSpec, arch: &Architecture, a: PeInstanceId, b: PeInstanceId) -> bool {
+fn declared_compatible(
+    spec: &SystemSpec,
+    arch: &Architecture,
+    a: PeInstanceId,
+    b: PeInstanceId,
+) -> bool {
     let Some(matrix) = spec.compatibility() else {
         return true; // no matrix: auto-detection decides
     };
@@ -329,8 +338,7 @@ fn exclusion_conflict(
         for &(gb, t2) in &tb {
             if ga == gb {
                 let graph = spec.graph(ga);
-                if graph.task(t1).exclusions.excludes(t2)
-                    || graph.task(t2).exclusions.excludes(t1)
+                if graph.task(t1).exclusions.excludes(t2) || graph.task(t2).exclusions.excludes(t1)
                 {
                     return true;
                 }
@@ -519,9 +527,7 @@ pub fn generate(
                 if arch.pe(a).ty != arch.pe(b).ty {
                     continue;
                 }
-                if arch.pe(a).modes.len() + arch.pe(b).modes.len()
-                    > options.max_modes_per_device
-                {
+                if arch.pe(a).modes.len() + arch.pe(b).modes.len() > options.max_modes_per_device {
                     continue;
                 }
                 report.merges_examined += 1;
@@ -544,8 +550,7 @@ pub fn generate(
             }
         }
 
-        let improved = arch.cost(lib) < cost_before
-            || arch.merge_potential(lib) < potential_before;
+        let improved = arch.cost(lib) < cost_before || arch.merge_potential(lib) < potential_before;
         if !merged_any || !improved {
             break;
         }

@@ -99,7 +99,10 @@ pub fn describe_architecture(
             );
         }
         None => {
-            let _ = writeln!(out, "  no reconfiguration interface (single-mode devices only)");
+            let _ = writeln!(
+                out,
+                "  no reconfiguration interface (single-mode devices only)"
+            );
         }
     }
     out
@@ -118,10 +121,7 @@ pub fn describe_schedule(
         let iv = placed.interval;
         let label = match placed.occupant {
             Occupant::Task(GlobalTaskId { graph, task }) => {
-                format!(
-                    "task {}",
-                    spec.graph(graph).task(task).name.clone()
-                )
+                format!("task {}", spec.graph(graph).task(task).name.clone())
             }
             other => other.to_string(),
         };
@@ -222,8 +222,8 @@ mod tests {
     use super::*;
     use crate::{CoSynthesis, CosynOptions};
     use crusade_model::{
-        CpuAttrs, Dollars, ExecutionTimes, LinkClass, LinkType, Nanos, PeClass, PeType,
-        SystemSpec, Task, TaskGraphBuilder,
+        CpuAttrs, Dollars, ExecutionTimes, LinkClass, LinkType, Nanos, PeClass, PeType, SystemSpec,
+        Task, TaskGraphBuilder,
     };
 
     fn setup() -> (SystemSpec, ResourceLibrary) {

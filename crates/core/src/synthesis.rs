@@ -11,9 +11,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use crusade_fabric::{synthesize_interface, InterfaceRequirement};
-use crusade_model::{
-    Dollars, GlobalTaskId, Nanos, PeClass, PpeAttrs, ResourceLibrary, SystemSpec,
-};
+use crusade_model::{Dollars, GlobalTaskId, Nanos, PeClass, PpeAttrs, ResourceLibrary, SystemSpec};
 use crusade_sched::{check_deadlines, estimate_finish_times, Occupant};
 
 use crate::alloc::Allocator;
@@ -130,7 +128,7 @@ impl<'a> CoSynthesis<'a> {
         self.spec.validate()?;
 
         // Pre-processing: clustering (priority levels are computed inside).
-        let clustering = cluster_tasks_with(self.spec, self.lib, &self.options);
+        let clustering = cluster_tasks_with(self.spec, self.lib, &self.options)?;
 
         // Synthesis: the outer allocation loop in priority order.
         let mut allocator = Allocator::new(self.spec, self.lib, &self.options, &clustering);
@@ -148,16 +146,13 @@ impl<'a> CoSynthesis<'a> {
         };
 
         // Reconfiguration-controller interface synthesis.
-        self.synthesize_interface(&mut arch)?;
+        resynthesize_interface(self.spec, self.lib, &mut arch)?;
 
         // Final verification: every graph's deadlines hold on the exact
         // schedule.
         debug_assert!(self.verify_deadlines(&arch));
 
-        let multi_mode_devices = arch
-            .pes()
-            .filter(|(_, p)| p.modes.len() > 1)
-            .count();
+        let multi_mode_devices = arch.pes().filter(|(_, p)| p.modes.len() > 1).count();
         let total_modes = arch.pes().map(|(_, p)| p.modes.len()).sum();
         let report = SynthesisReport {
             pe_count: arch.pe_count(),
@@ -169,11 +164,28 @@ impl<'a> CoSynthesis<'a> {
             total_modes,
             cluster_count: clustering.cluster_count(),
         };
-        Ok(SynthesisResult {
+        let result = SynthesisResult {
             architecture: arch,
             clustering,
             report,
-        })
+        };
+
+        // Optional post-pass: the independent auditor from crusade-verify
+        // re-derives every invariant from spec + schedule.
+        if self.options.audit {
+            let Some(hook) = crate::audit_hook::audit_hook() else {
+                return Err(SynthesisError::Internal(
+                    "audit requested but no auditor installed (call \
+                     crusade_verify::install_auditor first)"
+                        .into(),
+                ));
+            };
+            let violations = hook(self.spec, self.lib, &self.options, &result);
+            if !violations.is_empty() {
+                return Err(SynthesisError::AuditFailed { violations });
+            }
+        }
+        Ok(result)
     }
 
     /// Checks the final schedule against every deadline (exact windows).
@@ -195,71 +207,84 @@ impl<'a> CoSynthesis<'a> {
         }
         true
     }
+}
 
-    /// Builds the interface requirement from the final modes and runs the
-    /// option-array selection of Section 4.4.
-    fn synthesize_interface(&self, arch: &mut Architecture) -> Result<(), SynthesisError> {
-        let mut device_bits = Vec::new();
-        let mut image_bytes = 0u64;
-        for (_, pe) in arch.pes() {
-            let PeClass::Ppe(attrs) = self.lib.pe(pe.ty).class() else {
-                continue;
-            };
-            if pe.modes.len() <= 1 {
-                continue;
-            }
-            device_bits.push(worst_switch_bits(attrs, pe.modes.iter().map(|m| m.used_hw.pfus)));
-            image_bytes += pe
-                .modes
-                .iter()
-                .map(|m| mode_image_bits(attrs, m.used_hw.pfus) / 8)
-                .sum::<u64>();
+/// Builds the interface requirement from the final modes and runs the
+/// option-array selection of Section 4.4. Free-standing so the repair
+/// path can re-run it after surgery on a damaged architecture.
+pub(crate) fn resynthesize_interface(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    arch: &mut Architecture,
+) -> Result<(), SynthesisError> {
+    let mut device_bits = Vec::new();
+    let mut image_bytes = 0u64;
+    for (_, pe) in arch.pes() {
+        let PeClass::Ppe(attrs) = lib.pe(pe.ty).class() else {
+            continue;
+        };
+        if pe.modes.len() <= 1 {
+            continue;
         }
-        if device_bits.is_empty() {
-            arch.interface = None;
-            return Ok(());
-        }
-        let requirement = self.spec.constraints().boot_time_requirement;
-        let req = InterfaceRequirement {
-            device_config_bits: device_bits.clone(),
-            image_bytes,
+        device_bits.push(worst_switch_bits(
+            attrs,
+            pe.modes.iter().map(|m| m.used_hw.pfus),
+        ));
+        image_bytes += pe
+            .modes
+            .iter()
+            .map(|m| mode_image_bits(attrs, m.used_hw.pfus) / 8)
+            .sum::<u64>();
+    }
+    if device_bits.is_empty() {
+        arch.interface = None;
+        return Ok(());
+    }
+    let requirement = spec.constraints().boot_time_requirement;
+    let req = InterfaceRequirement {
+        device_config_bits: device_bits.clone(),
+        image_bytes,
+        boot_time_requirement: requirement,
+    };
+    if let Some(iface) = synthesize_interface(&req) {
+        arch.interface = Some(iface);
+        return Ok(());
+    }
+    // Chaining every device on one interface was too slow (tail
+    // devices pay bypass overhead): fall back to one interface per
+    // device and account for the summed cost. The merge phase already
+    // verified each device is bootable solo.
+    let mut total_cost = Dollars::ZERO;
+    let mut worst = Nanos::ZERO;
+    let mut option = None;
+    for (i, &bits) in device_bits.iter().enumerate() {
+        let solo = InterfaceRequirement {
+            device_config_bits: vec![bits],
+            image_bytes: image_bytes / device_bits.len() as u64,
             boot_time_requirement: requirement,
         };
-        if let Some(iface) = synthesize_interface(&req) {
-            arch.interface = Some(iface);
-            return Ok(());
-        }
-        // Chaining every device on one interface was too slow (tail
-        // devices pay bypass overhead): fall back to one interface per
-        // device and account for the summed cost. The merge phase already
-        // verified each device is bootable solo.
-        let mut total_cost = Dollars::ZERO;
-        let mut worst = Nanos::ZERO;
-        let mut option = None;
-        for (i, &bits) in device_bits.iter().enumerate() {
-            let solo = InterfaceRequirement {
-                device_config_bits: vec![bits],
-                image_bytes: image_bytes / device_bits.len() as u64,
-                boot_time_requirement: requirement,
-            };
-            match synthesize_interface(&solo) {
-                Some(iface) => {
-                    total_cost += iface.cost;
-                    worst = worst.max(iface.worst_boot_time);
-                    if i == 0 {
-                        option = Some(iface.option);
-                    }
+        match synthesize_interface(&solo) {
+            Some(iface) => {
+                total_cost += iface.cost;
+                worst = worst.max(iface.worst_boot_time);
+                if i == 0 {
+                    option = Some(iface.option);
                 }
-                None => return Err(SynthesisError::NoFeasibleInterface),
             }
+            None => return Err(SynthesisError::NoFeasibleInterface),
         }
-        arch.interface = Some(crusade_fabric::SynthesizedInterface {
-            option: option.expect("device_bits is non-empty"),
-            cost: total_cost,
-            worst_boot_time: worst,
-        });
-        Ok(())
     }
+    let Some(option) = option else {
+        return Err(SynthesisError::Internal(
+            "per-device interface loop produced no option despite non-empty device list".into(),
+        ));
+    };
+    arch.interface = Some(crusade_fabric::SynthesizedInterface {
+        option,
+        cost: total_cost,
+        worst_boot_time: worst,
+    });
+    Ok(())
 }
 
 /// Configuration bits of one mode's image.

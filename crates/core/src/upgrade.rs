@@ -88,7 +88,7 @@ pub fn upgrade_in_field(
 ) -> Result<UpgradeResult, SynthesisError> {
     let t0 = std::time::Instant::now();
     new_spec.validate()?;
-    let clustering = cluster_tasks_with(new_spec, lib, options);
+    let clustering = cluster_tasks_with(new_spec, lib, options)?;
     let shell = hardware_shell(deployed);
     let mut allocator = Allocator::for_upgrade(new_spec, lib, options, &clustering, shell);
     let cluster_ids: Vec<_> = clustering.clusters().map(|(id, _)| id).collect();
@@ -143,9 +143,8 @@ mod tests {
     use super::*;
     use crate::CoSynthesis;
     use crusade_model::{
-        CpuAttrs, Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass,
-        PeType, PeTypeId, PpeAttrs, PpeKind, Preference, SystemConstraints, Task,
-        TaskGraphBuilder,
+        CpuAttrs, Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass, PeType,
+        PeTypeId, PpeAttrs, PpeKind, Preference, SystemConstraints, Task, TaskGraphBuilder,
     };
 
     const CPU: usize = 0;
@@ -289,8 +288,8 @@ mod tests {
     #[test]
     fn software_rebalancing_reuses_cpus() {
         let lib = library();
-        let v1 = SystemSpec::new(vec![sw("a", 6, 200), sw("b", 6, 200)])
-            .with_constraints(constraints());
+        let v1 =
+            SystemSpec::new(vec![sw("a", 6, 200), sw("b", 6, 200)]).with_constraints(constraints());
         let deployed = CoSynthesis::new(&v1, &lib).run().unwrap();
         // v2 shuffles the software (different shapes, same rough load).
         let v2 = SystemSpec::new(vec![sw("a2", 5, 240), sw("b2", 7, 160)])

@@ -4,8 +4,8 @@
 
 use crusade_core::{CoSynthesis, CosynOptions};
 use crusade_model::{
-    CpuAttrs, Dollars, ExecutionTimes, GlobalTaskId, GraphId, LinkClass, LinkType, Nanos,
-    PeClass, PeType, PeTypeId, ResourceLibrary, SystemConstraints, SystemSpec, Task, TaskGraph,
+    CpuAttrs, Dollars, ExecutionTimes, GlobalTaskId, GraphId, LinkClass, LinkType, Nanos, PeClass,
+    PeType, PeTypeId, ResourceLibrary, SystemConstraints, SystemSpec, Task, TaskGraph,
     TaskGraphBuilder, TaskId,
 };
 use crusade_sched::Occupant;
@@ -83,8 +83,7 @@ fn urgent_task_preempts_background_on_one_cpu() {
     // Order matters: the background graph has lower priority (huge
     // slack), so the urgent cluster allocates *after* it and must carve
     // its window out of the middle of the bulk task.
-    let spec =
-        SystemSpec::new(vec![background(), urgent()]).with_constraints(constraints());
+    let spec = SystemSpec::new(vec![background(), urgent()]).with_constraints(constraints());
     let r = CoSynthesis::new(&spec, &lib).run().unwrap();
     assert_eq!(r.report.pe_count, 1, "preemption avoids a second CPU");
     // The urgent task runs inside its [2 ms, 3 ms] window.
@@ -118,13 +117,15 @@ fn urgent_task_preempts_background_on_one_cpu() {
 #[test]
 fn without_preemption_a_second_cpu_is_needed() {
     let lib = library();
-    let spec =
-        SystemSpec::new(vec![background(), urgent()]).with_constraints(constraints());
+    let spec = SystemSpec::new(vec![background(), urgent()]).with_constraints(constraints());
     let options = CosynOptions {
         preemption: false,
         ..CosynOptions::default()
     };
-    let r = CoSynthesis::new(&spec, &lib).with_options(options).run().unwrap();
+    let r = CoSynthesis::new(&spec, &lib)
+        .with_options(options)
+        .run()
+        .unwrap();
     assert_eq!(
         r.report.pe_count, 2,
         "with preemption disabled the urgent task needs its own CPU"

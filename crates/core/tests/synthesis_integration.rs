@@ -3,8 +3,8 @@
 
 use crusade_core::{CoSynthesis, CosynOptions, SynthesisError};
 use crusade_model::{
-    CompatibilityMatrix, CpuAttrs, Dollars, ExecutionTimes, GraphId, HwDemand, LinkClass,
-    LinkType, Nanos, PeClass, PeType, PeTypeId, PpeAttrs, PpeKind, Preference, ResourceLibrary,
+    CompatibilityMatrix, CpuAttrs, Dollars, ExecutionTimes, GraphId, HwDemand, LinkClass, LinkType,
+    Nanos, PeClass, PeType, PeTypeId, PpeAttrs, PpeKind, Preference, ResourceLibrary,
     SystemConstraints, SystemSpec, Task, TaskGraph, TaskGraphBuilder,
 };
 
@@ -39,7 +39,11 @@ fn small_lib() -> ResourceLibrary {
         Dollars::new(12),
         LinkClass::Bus,
         8,
-        vec![Nanos::from_nanos(300), Nanos::from_nanos(500), Nanos::from_nanos(900)],
+        vec![
+            Nanos::from_nanos(300),
+            Nanos::from_nanos(500),
+            Nanos::from_nanos(900),
+        ],
         64,
         Nanos::from_micros(1),
     ));
@@ -176,7 +180,11 @@ fn reconfiguration_merges_disjoint_fpgas() {
     assert_eq!(r.report.total_modes, 2);
     assert_eq!(r.report.reconfig.merges_accepted, 1);
     // Cost: one FPGA plus the programming interface, well under two FPGAs.
-    let iface = r.architecture.interface.as_ref().expect("interface synthesised");
+    let iface = r
+        .architecture
+        .interface
+        .as_ref()
+        .expect("interface synthesised");
     assert!(iface.worst_boot_time <= Nanos::from_millis(3));
     assert!(r.report.cost < Dollars::new(480));
 }

@@ -5,7 +5,16 @@
 //! crusade upgrade <old.json> <new.json>       can the new spec ship as firmware?
 //! crusade example <name> [--no-reconfig]      run a built-in paper benchmark
 //! crusade sample <path.json>                  write a sample specification file
+//! crusade audit <spec.json|name> [--no-reconfig]
+//!                                             synthesize, then independently
+//!                                             re-verify every claimed invariant
+//! crusade inject <spec.json|name> [--seeds N] [--no-reconfig]
+//!                                             seeded fault-injection campaign
+//!                                             against the synthesized system
 //! ```
+//!
+//! `audit` and `inject` accept either a specification file or the name of
+//! a built-in paper benchmark (`crusade audit vdrtx`).
 //!
 //! A specification file is a JSON object `{ "library": ..., "spec": ... }`
 //! whose two fields are the serde forms of
@@ -119,8 +128,8 @@ fn cmd_example(args: &[String]) -> Result<(), String> {
 
 fn cmd_sample(args: &[String]) -> Result<(), String> {
     use crusade::model::{
-        CpuAttrs, Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass,
-        PeType, PpeAttrs, PpeKind, Preference, Task, TaskGraphBuilder,
+        CpuAttrs, Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass, PeType,
+        PpeAttrs, PpeKind, Preference, Task, TaskGraphBuilder,
     };
     let path = args.first().ok_or("usage: crusade sample <path.json>")?;
     let mut library = ResourceLibrary::new();
@@ -185,6 +194,107 @@ fn cmd_sample(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the first positional argument of `audit`/`inject`: the name
+/// of a built-in benchmark, or a specification file.
+fn load_or_example(arg: &str) -> Result<(ResourceLibrary, SystemSpec), String> {
+    if let Some(ex) = paper_examples()
+        .into_iter()
+        .find(|e| e.name.eq_ignore_ascii_case(arg))
+    {
+        let lib = paper_library();
+        let spec = ex.build(&lib);
+        return Ok((lib.lib, spec));
+    }
+    let file = load(arg)?;
+    Ok((file.library, file.spec))
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let arg = args
+        .first()
+        .ok_or("usage: crusade audit <spec.json|example-name> [--no-reconfig]")?;
+    let (library, spec) = load_or_example(arg)?;
+    let options = options(args);
+    let result = CoSynthesis::new(&spec, &library)
+        .with_options(options.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
+    let violations = crusade::verify::audit(&spec, &library, &options, &result);
+    println!(
+        "synthesized: {} PEs, {} links, {}",
+        result.report.pe_count, result.report.link_count, result.report.cost
+    );
+    if violations.is_empty() {
+        println!("audit: clean — every re-derived invariant holds");
+        Ok(())
+    } else {
+        for v in &violations {
+            println!("audit: [{}] {v}", v.kind());
+        }
+        Err(format!("audit found {} violation(s)", violations.len()))
+    }
+}
+
+fn cmd_inject(args: &[String]) -> Result<(), String> {
+    let arg = args
+        .first()
+        .ok_or("usage: crusade inject <spec.json|example-name> [--seeds N] [--no-reconfig]")?;
+    let seeds = match args.iter().position(|a| a == "--seeds") {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or("--seeds needs a value")?
+            .parse::<u64>()
+            .map_err(|e| format!("--seeds: {e}"))?,
+        None => 25,
+    };
+    let (library, spec) = load_or_example(arg)?;
+    let options = options(args);
+    let deployed = CoSynthesis::new(&spec, &library)
+        .with_options(options.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "deployed: {} PEs, {} links, {}",
+        deployed.report.pe_count, deployed.report.link_count, deployed.report.cost
+    );
+    let (mut survived, mut degraded, mut failed, mut dirty) = (0u64, 0u64, 0u64, 0u64);
+    for seed in 0..seeds {
+        let report = crusade::verify::inject(&spec, &library, &options, &deployed, seed);
+        use crusade::verify::Outcome;
+        let verdict = match &report.outcome {
+            Outcome::Survived => {
+                survived += 1;
+                "survived".to_string()
+            }
+            Outcome::Degraded {
+                added_cost,
+                retries,
+            } => {
+                degraded += 1;
+                format!("degraded (+{added_cost}, {retries} retries)")
+            }
+            Outcome::FailedGracefully(e) => {
+                failed += 1;
+                format!("failed gracefully: {e}")
+            }
+            Outcome::AuditDirty(v) => {
+                dirty += 1;
+                format!("AUDIT DIRTY ({} violations)", v.len())
+            }
+        };
+        println!("seed {seed:>3}  {:<45} -> {verdict}", report.scenario);
+    }
+    println!(
+        "campaign: {seeds} scenarios — {survived} survived, {degraded} degraded, \
+         {failed} failed gracefully, {dirty} audit-dirty"
+    );
+    if dirty > 0 {
+        Err(format!("{dirty} scenario(s) produced an invalid repair"))
+    } else {
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
@@ -193,9 +303,11 @@ fn main() -> ExitCode {
             "upgrade" => cmd_upgrade(rest),
             "example" => cmd_example(rest),
             "sample" => cmd_sample(rest),
+            "audit" => cmd_audit(rest),
+            "inject" => cmd_inject(rest),
             other => Err(format!("unknown command {other}")),
         },
-        None => Err("usage: crusade <synth|upgrade|example|sample> ...".into()),
+        None => Err("usage: crusade <synth|upgrade|example|sample|audit|inject> ...".into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

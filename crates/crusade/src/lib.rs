@@ -13,6 +13,8 @@
 //! * [`core`] — the CRUSADE algorithm: clustering, allocation, dynamic
 //!   reconfiguration generation;
 //! * [`ft`] — the CRUSADE-FT fault-tolerance extension;
+//! * [`verify`] — the independent architecture auditor and the seeded
+//!   fault-injection engine;
 //! * [`workloads`] — deterministic reconstructions of the paper's
 //!   benchmarks.
 //!
@@ -44,6 +46,7 @@ pub use crusade_fabric as fabric;
 pub use crusade_ft as ft;
 pub use crusade_model as model;
 pub use crusade_sched as sched;
+pub use crusade_verify as verify;
 pub use crusade_workloads as workloads;
 
 /// The most commonly used items in one import.

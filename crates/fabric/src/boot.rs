@@ -39,7 +39,12 @@ pub fn boot_time(config_bits: u64, width_bits: u32, frequency_hz: u64, chain_ind
     assert!(frequency_hz > 0, "interface frequency must be nonzero");
     let total_bits = config_bits + CHAIN_BYPASS_BITS * chain_index as u64;
     let cycles = total_bits.div_ceil(width_bits as u64);
-    let ns = cycles.saturating_mul(1_000_000_000).div_ceil(frequency_hz);
+    let mut ns = cycles.saturating_mul(1_000_000_000).div_ceil(frequency_hz);
+    // Fault-injection hook: a degraded interface shifts bits more slowly.
+    let slowdown = crate::fault::boot_slowdown_percent() as u64;
+    if slowdown > 0 {
+        ns = ns.saturating_mul(100 + slowdown) / 100;
+    }
     SETUP_TIME + Nanos::from_nanos(ns)
 }
 

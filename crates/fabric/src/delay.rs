@@ -90,7 +90,10 @@ impl std::fmt::Display for MeasureError {
         match self {
             MeasureError::DoesNotFit => write!(f, "circuit and fill exceed device capacity"),
             MeasureError::PinLimited { required, usable } => {
-                write!(f, "circuit needs {required} pins but only {usable} are usable")
+                write!(
+                    f,
+                    "circuit needs {required} pins but only {usable} are usable"
+                )
             }
             MeasureError::Unroutable(e) => write!(f, "{e}"),
         }
@@ -176,8 +179,8 @@ impl<'a> UtilisationExperiment<'a> {
         if self.netlist.cell_count() + fill > capacity {
             return Err(MeasureError::DoesNotFit);
         }
-        let placement = place(self.netlist, &fabric, fill, self.seed)
-            .ok_or(MeasureError::DoesNotFit)?;
+        let placement =
+            place(self.netlist, &fabric, fill, self.seed).ok_or(MeasureError::DoesNotFit)?;
 
         // Pin budget under EPUF.
         let perimeter = fabric.pin_sites();
@@ -215,10 +218,12 @@ impl<'a> UtilisationExperiment<'a> {
             from: placement.site_of(*cell),
             to: *pin,
         }));
-        requests.extend(placement.fill_nets.iter().map(|&(a, b)| RouteRequest {
-            from: a,
-            to: b,
-        }));
+        requests.extend(
+            placement
+                .fill_nets
+                .iter()
+                .map(|&(a, b)| RouteRequest { from: a, to: b }),
+        );
 
         let outcome = self.router.route(&fabric, &requests)?;
         let delay = self.critical_path(&outcome, io_base, &pin_of_cell);
@@ -367,6 +372,9 @@ mod tests {
             usable: 4,
         };
         assert!(e.to_string().contains("12"));
-        assert_eq!(MeasureError::DoesNotFit.to_string(), "circuit and fill exceed device capacity");
+        assert_eq!(
+            MeasureError::DoesNotFit.to_string(),
+            "circuit and fill exceed device capacity"
+        );
     }
 }

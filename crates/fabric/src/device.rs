@@ -70,7 +70,10 @@ impl Fabric {
     /// Panics if any dimension or the track count is zero.
     pub fn new(width: u16, height: u16, tracks_per_channel: u32, package_pins: u32) -> Self {
         assert!(width > 0 && height > 0, "fabric dimensions must be nonzero");
-        assert!(tracks_per_channel > 0, "need at least one track per channel");
+        assert!(
+            tracks_per_channel > 0,
+            "need at least one track per channel"
+        );
         Fabric {
             width,
             height,
@@ -223,7 +226,11 @@ mod tests {
     fn capacity_construction_is_sufficient() {
         for cap in [4usize, 10, 18, 26, 84, 121] {
             let f = Fabric::with_capacity(cap, 3, 64);
-            assert!(f.site_count() >= cap, "capacity {cap} got {}", f.site_count());
+            assert!(
+                f.site_count() >= cap,
+                "capacity {cap} got {}",
+                f.site_count()
+            );
         }
     }
 

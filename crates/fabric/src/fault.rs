@@ -1,0 +1,93 @@
+//! Injectable physical-fault hooks for verification campaigns.
+//!
+//! The fault-injection engine in `crusade-verify` needs the fabric to
+//! misbehave in controlled ways: a degraded programming interface that
+//! slows every reconfiguration down, or radiation/via damage that removes
+//! routing tracks from every channel. Threading such knobs through every
+//! call site would pollute the synthesis APIs, so they live in
+//! thread-local state that is only ever set through scoped guards —
+//! normal synthesis never observes them.
+//!
+//! # Examples
+//!
+//! ```
+//! use crusade_fabric::{boot_time, fault};
+//!
+//! let clean = boot_time(1_000_000, 1, 1_000_000, 0);
+//! let slow = fault::with_boot_slowdown(50, || boot_time(1_000_000, 1, 1_000_000, 0));
+//! assert!(slow.as_nanos() > clean.as_nanos());
+//! assert_eq!(boot_time(1_000_000, 1, 1_000_000, 0), clean); // scope ended
+//! ```
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Percent slowdown applied to every boot-time computation.
+    static BOOT_SLOWDOWN_PERCENT: Cell<u32> = const { Cell::new(0) };
+    /// Routing tracks removed from every channel during routing.
+    static JAMMED_TRACKS: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Restores a thread-local on drop so hooks cannot leak past a panic.
+struct Restore<F: Fn()>(F);
+
+impl<F: Fn()> Drop for Restore<F> {
+    fn drop(&mut self) {
+        (self.0)();
+    }
+}
+
+/// Runs `f` with every [`boot_time`](crate::boot_time) result inflated by
+/// `percent` (e.g. `50` makes booting 1.5× slower). Nesting replaces the
+/// outer value for the duration of the inner scope.
+pub fn with_boot_slowdown<R>(percent: u32, f: impl FnOnce() -> R) -> R {
+    let prev = BOOT_SLOWDOWN_PERCENT.with(|c| c.replace(percent));
+    let _restore = Restore(move || BOOT_SLOWDOWN_PERCENT.with(|c| c.set(prev)));
+    f()
+}
+
+/// The boot slowdown active on this thread, in percent (0 = none).
+pub fn boot_slowdown_percent() -> u32 {
+    BOOT_SLOWDOWN_PERCENT.with(|c| c.get())
+}
+
+/// Runs `f` with `tracks` routing tracks removed from every channel of
+/// every fabric the router sees (saturating at an unroutable capacity of
+/// zero). Models physical damage near the ERUF cliff.
+pub fn with_jammed_tracks<R>(tracks: u32, f: impl FnOnce() -> R) -> R {
+    let prev = JAMMED_TRACKS.with(|c| c.replace(tracks));
+    let _restore = Restore(move || JAMMED_TRACKS.with(|c| c.set(prev)));
+    f()
+}
+
+/// Routing tracks currently jammed on this thread (0 = none).
+pub fn jammed_tracks() -> u32 {
+    JAMMED_TRACKS.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_default_off() {
+        assert_eq!(boot_slowdown_percent(), 0);
+        assert_eq!(jammed_tracks(), 0);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        with_boot_slowdown(20, || {
+            assert_eq!(boot_slowdown_percent(), 20);
+            with_boot_slowdown(75, || assert_eq!(boot_slowdown_percent(), 75));
+            assert_eq!(boot_slowdown_percent(), 20);
+        });
+        assert_eq!(boot_slowdown_percent(), 0);
+    }
+
+    #[test]
+    fn jam_scope_restores() {
+        with_jammed_tracks(2, || assert_eq!(jammed_tracks(), 2));
+        assert_eq!(jammed_tracks(), 0);
+    }
+}

@@ -39,6 +39,7 @@
 mod boot;
 mod delay;
 mod device;
+pub mod fault;
 mod interface;
 mod netlist;
 mod place;

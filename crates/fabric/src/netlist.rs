@@ -82,9 +82,7 @@ impl Netlist {
         for src in 0..cells - 1 {
             // Each cell drives a geometric-ish number of forward sinks.
             let mut fanout = 1;
-            while rng.gen_bool((avg_fanout - 1.0).clamp(0.0, 0.95) / avg_fanout)
-                && fanout < 6
-            {
+            while rng.gen_bool((avg_fanout - 1.0).clamp(0.0, 0.95) / avg_fanout) && fanout < 6 {
                 fanout += 1;
             }
             for _ in 0..fanout {

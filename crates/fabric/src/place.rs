@@ -54,7 +54,12 @@ impl Placement {
 /// let p = place(&n, &f, 5, 99).expect("12 + 5 cells fit in 25 sites");
 /// assert_eq!(p.occupied(), 17);
 /// ```
-pub fn place(netlist: &Netlist, fabric: &Fabric, fill_cells: usize, seed: u64) -> Option<Placement> {
+pub fn place(
+    netlist: &Netlist,
+    fabric: &Fabric,
+    fill_cells: usize,
+    seed: u64,
+) -> Option<Placement> {
     if netlist.cell_count() + fill_cells > fabric.site_count() {
         return None;
     }
@@ -76,7 +81,9 @@ pub fn place(netlist: &Netlist, fabric: &Fabric, fill_cells: usize, seed: u64) -
             let (sx, sy) = fanin[cell]
                 .iter()
                 .map(|c| cell_sites[c.index()])
-                .fold((0u32, 0u32), |(ax, ay), s| (ax + s.x as u32, ay + s.y as u32));
+                .fold((0u32, 0u32), |(ax, ay), s| {
+                    (ax + s.x as u32, ay + s.y as u32)
+                });
             let n = fanin[cell].len() as u32;
             Site::new((sx / n) as u16, (sy / n) as u16)
         };
@@ -128,7 +135,12 @@ mod tests {
         let n = Netlist::generate(2, 20, 2.5, 8);
         let f = Fabric::new(6, 6, 3, 24);
         let p = place(&n, &f, 10, 1).unwrap();
-        let mut all: Vec<Site> = p.cell_sites.iter().copied().chain(p.fill_sites.iter().copied()).collect();
+        let mut all: Vec<Site> = p
+            .cell_sites
+            .iter()
+            .copied()
+            .chain(p.fill_sites.iter().copied())
+            .collect();
         let before = all.len();
         all.sort();
         all.dedup();

@@ -118,7 +118,10 @@ impl Router {
         requests: &[RouteRequest],
     ) -> Result<RoutingOutcome, UnroutableError> {
         let n_channels = fabric.channel_count();
-        let cap = fabric.tracks_per_channel();
+        // Fault-injection hook: jammed tracks shrink every channel.
+        let cap = fabric
+            .tracks_per_channel()
+            .saturating_sub(crate::fault::jammed_tracks());
         let mut history = vec![0u64; n_channels];
         let mut last_overused = usize::MAX;
 
@@ -250,7 +253,10 @@ mod tests {
         // Straight path is 2; the detour adds at least 2 more segments.
         assert!(out.total_wirelength() >= 6);
         let lengths: Vec<u32> = out.nets.iter().map(|n| n.length()).collect();
-        assert!(lengths.contains(&2), "one net keeps the short path: {lengths:?}");
+        assert!(
+            lengths.contains(&2),
+            "one net keeps the short path: {lengths:?}"
+        );
     }
 
     #[test]

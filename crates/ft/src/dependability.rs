@@ -51,7 +51,10 @@ impl std::iter::Sum for FitRate {
 /// Panics if `up` and `down` differ in length or any `down` rate is zero.
 pub fn birth_death_steady_state(up: &[f64], down: &[f64]) -> Vec<f64> {
     assert_eq!(up.len(), down.len(), "rate vectors must align");
-    assert!(down.iter().all(|&d| d > 0.0), "repair rates must be positive");
+    assert!(
+        down.iter().all(|&d| d > 0.0),
+        "repair rates must be positive"
+    );
     let mut weights = Vec::with_capacity(up.len() + 1);
     weights.push(1.0f64);
     for i in 0..up.len() {

@@ -54,9 +54,7 @@ impl FitModel {
             PeClass::Asic(a) => {
                 FitRate(self.asic_base + self.asic_per_kgate * a.gates as f64 / 1000.0)
             }
-            PeClass::Ppe(p) => {
-                FitRate(self.ppe_base + self.ppe_per_kpfu * p.pfus as f64 / 1000.0)
-            }
+            PeClass::Ppe(p) => FitRate(self.ppe_base + self.ppe_per_kpfu * p.pfus as f64 / 1000.0),
         }
     }
 }
@@ -73,6 +71,10 @@ pub struct FtSynthesisResult {
     pub spares_added: usize,
     /// Final unavailability (minutes/year) per task graph.
     pub unavailability: Vec<(GraphId, f64)>,
+    /// The transformed (assertion/duplicate-augmented) specification the
+    /// synthesis actually ran on — what the architecture's schedule must
+    /// be audited against.
+    pub checked_spec: SystemSpec,
 }
 
 /// The fault-tolerant co-synthesis algorithm.
@@ -187,6 +189,7 @@ impl<'a> CrusadeFt<'a> {
             transform,
             spares_added,
             unavailability,
+            checked_spec: ft_spec,
         })
     }
 
@@ -213,7 +216,11 @@ impl<'a> CrusadeFt<'a> {
             .collect();
         let module_fits: Vec<FitRate> = groups
             .iter()
-            .map(|g| g.iter().map(|&ty| self.fit_model.fit_of(self.lib.pe(ty))).sum())
+            .map(|g| {
+                g.iter()
+                    .map(|&ty| self.fit_model.fit_of(self.lib.pe(ty)))
+                    .sum()
+            })
             .collect();
 
         // The strictest budget over all graphs governs the shared pool.

@@ -91,7 +91,13 @@ pub fn transform_spec(
     let mut report = TransformReport::default();
     let mut graphs = Vec::with_capacity(spec.graph_count());
     for (gid, graph) in spec.graphs() {
-        graphs.push(transform_graph(gid, graph, annotations, config, &mut report));
+        graphs.push(transform_graph(
+            gid,
+            graph,
+            annotations,
+            config,
+            &mut report,
+        ));
     }
     let mut out = SystemSpec::new(graphs).with_constraints(spec.constraints().clone());
     if let Some(m) = spec.compatibility() {
@@ -200,13 +206,12 @@ mod tests {
     fn assertion_replaces_duplication() {
         let spec = base_spec(false);
         let mut ann = FtAnnotations::none_for(&spec);
-        ann.task_mut(GraphId::new(0), TaskId::new(0)).assertions =
-            vec![AssertionSpec {
-                name: "crc".into(),
-                coverage: 0.99,
-                exec: ExecutionTimes::uniform(1, Nanos::from_micros(1)),
-                bytes: 4,
-            }];
+        ann.task_mut(GraphId::new(0), TaskId::new(0)).assertions = vec![AssertionSpec {
+            name: "crc".into(),
+            coverage: 0.99,
+            exec: ExecutionTimes::uniform(1, Nanos::from_micros(1)),
+            bytes: 4,
+        }];
         let (out, report) = transform_spec(&spec, &ann, &FtConfig::new(1));
         assert_eq!(report.assertions_added, 1);
         assert_eq!(report.duplicates_added, 2);

@@ -103,7 +103,10 @@ impl fmt::Display for ValidateSpecError {
             }
             ValidateSpecError::Empty => write!(f, "specification contains no task graphs"),
             ValidateSpecError::HyperperiodOverflow => {
-                write!(f, "hyperperiod of task-graph periods overflows u64 nanoseconds")
+                write!(
+                    f,
+                    "hyperperiod of task-graph periods overflows u64 nanoseconds"
+                )
             }
         }
     }

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    EdgeId, ExecutionTimes, Exclusions, HwDemand, MemoryVector, Nanos, Preference, TaskId,
+    EdgeId, Exclusions, ExecutionTimes, HwDemand, MemoryVector, Nanos, Preference, TaskId,
     ValidateSpecError,
 };
 
@@ -356,10 +356,16 @@ fn validate_parts(
     for (i, e) in edges.iter().enumerate() {
         let id = EdgeId::new(i);
         if e.from.index() >= tasks.len() {
-            return Err(ValidateSpecError::DanglingEdge { edge: id, task: e.from });
+            return Err(ValidateSpecError::DanglingEdge {
+                edge: id,
+                task: e.from,
+            });
         }
         if e.to.index() >= tasks.len() {
-            return Err(ValidateSpecError::DanglingEdge { edge: id, task: e.to });
+            return Err(ValidateSpecError::DanglingEdge {
+                edge: id,
+                task: e.to,
+            });
         }
         if e.from == e.to {
             return Err(ValidateSpecError::SelfLoop { edge: id });
@@ -367,10 +373,7 @@ fn validate_parts(
     }
     for (i, t) in tasks.iter().enumerate() {
         let id = TaskId::new(i);
-        let mappable = t
-            .exec
-            .iter()
-            .any(|(pe, _)| t.preference.allows(pe));
+        let mappable = t.exec.iter().any(|(pe, _)| t.preference.allows(pe));
         if !mappable {
             return Err(ValidateSpecError::UnmappableTask { task: id });
         }

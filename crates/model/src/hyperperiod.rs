@@ -85,9 +85,18 @@ mod tests {
 
     #[test]
     fn gcd_basics() {
-        assert_eq!(gcd(Nanos::from_nanos(0), Nanos::from_nanos(5)), Nanos::from_nanos(5));
-        assert_eq!(gcd(Nanos::from_nanos(5), Nanos::from_nanos(0)), Nanos::from_nanos(5));
-        assert_eq!(gcd(Nanos::from_nanos(48), Nanos::from_nanos(36)), Nanos::from_nanos(12));
+        assert_eq!(
+            gcd(Nanos::from_nanos(0), Nanos::from_nanos(5)),
+            Nanos::from_nanos(5)
+        );
+        assert_eq!(
+            gcd(Nanos::from_nanos(5), Nanos::from_nanos(0)),
+            Nanos::from_nanos(5)
+        );
+        assert_eq!(
+            gcd(Nanos::from_nanos(48), Nanos::from_nanos(36)),
+            Nanos::from_nanos(12)
+        );
     }
 
     #[test]

@@ -66,4 +66,4 @@ pub use link::{CommVector, LinkClass, LinkType};
 pub use pe::{AsicAttrs, CpuAttrs, PeClass, PeType, PpeAttrs, PpeKind};
 pub use spec::{CompatibilityMatrix, SystemConstraints, SystemSpec};
 pub use time::{Nanos, Priority};
-pub use vectors::{ExecutionTimes, Exclusions, HwDemand, MemoryVector, Preference};
+pub use vectors::{Exclusions, ExecutionTimes, HwDemand, MemoryVector, Preference};

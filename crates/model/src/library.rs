@@ -125,9 +125,7 @@ impl ResourceLibrary {
 
     /// Finds a PE type by name.
     pub fn pe_by_name(&self, name: &str) -> Option<PeTypeId> {
-        self.pes()
-            .find(|(_, p)| p.name() == name)
-            .map(|(id, _)| id)
+        self.pes().find(|(_, p)| p.name() == name).map(|(id, _)| id)
     }
 
     /// Finds a link type by name.

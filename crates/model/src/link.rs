@@ -73,7 +73,10 @@ impl LinkType {
         bytes_per_packet: u32,
         packet_tx_time: Nanos,
     ) -> Self {
-        assert!(!access_times.is_empty(), "access-time vector must be non-empty");
+        assert!(
+            !access_times.is_empty(),
+            "access-time vector must be non-empty"
+        );
         assert!(bytes_per_packet > 0, "packets must carry at least one byte");
         assert!(max_ports >= 2, "a link must support at least two ports");
         LinkType {
@@ -171,7 +174,10 @@ impl CommVector {
     /// assuming `ports` ports on every link.
     pub fn compute(links: &[LinkType], bytes: u64, ports: u32) -> Self {
         CommVector {
-            times: links.iter().map(|l| l.transfer_time(bytes, ports)).collect(),
+            times: links
+                .iter()
+                .map(|l| l.transfer_time(bytes, ports))
+                .collect(),
         }
     }
 

@@ -339,7 +339,10 @@ mod tests {
     #[test]
     fn exclusions_dedupe_and_sort() {
         let mut e = Exclusions::from_tasks([TaskId::new(5), TaskId::new(1), TaskId::new(5)]);
-        assert_eq!(e.iter().collect::<Vec<_>>(), vec![TaskId::new(1), TaskId::new(5)]);
+        assert_eq!(
+            e.iter().collect::<Vec<_>>(),
+            vec![TaskId::new(1), TaskId::new(5)]
+        );
         e.add(TaskId::new(3));
         e.add(TaskId::new(3));
         assert!(e.excludes(TaskId::new(3)));

@@ -2,8 +2,8 @@
 
 use crusade_model::hyperperiod::{copies, gcd, hyperperiod, lcm};
 use crusade_model::{
-    CompatibilityMatrix, Dollars, ExecutionTimes, GraphId, Nanos, PeTypeId, Task,
-    TaskGraphBuilder, TaskId, ValidateSpecError,
+    CompatibilityMatrix, Dollars, ExecutionTimes, GraphId, Nanos, PeTypeId, Task, TaskGraphBuilder,
+    TaskId, ValidateSpecError,
 };
 use proptest::prelude::*;
 

@@ -161,10 +161,7 @@ mod tests {
         let e = arr.entry(GraphId::new(0));
         assert_eq!(e.release(0), Nanos::ZERO);
         assert_eq!(e.release(3), Nanos::from_micros(75));
-        assert_eq!(
-            e.instant(Nanos::from_micros(7), 2),
-            Nanos::from_micros(57)
-        );
+        assert_eq!(e.instant(Nanos::from_micros(7), 2), Nanos::from_micros(57));
     }
 
     #[test]

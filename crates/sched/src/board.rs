@@ -111,9 +111,8 @@ impl ScheduleBoard {
             !self.index.contains_key(&occupant),
             "occupant {occupant} is already placed"
         );
-        let start = self.timelines[resource.index()].place(
-            occupant, ready, duration, period, limit,
-        )?;
+        let start =
+            self.timelines[resource.index()].place(occupant, ready, duration, period, limit)?;
         self.index.insert(
             occupant,
             (resource, PeriodicInterval::new(start, duration, period)),
@@ -142,12 +141,7 @@ impl ScheduleBoard {
     ///
     /// Panics if `occupant` is already placed or the resource id is
     /// unknown.
-    pub fn record(
-        &mut self,
-        resource: ResourceId,
-        occupant: Occupant,
-        interval: PeriodicInterval,
-    ) {
+    pub fn record(&mut self, resource: ResourceId, occupant: Occupant, interval: PeriodicInterval) {
         assert!(
             !self.index.contains_key(&occupant),
             "occupant {occupant} is already placed"
@@ -185,15 +179,43 @@ impl ScheduleBoard {
     }
 
     /// Iterates over all placements as `(occupant, resource, interval)`.
-    pub fn placements(
-        &self,
-    ) -> impl Iterator<Item = (Occupant, ResourceId, &PeriodicInterval)> {
+    pub fn placements(&self) -> impl Iterator<Item = (Occupant, ResourceId, &PeriodicInterval)> {
         self.index.iter().map(|(o, (r, iv))| (*o, *r, iv))
     }
 
     /// Total number of placed occupants.
     pub fn placement_count(&self) -> usize {
         self.index.len()
+    }
+
+    /// Iterates over the occupants placed on one resource, with their
+    /// periodic intervals.
+    pub fn occupants_on(
+        &self,
+        resource: ResourceId,
+    ) -> impl Iterator<Item = (Occupant, &PeriodicInterval)> {
+        self.index
+            .iter()
+            .filter(move |(_, (r, _))| *r == resource)
+            .map(|(o, (_, iv))| (*o, iv))
+    }
+
+    /// Pairwise collision scan of one resource's timeline: every pair of
+    /// occupants whose periodic intervals overlap. An exclusive resource
+    /// (CPU engine or link) must return an empty list; spatial resources
+    /// (HW devices, where [`record`](Self::record) is used) may legitimately
+    /// report pairs.
+    pub fn collisions(&self, resource: ResourceId) -> Vec<(Occupant, Occupant)> {
+        let placed: Vec<(Occupant, &PeriodicInterval)> = self.occupants_on(resource).collect();
+        let mut out = Vec::new();
+        for (i, (a, iva)) in placed.iter().enumerate() {
+            for (b, ivb) in placed.iter().skip(i + 1) {
+                if iva.collides(ivb) {
+                    out.push((*a, *b));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -215,8 +237,10 @@ mod tests {
         let mut b = ScheduleBoard::new();
         let r0 = b.add_resource();
         let r1 = b.add_resource();
-        b.place(r0, occ(0), ns(0), ns(10), ns(100), Nanos::MAX).unwrap();
-        b.place(r1, occ(1), ns(0), ns(10), ns(100), Nanos::MAX).unwrap();
+        b.place(r0, occ(0), ns(0), ns(10), ns(100), Nanos::MAX)
+            .unwrap();
+        b.place(r1, occ(1), ns(0), ns(10), ns(100), Nanos::MAX)
+            .unwrap();
         assert_eq!(b.resource_of(occ(0)), Some(r0));
         assert_eq!(b.resource_of(occ(1)), Some(r1));
         assert_eq!(b.window(occ(1)).unwrap().start, ns(0)); // independent resources
@@ -228,7 +252,8 @@ mod tests {
     fn remove_clears_both_indexes() {
         let mut b = ScheduleBoard::new();
         let r0 = b.add_resource();
-        b.place(r0, occ(0), ns(0), ns(10), ns(100), Nanos::MAX).unwrap();
+        b.place(r0, occ(0), ns(0), ns(10), ns(100), Nanos::MAX)
+            .unwrap();
         assert!(b.remove(occ(0)));
         assert!(!b.remove(occ(0)));
         assert_eq!(b.window(occ(0)), None);
@@ -240,7 +265,8 @@ mod tests {
     fn double_placement_panics() {
         let mut b = ScheduleBoard::new();
         let r0 = b.add_resource();
-        b.place(r0, occ(0), ns(0), ns(10), ns(100), Nanos::MAX).unwrap();
+        b.place(r0, occ(0), ns(0), ns(10), ns(100), Nanos::MAX)
+            .unwrap();
         let _ = b.place(r0, occ(0), ns(50), ns(10), ns(100), Nanos::MAX);
     }
 
@@ -248,8 +274,12 @@ mod tests {
     fn failed_place_leaves_no_trace() {
         let mut b = ScheduleBoard::new();
         let r0 = b.add_resource();
-        b.place(r0, occ(0), ns(0), ns(90), ns(100), Nanos::MAX).unwrap();
-        assert_eq!(b.place(r0, occ(1), ns(0), ns(20), ns(100), Nanos::MAX), None);
+        b.place(r0, occ(0), ns(0), ns(90), ns(100), Nanos::MAX)
+            .unwrap();
+        assert_eq!(
+            b.place(r0, occ(1), ns(0), ns(20), ns(100), Nanos::MAX),
+            None
+        );
         assert_eq!(b.window(occ(1)), None);
         assert_eq!(b.placement_count(), 1);
     }

@@ -205,9 +205,7 @@ mod tests {
         // Task a actually finished late at 25us.
         let f = estimate_finish_times(
             &g,
-            |t| {
-                (t == a).then(|| Window::new(Nanos::from_micros(15), Nanos::from_micros(25)))
-            },
+            |t| (t == a).then(|| Window::new(Nanos::from_micros(15), Nanos::from_micros(25))),
             |t| g.task(t).exec.slowest().unwrap(),
             |_| None,
             |_| Nanos::ZERO,
@@ -228,7 +226,10 @@ mod tests {
             &g,
             |_| None,
             |t| g.task(t).exec.slowest().unwrap(),
-            |e| (e.index() == 0).then(|| Window::new(Nanos::from_micros(10), Nanos::from_micros(50))),
+            |e| {
+                (e.index() == 0)
+                    .then(|| Window::new(Nanos::from_micros(10), Nanos::from_micros(50)))
+            },
             |_| Nanos::ZERO,
         );
         assert_eq!(f[z.index()], Nanos::from_micros(70));
@@ -280,11 +281,7 @@ mod tests {
         b.add_edge(a, m, 0);
         b.add_edge(m, z, 0);
         let g = b.deadline(Nanos::from_micros(500)).build().unwrap();
-        let lf = latest_finish_times(
-            &g,
-            |t| g.task(t).exec.slowest().unwrap(),
-            |_| Nanos::ZERO,
-        );
+        let lf = latest_finish_times(&g, |t| g.task(t).exec.slowest().unwrap(), |_| Nanos::ZERO);
         assert_eq!(lf[m.index()], Nanos::from_micros(25));
         assert_eq!(lf[a.index()], Nanos::from_micros(15));
         assert_eq!(lf[z.index()], Nanos::from_micros(500));

@@ -73,8 +73,14 @@ mod tests {
     #[test]
     fn cpu_transfer_distinct_from_edge() {
         let e = GlobalEdgeId::new(GraphId::new(0), EdgeId::new(1));
-        let tx = Occupant::CpuTransfer { edge: e, receiver: false };
-        let rx = Occupant::CpuTransfer { edge: e, receiver: true };
+        let tx = Occupant::CpuTransfer {
+            edge: e,
+            receiver: false,
+        };
+        let rx = Occupant::CpuTransfer {
+            edge: e,
+            receiver: true,
+        };
         assert_ne!(Occupant::Edge(e), tx);
         assert_ne!(tx, rx);
         assert_eq!(tx.to_string(), "cpu-tx g0.e1");

@@ -141,10 +141,7 @@ impl PeriodicInterval {
         // x ≥ 0 with r(from + x) ∉ collision region, where
         // r(from + x) = (r0 − x) mod g and the clear region is
         // [d, g − d2].
-        let r0 = signed_mod(
-            other.start.as_nanos() as i128 - from.as_nanos() as i128,
-            g,
-        );
+        let r0 = signed_mod(other.start.as_nanos() as i128 - from.as_nanos() as i128, g);
         debug_assert!(r0 < d || g - r0 < d2);
         let x = if r0 > g - d2 {
             // Decrease r down to the top of the clear region, g − d2.
@@ -226,11 +223,9 @@ mod tests {
         ] {
             let a = pi(s1, d1, p1);
             let b = pi(s2, d2, p2);
-            let gamma = (p1 / crusade_model::hyperperiod::gcd(
-                Nanos::from_nanos(p1),
-                Nanos::from_nanos(p2),
-            )
-            .as_nanos())
+            let gamma = (p1
+                / crusade_model::hyperperiod::gcd(Nanos::from_nanos(p1), Nanos::from_nanos(p2))
+                    .as_nanos())
                 * p2;
             let mut naive = false;
             'outer: for k in 0..(gamma / p1) {
@@ -259,7 +254,9 @@ mod tests {
     fn earliest_clear_returns_noncolliding_start() {
         let occupied = pi(0, 30, 100);
         let probe = pi(0, 20, 100);
-        let t = probe.earliest_clear(&occupied, Nanos::from_nanos(5)).unwrap();
+        let t = probe
+            .earliest_clear(&occupied, Nanos::from_nanos(5))
+            .unwrap();
         assert_eq!(t, Nanos::from_nanos(30));
         let placed = pi(t.as_nanos(), 20, 100);
         assert!(!placed.collides(&occupied));
@@ -281,7 +278,9 @@ mod tests {
         // collides; next clear start is 0 mod 100... i.e. x = r0 + d2.
         let occupied = pi(90, 10, 100);
         let probe = pi(0, 20, 100);
-        let t = probe.earliest_clear(&occupied, Nanos::from_nanos(85)).unwrap();
+        let t = probe
+            .earliest_clear(&occupied, Nanos::from_nanos(85))
+            .unwrap();
         let placed = pi(t.as_nanos(), 20, 100);
         assert!(!placed.collides(&occupied));
         assert!(t >= Nanos::from_nanos(85));

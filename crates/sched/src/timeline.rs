@@ -110,11 +110,7 @@ impl Timeline {
         let max_passes = 4 * self.placed.len() + 8;
         for _ in 0..max_passes {
             let probe = PeriodicInterval::new(t, duration, period);
-            match self
-                .placed
-                .iter()
-                .find(|p| probe.collides(&p.interval))
-            {
+            match self.placed.iter().find(|p| probe.collides(&p.interval)) {
                 None => return if t <= limit { Some(t) } else { None },
                 Some(blocker) => {
                     t = probe.earliest_clear(&blocker.interval, t)?;
@@ -203,17 +199,22 @@ mod tests {
         // A task every 50 at [0, 10).
         tl.place(occ(0), ns(0), ns(10), ns(50), Nanos::MAX).unwrap();
         // A 100-period task of 35 must avoid [0,10) and [50,60): fits at 10.
-        let s = tl.place(occ(1), ns(0), ns(35), ns(100), Nanos::MAX).unwrap();
+        let s = tl
+            .place(occ(1), ns(0), ns(35), ns(100), Nanos::MAX)
+            .unwrap();
         assert_eq!(s, ns(10));
         // Another 100-period task of 35: [10,45) taken, [60,95) free.
-        let s2 = tl.place(occ(2), ns(0), ns(35), ns(100), Nanos::MAX).unwrap();
+        let s2 = tl
+            .place(occ(2), ns(0), ns(35), ns(100), Nanos::MAX)
+            .unwrap();
         assert_eq!(s2, ns(60));
     }
 
     #[test]
     fn limit_respected() {
         let mut tl = Timeline::new();
-        tl.place(occ(0), ns(0), ns(50), ns(100), Nanos::MAX).unwrap();
+        tl.place(occ(0), ns(0), ns(50), ns(100), Nanos::MAX)
+            .unwrap();
         // Next slot would start at 50, beyond the limit of 20.
         assert_eq!(tl.place(occ(1), ns(0), ns(20), ns(100), ns(20)), None);
         assert_eq!(tl.len(), 1);
@@ -222,17 +223,23 @@ mod tests {
     #[test]
     fn remove_frees_capacity() {
         let mut tl = Timeline::new();
-        tl.place(occ(0), ns(0), ns(60), ns(100), Nanos::MAX).unwrap();
+        tl.place(occ(0), ns(0), ns(60), ns(100), Nanos::MAX)
+            .unwrap();
         assert_eq!(tl.place(occ(1), ns(0), ns(60), ns(100), Nanos::MAX), None);
         assert_eq!(tl.remove(occ(0)), 1);
-        assert_eq!(tl.place(occ(1), ns(0), ns(60), ns(100), Nanos::MAX), Some(ns(0)));
+        assert_eq!(
+            tl.place(occ(1), ns(0), ns(60), ns(100), Nanos::MAX),
+            Some(ns(0))
+        );
         assert_eq!(tl.remove(occ(9)), 0);
     }
 
     #[test]
     fn ready_time_honoured() {
         let mut tl = Timeline::new();
-        let s = tl.place(occ(0), ns(17), ns(10), ns(100), Nanos::MAX).unwrap();
+        let s = tl
+            .place(occ(0), ns(17), ns(10), ns(100), Nanos::MAX)
+            .unwrap();
         assert_eq!(s, ns(17));
     }
 
@@ -240,7 +247,8 @@ mod tests {
     fn find_slot_does_not_mutate() {
         let tl = {
             let mut tl = Timeline::new();
-            tl.place(occ(0), ns(0), ns(10), ns(100), Nanos::MAX).unwrap();
+            tl.place(occ(0), ns(0), ns(10), ns(100), Nanos::MAX)
+                .unwrap();
             tl
         };
         let a = tl.find_slot(ns(0), ns(5), ns(100), Nanos::MAX);
@@ -253,7 +261,8 @@ mod tests {
     fn utilisation_counts_all_copies() {
         let mut tl = Timeline::new();
         tl.place(occ(0), ns(0), ns(10), ns(50), Nanos::MAX).unwrap(); // 2 copies in 100
-        tl.place(occ(1), ns(20), ns(10), ns(100), Nanos::MAX).unwrap();
+        tl.place(occ(1), ns(20), ns(10), ns(100), Nanos::MAX)
+            .unwrap();
         assert!((tl.utilisation(ns(100)) - 0.3).abs() < 1e-12);
     }
 }

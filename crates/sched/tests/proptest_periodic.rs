@@ -41,9 +41,7 @@ fn naive_collides(s1: u64, d1: u64, p1: u64, s2: u64, d2: u64, p2: u64) -> bool 
 fn interval() -> impl Strategy<Value = (u64, u64, u64)> {
     // Periods from a menu with interesting gcd structure.
     let periods = prop::sample::select(vec![6u64, 8, 12, 18, 20, 24, 30, 36, 60]);
-    periods.prop_flat_map(|p| {
-        (0..p, 1..=p).prop_map(move |(s, d)| (s, d, p))
-    })
+    periods.prop_flat_map(|p| (0..p, 1..=p).prop_map(move |(s, d)| (s, d, p)))
 }
 
 proptest! {

@@ -1,0 +1,210 @@
+//! Seeded fault-injection engine.
+//!
+//! Each scenario derives deterministically from a `u64` seed: the fault
+//! kind, the component it strikes, and its severity. The engine applies
+//! the fault to a deployed synthesis, drives the repair path in
+//! `crusade-core`, and classifies the result — so a campaign of N seeds
+//! is exactly reproducible and every outcome is either a verified repair
+//! or a typed, graceful failure. Panics anywhere in the pipeline are
+//! campaign failures by definition.
+
+use crusade_core::{repair, CosynOptions, Damage, RepairOptions, SynthesisResult};
+use crusade_fabric::fault::{with_boot_slowdown, with_jammed_tracks};
+use crusade_model::{Dollars, Nanos, ResourceLibrary, SystemSpec};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use crate::audit::audit;
+
+/// How an injected fault played out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Repair re-hosted everything on existing spare capacity at zero
+    /// added cost, first try; the re-audit came back clean.
+    Survived,
+    /// Repair succeeded and the re-audit came back clean, but it needed
+    /// retries, new parts, or added cost.
+    Degraded {
+        /// Dollars of new hardware purchased.
+        added_cost: Dollars,
+        /// Retry-loop iterations used.
+        retries: usize,
+    },
+    /// Repair declined with a typed error — the graceful failure mode.
+    FailedGracefully(String),
+    /// Repair claimed success but the independent auditor found the
+    /// repaired architecture invalid. Always a bug.
+    AuditDirty(Vec<String>),
+}
+
+impl Outcome {
+    /// Whether this outcome is acceptable in a campaign (everything but
+    /// [`Outcome::AuditDirty`]).
+    pub fn acceptable(&self) -> bool {
+        !matches!(self, Outcome::AuditDirty(_))
+    }
+}
+
+/// One executed fault-injection scenario.
+#[derive(Debug, Clone)]
+pub struct InjectionReport {
+    /// The driving seed.
+    pub seed: u64,
+    /// Human-readable description of the injected fault.
+    pub scenario: String,
+    /// How it played out.
+    pub outcome: Outcome,
+}
+
+/// Runs one seeded scenario against a deployed synthesis.
+///
+/// The fault kind cycles with `seed % 5` (dead PE, dead link, routing
+/// failure near the ERUF cliff, reconfiguration boot timeout, inflated
+/// execution times); remaining seed entropy picks the victim component
+/// and severity. Identical inputs and seed always produce the identical
+/// report.
+pub fn inject(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    deployed: &SynthesisResult,
+    seed: u64,
+) -> InjectionReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let ropts = RepairOptions::default();
+    let (scenario, outcome) = match seed % 5 {
+        0 => {
+            let pes: Vec<_> = deployed.architecture.pes().map(|(id, _)| id).collect();
+            let dead = pes[rng.gen_range(0..pes.len())];
+            let r = repair(spec, lib, options, deployed, &Damage::PeLost(dead), &ropts);
+            (
+                format!("pe-lost {dead}"),
+                classify(spec, lib, options, deployed, r),
+            )
+        }
+        1 => {
+            let links: Vec<_> = deployed.architecture.links().map(|(id, _)| id).collect();
+            if links.is_empty() {
+                // Single-device systems have no link to sever: strike a
+                // PE instead so every seed still exercises a fault.
+                let pes: Vec<_> = deployed.architecture.pes().map(|(id, _)| id).collect();
+                let dead = pes[rng.gen_range(0..pes.len())];
+                let r = repair(spec, lib, options, deployed, &Damage::PeLost(dead), &ropts);
+                (
+                    format!("link-lost (no links; pe-lost {dead})"),
+                    classify(spec, lib, options, deployed, r),
+                )
+            } else {
+                let dead = links[rng.gen_range(0..links.len())];
+                let r = repair(
+                    spec,
+                    lib,
+                    options,
+                    deployed,
+                    &Damage::LinkLost(dead),
+                    &ropts,
+                );
+                (
+                    format!("link-lost {dead}"),
+                    classify(spec, lib, options, deployed, r),
+                )
+            }
+        }
+        2 => {
+            // Routing congestion: a couple of routing tracks per channel
+            // die and the usable fraction of the fabric shrinks.
+            let jammed = rng.gen_range(1..=2u32);
+            let squeeze = rng.gen_range(80..=95u64);
+            let mut tight = options.clone();
+            tight.eruf = options.eruf * squeeze as f64 / 100.0;
+            let r = with_jammed_tracks(jammed, || {
+                repair(spec, lib, &tight, deployed, &Damage::ErufTightened, &ropts)
+            });
+            (
+                format!("routing-failure: {jammed} tracks jammed, ERUF × {squeeze}%"),
+                with_jammed_tracks(jammed, || classify(spec, lib, &tight, deployed, r)),
+            )
+        }
+        3 => {
+            let slowdown = rng.gen_range(25..=150u32);
+            let r = with_boot_slowdown(slowdown, || {
+                repair(spec, lib, options, deployed, &Damage::BootDegraded, &ropts)
+            });
+            (
+                format!("boot-timeout: reconfiguration +{slowdown}%"),
+                with_boot_slowdown(slowdown, || classify(spec, lib, options, deployed, r)),
+            )
+        }
+        _ => {
+            let percent = rng.gen_range(110..=150u64);
+            let inflated = inflate_spec(spec, percent);
+            let r = repair(
+                &inflated,
+                lib,
+                options,
+                deployed,
+                &Damage::ExecInflated,
+                &ropts,
+            );
+            (
+                format!("exec-inflated: all execution times × {percent}%"),
+                classify(&inflated, lib, options, deployed, r),
+            )
+        }
+    };
+    InjectionReport {
+        seed,
+        scenario,
+        outcome,
+    }
+}
+
+/// Scales every task's execution-time vector by `percent`/100.
+pub fn inflate_spec(spec: &SystemSpec, percent: u64) -> SystemSpec {
+    let mut inflated = spec.clone();
+    let graph_ids: Vec<_> = spec.graphs().map(|(g, _)| g).collect();
+    for g in graph_ids {
+        let graph = inflated.graph_mut(g);
+        let task_ids: Vec<_> = graph.tasks().map(|(t, _)| t).collect();
+        for t in task_ids {
+            let entries: Vec<_> = graph.task(t).exec.iter().collect();
+            for (pe, time) in entries {
+                let scaled = Nanos::from_nanos(time.as_nanos() * percent / 100);
+                graph.task_mut(t).exec.set(pe, scaled);
+            }
+        }
+    }
+    inflated
+}
+
+/// Classifies a repair result, re-auditing successful repairs with the
+/// independent auditor under the same (possibly degraded) conditions.
+fn classify(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    deployed: &SynthesisResult,
+    result: Result<crusade_core::RepairOutcome, crusade_core::RepairError>,
+) -> Outcome {
+    match result {
+        Err(e) => Outcome::FailedGracefully(e.to_string()),
+        Ok(out) => {
+            let repaired = SynthesisResult {
+                architecture: out.architecture,
+                clustering: deployed.clustering.clone(),
+                report: deployed.report.clone(),
+            };
+            let violations = audit(spec, lib, options, &repaired);
+            if !violations.is_empty() {
+                return Outcome::AuditDirty(violations.iter().map(|v| v.to_string()).collect());
+            }
+            if out.added_cost == Dollars::ZERO && out.retries_used == 0 && out.new_pes == 0 {
+                Outcome::Survived
+            } else {
+                Outcome::Degraded {
+                    added_cost: out.added_cost,
+                    retries: out.retries_used,
+                }
+            }
+        }
+    }
+}

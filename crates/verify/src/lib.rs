@@ -1,0 +1,77 @@
+//! Independent verification of CRUSADE syntheses.
+//!
+//! Two instruments, both aimed at the same question — *can the
+//! synthesised architecture actually be trusted?*:
+//!
+//! 1. the [`audit`] function re-derives every invariant the synthesis
+//!    claims (deadlines, resource exclusivity, merged-mode temporal
+//!    disjointness with reboot room, boot feasibility, capacity caps,
+//!    characterisation vectors) from the specification and the raw
+//!    schedule, with none of the synthesiser's internal state;
+//! 2. the [`inject`] engine perturbs a deployed system with seeded
+//!    faults (dead PEs, severed links, routing congestion, boot
+//!    timeouts, inflated execution times), drives the repair path in
+//!    `crusade-core`, and re-audits whatever comes back.
+//!
+//! Call [`install_auditor`] once to let
+//! [`crusade_core::CosynOptions::audit`] run the auditor as an automatic
+//! post-pass inside [`crusade_core::CoSynthesis::run`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod audit;
+mod inject;
+mod violation;
+
+pub use audit::audit;
+pub use inject::{inflate_spec, inject, InjectionReport, Outcome};
+pub use violation::Violation;
+
+use crusade_core::{CosynOptions, SynthesisResult};
+use crusade_ft::{FtConfig, FtSynthesisResult};
+use crusade_model::{ResourceLibrary, SystemSpec};
+
+/// Audits a fault-tolerant synthesis: the standard architecture audit
+/// against the *checked* (transformed) specification, plus the Markov
+/// steady-state unavailability of every graph against its budget.
+pub fn audit_ft(
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    config: &FtConfig,
+    result: &FtSynthesisResult,
+) -> Vec<Violation> {
+    let mut out = audit(&result.checked_spec, lib, options, &result.synthesis);
+    for &(g, actual) in &result.unavailability {
+        let budget = config.unavailability_budget(g);
+        if actual > budget {
+            out.push(Violation::UnavailabilityExceeded {
+                graph: g,
+                actual,
+                budget,
+            });
+        }
+    }
+    out
+}
+
+/// Installs the auditor as `crusade-core`'s process-wide audit hook, so
+/// a run with [`CosynOptions::audit`] set fails with
+/// [`crusade_core::SynthesisError::AuditFailed`] whenever the freshly
+/// synthesised architecture does not verify. Idempotent.
+pub fn install_auditor() {
+    crusade_core::install_audit_hook(audit_hook_adapter);
+}
+
+/// The [`crusade_core::AuditHook`]-shaped adapter around [`audit`].
+fn audit_hook_adapter(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    result: &SynthesisResult,
+) -> Vec<String> {
+    audit(spec, lib, options, result)
+        .iter()
+        .map(|v| v.to_string())
+        .collect()
+}

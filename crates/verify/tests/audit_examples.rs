@@ -1,0 +1,135 @@
+//! The acceptance gate of the auditor: freshly synthesised paper
+//! benchmarks must audit clean — with reconfiguration off and on, and
+//! through the fault-tolerant flow — and seeded fault injection must
+//! never produce an unacceptable outcome.
+//!
+//! The default test run covers the two smallest Table-2 systems; the
+//! `#[ignore]`d sweep extends the same checks to all eight (the campaign
+//! binary in `crusade-bench` runs them routinely in release mode).
+
+use crusade_core::{CoSynthesis, CosynOptions};
+use crusade_ft::CrusadeFt;
+use crusade_verify::{audit, audit_ft, inject};
+use crusade_workloads::{
+    paper_examples, paper_ft_annotations, paper_ft_config, paper_library, PaperExample,
+    PaperLibrary,
+};
+
+fn audit_example(lib: &PaperLibrary, ex: &PaperExample) {
+    let spec = ex.build(lib);
+    for options in [
+        CosynOptions::without_reconfiguration(),
+        CosynOptions::default(),
+    ] {
+        let result = CoSynthesis::new(&spec, &lib.lib)
+            .with_options(options.clone())
+            .run()
+            .unwrap_or_else(|e| panic!("{}: synthesis failed: {e}", ex.name));
+        let violations = audit(&spec, &lib.lib, &options, &result);
+        assert!(
+            violations.is_empty(),
+            "{} (reconfiguration: {}): {} violation(s):\n{}",
+            ex.name,
+            options.reconfiguration,
+            violations.len(),
+            violations
+                .iter()
+                .map(|v| format!("  [{}] {v}", v.kind()))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+fn audit_ft_example(lib: &PaperLibrary, ex: &PaperExample) {
+    let spec = ex.build(lib);
+    let annotations = paper_ft_annotations(&spec, lib, ex.seed);
+    let config = paper_ft_config(&spec, lib);
+    let options = CosynOptions::default();
+    let result = CrusadeFt::new(&spec, &lib.lib)
+        .with_options(options.clone())
+        .with_config(config.clone())
+        .with_annotations(annotations)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: FT synthesis failed: {e}", ex.name));
+    let violations = audit_ft(&lib.lib, &options, &config, &result);
+    assert!(
+        violations.is_empty(),
+        "{} (fault-tolerant): {} violation(s):\n{}",
+        ex.name,
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("  [{}] {v}", v.kind()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn smallest_examples_audit_clean_both_modes() {
+    let lib = paper_library();
+    for ex in &paper_examples()[..2] {
+        audit_example(&lib, ex);
+    }
+}
+
+#[test]
+fn smallest_example_audits_clean_through_ft_flow() {
+    let lib = paper_library();
+    audit_ft_example(&lib, &paper_examples()[0]);
+}
+
+#[test]
+fn audit_runs_as_synthesis_post_pass() {
+    crusade_verify::install_auditor();
+    let lib = paper_library();
+    let spec = paper_examples()[0].build(&lib);
+    CoSynthesis::new(&spec, &lib.lib)
+        .with_options(CosynOptions::default().with_audit())
+        .run()
+        .expect("audited synthesis should pass its own post-pass");
+}
+
+#[test]
+fn one_scenario_of_every_fault_kind_is_acceptable() {
+    let lib = paper_library();
+    let ex = &paper_examples()[0];
+    let spec = ex.build(&lib);
+    let options = CosynOptions::default();
+    let deployed = CoSynthesis::new(&spec, &lib.lib)
+        .with_options(options.clone())
+        .run()
+        .expect("synthesis");
+    // Seeds 0..5 hit each fault kind exactly once (kind = seed % 5).
+    for seed in 0..5u64 {
+        let report = inject(&spec, &lib.lib, &options, &deployed, seed);
+        assert!(
+            report.outcome.acceptable(),
+            "seed {seed} ({}): unacceptable outcome {:?}",
+            report.scenario,
+            report.outcome
+        );
+    }
+}
+
+/// The full Table-2 sweep (minutes of CPU in debug mode); the campaign
+/// binary covers the same ground in release.
+#[test]
+#[ignore = "full eight-example sweep; run explicitly or via the campaign binary"]
+fn all_examples_audit_clean_both_modes() {
+    let lib = paper_library();
+    for ex in &paper_examples() {
+        audit_example(&lib, ex);
+    }
+}
+
+/// The full Table-3 fault-tolerant sweep.
+#[test]
+#[ignore = "full eight-example FT sweep; run explicitly or via the campaign binary"]
+fn all_examples_audit_clean_through_ft_flow() {
+    let lib = paper_library();
+    for ex in &paper_examples() {
+        audit_ft_example(&lib, ex);
+    }
+}

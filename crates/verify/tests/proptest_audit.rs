@@ -1,0 +1,70 @@
+//! Property: every architecture the synthesiser accepts — from seeded
+//! random specifications, with reconfiguration on or off and through the
+//! plain or fault-tolerant flow — passes the independent auditor with
+//! zero violations.
+
+use crusade_core::{CoSynthesis, CosynOptions};
+use crusade_ft::CrusadeFt;
+use crusade_verify::{audit, audit_ft};
+use crusade_workloads::{paper_ft_annotations, paper_ft_config, paper_library, random_example};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_synthesised_architecture_audits_clean(
+        seed in 0u64..1_000_000,
+        reconfig_bit in 0u64..2,
+    ) {
+        let reconfiguration = reconfig_bit == 1;
+        let lib = paper_library();
+        let spec = random_example(seed).build(&lib);
+        let options = if reconfiguration {
+            CosynOptions::default()
+        } else {
+            CosynOptions::without_reconfiguration()
+        };
+        let Ok(result) = CoSynthesis::new(&spec, &lib.lib)
+            .with_options(options.clone())
+            .run()
+        else {
+            // An infeasible random workload is a legitimate refusal, not
+            // an audit subject.
+            return Ok(());
+        };
+        let violations = audit(&spec, &lib.lib, &options, &result);
+        prop_assert!(
+            violations.is_empty(),
+            "seed {seed} (reconfiguration: {reconfiguration}): {:?}",
+            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_ft_synthesis_audits_clean(seed in 0u64..1_000_000) {
+        let lib = paper_library();
+        let spec = random_example(seed).build(&lib);
+        let annotations = paper_ft_annotations(&spec, &lib, seed);
+        let config = paper_ft_config(&spec, &lib);
+        let options = CosynOptions::default();
+        let Ok(result) = CrusadeFt::new(&spec, &lib.lib)
+            .with_options(options.clone())
+            .with_config(config.clone())
+            .with_annotations(annotations)
+            .run()
+        else {
+            return Ok(());
+        };
+        let violations = audit_ft(&lib.lib, &options, &config, &result);
+        prop_assert!(
+            violations.is_empty(),
+            "seed {seed} (fault-tolerant): {:?}",
+            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -23,7 +23,10 @@ pub fn cpu_exec(lib: &PaperLibrary, base: Nanos) -> ExecutionTimes {
     ExecutionTimes::from_entries(
         lib.lib.pe_count(),
         lib.cpus.iter().zip(&lib.cpu_speed).map(|(&id, &s)| {
-            (id, Nanos::from_nanos((base.as_nanos() as f64 * s) as u64).max(Nanos::from_nanos(1)))
+            (
+                id,
+                Nanos::from_nanos((base.as_nanos() as f64 * s) as u64).max(Nanos::from_nanos(1)),
+            )
         }),
     )
 }
@@ -33,7 +36,10 @@ pub fn fpga_exec(lib: &PaperLibrary, base: Nanos) -> ExecutionTimes {
     ExecutionTimes::from_entries(
         lib.lib.pe_count(),
         lib.fpgas.iter().zip(&lib.fpga_speed).map(|(&id, &s)| {
-            (id, Nanos::from_nanos((base.as_nanos() as f64 * s) as u64).max(Nanos::from_nanos(1)))
+            (
+                id,
+                Nanos::from_nanos((base.as_nanos() as f64 * s) as u64).max(Nanos::from_nanos(1)),
+            )
         }),
     )
 }
@@ -78,7 +84,9 @@ pub fn sw_pipeline(
         }
         spine.push(id);
     }
-    b.deadline(period * 4 / 5).build().expect("generated graph is a DAG")
+    b.deadline(period * 4 / 5)
+        .build()
+        .expect("generated graph is a DAG")
 }
 
 /// A hardware datapath pipeline (framing / cell processing / codec
@@ -115,7 +123,10 @@ pub fn hw_pipeline(
         }
         prev = Some(id);
     }
-    b.est(est).deadline(span).build().expect("generated graph is a DAG")
+    b.est(est)
+        .deadline(span)
+        .build()
+        .expect("generated graph is a DAG")
 }
 
 /// A small control-glue block on CPLDs (protection switching, scan
@@ -140,14 +151,22 @@ pub fn cpld_glue(
         );
         let mut t = Task::new(format!("{name}-pld{i}"), exec);
         t.preference = Preference::Only(lib.cplds.clone());
-        t.hw = HwDemand::new(0, rng.gen_range(8..24), rng.gen_range(8..24), rng.gen_range(2..6));
+        t.hw = HwDemand::new(
+            0,
+            rng.gen_range(8..24),
+            rng.gen_range(8..24),
+            rng.gen_range(2..6),
+        );
         let id = b.add_task(t);
         if let Some(p) = prev {
             b.add_edge(p, id, rng.gen_range(16..128));
         }
         prev = Some(id);
     }
-    b.est(est).deadline(span).build().expect("generated graph is a DAG")
+    b.est(est)
+        .deadline(span)
+        .build()
+        .expect("generated graph is a DAG")
 }
 
 /// A line-interface function bound to a specific ASIC, bracketed by
@@ -168,17 +187,9 @@ pub fn asic_interface(
     ingress.memory = MemoryVector::new(4_000, 1_000, 400);
     let mut prev = b.add_task(ingress);
     for i in 0..n - 2 {
-        let mut t = Task::new(
-            format!("{name}-asic{i}"),
-            asic_exec(lib, asic, hw_base),
-        );
+        let mut t = Task::new(format!("{name}-asic{i}"), asic_exec(lib, asic, hw_base));
         t.preference = Preference::Only(vec![asic]);
-        t.hw = HwDemand::new(
-            rng.gen_range(3_000..12_000),
-            0,
-            0,
-            rng.gen_range(4..16),
-        );
+        t.hw = HwDemand::new(rng.gen_range(3_000..12_000), 0, 0, rng.gen_range(4..16));
         let id = b.add_task(t);
         b.add_edge(prev, id, rng.gen_range(128..4096));
         prev = id;
@@ -187,7 +198,9 @@ pub fn asic_interface(
     egress.memory = MemoryVector::new(4_000, 1_000, 400);
     let id = b.add_task(egress);
     b.add_edge(prev, id, rng.gen_range(128..4096));
-    b.deadline(period * 4 / 5).build().expect("generated graph is a DAG")
+    b.deadline(period * 4 / 5)
+        .build()
+        .expect("generated graph is a DAG")
 }
 
 #[cfg(test)]
@@ -230,10 +243,7 @@ mod tests {
         g.validate().unwrap();
         assert_eq!(g.est(), Nanos::from_millis(5));
         // Worst-case serial execution must stay within the span/deadline.
-        let worst: Nanos = g
-            .tasks()
-            .map(|(_, t)| t.exec.slowest().unwrap())
-            .sum();
+        let worst: Nanos = g.tasks().map(|(_, t)| t.exec.slowest().unwrap()).sum();
         assert!(worst < span, "worst path {worst} exceeds span {span}");
         // PFU demand sums close to the request.
         let pfus: u32 = g.tasks().map(|(_, t)| t.hw.pfus).sum();

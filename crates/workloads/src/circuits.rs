@@ -55,16 +55,86 @@ pub const TABLE1_EPUF: f64 = 0.80;
 /// All ten circuits, with the paper's PFU counts.
 pub fn table1_circuits() -> Vec<Table1Circuit> {
     vec![
-        Table1Circuit { name: "cvs1", pfus: 18, seed: 5, fanout: 2.8, io: 8, tracks: 3 },
-        Table1Circuit { name: "cvs2", pfus: 20, seed: 31, fanout: 2.8, io: 8, tracks: 5 },
-        Table1Circuit { name: "xtrs1", pfus: 36, seed: 57, fanout: 2.0, io: 10, tracks: 5 },
-        Table1Circuit { name: "xtrs2", pfus: 40, seed: 7, fanout: 2.8, io: 12, tracks: 5 },
-        Table1Circuit { name: "rnvk", pfus: 48, seed: 31, fanout: 2.8, io: 12, tracks: 5 },
-        Table1Circuit { name: "fcsdp", pfus: 35, seed: 83, fanout: 2.8, io: 10, tracks: 5 },
-        Table1Circuit { name: "r2d2p", pfus: 46, seed: 29, fanout: 2.0, io: 12, tracks: 4 },
-        Table1Circuit { name: "cv46", pfus: 74, seed: 19, fanout: 2.8, io: 14, tracks: 5 },
-        Table1Circuit { name: "wamxp", pfus: 84, seed: 31, fanout: 2.4, io: 16, tracks: 5 },
-        Table1Circuit { name: "pewxfm", pfus: 47, seed: 19, fanout: 2.8, io: 12, tracks: 5 },
+        Table1Circuit {
+            name: "cvs1",
+            pfus: 18,
+            seed: 5,
+            fanout: 2.8,
+            io: 8,
+            tracks: 3,
+        },
+        Table1Circuit {
+            name: "cvs2",
+            pfus: 20,
+            seed: 31,
+            fanout: 2.8,
+            io: 8,
+            tracks: 5,
+        },
+        Table1Circuit {
+            name: "xtrs1",
+            pfus: 36,
+            seed: 57,
+            fanout: 2.0,
+            io: 10,
+            tracks: 5,
+        },
+        Table1Circuit {
+            name: "xtrs2",
+            pfus: 40,
+            seed: 7,
+            fanout: 2.8,
+            io: 12,
+            tracks: 5,
+        },
+        Table1Circuit {
+            name: "rnvk",
+            pfus: 48,
+            seed: 31,
+            fanout: 2.8,
+            io: 12,
+            tracks: 5,
+        },
+        Table1Circuit {
+            name: "fcsdp",
+            pfus: 35,
+            seed: 83,
+            fanout: 2.8,
+            io: 10,
+            tracks: 5,
+        },
+        Table1Circuit {
+            name: "r2d2p",
+            pfus: 46,
+            seed: 29,
+            fanout: 2.0,
+            io: 12,
+            tracks: 4,
+        },
+        Table1Circuit {
+            name: "cv46",
+            pfus: 74,
+            seed: 19,
+            fanout: 2.8,
+            io: 14,
+            tracks: 5,
+        },
+        Table1Circuit {
+            name: "wamxp",
+            pfus: 84,
+            seed: 31,
+            fanout: 2.4,
+            io: 16,
+            tracks: 5,
+        },
+        Table1Circuit {
+            name: "pewxfm",
+            pfus: 47,
+            seed: 19,
+            fanout: 2.8,
+            io: 12,
+            tracks: 5,
+        },
     ]
 }
 

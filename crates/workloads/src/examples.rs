@@ -38,19 +38,101 @@ pub struct PaperExample {
     pub cpld_share: f64,
 }
 
+/// A small randomised system in the paper's statistical shape, for
+/// property-based testing: task count, phase count and block shares all
+/// derive deterministically from `seed`. Deliberately small (40 – 120
+/// tasks) so a synthesis-plus-audit round trip stays in the millisecond
+/// range and a proptest sweep is cheap.
+pub fn random_example(seed: u64) -> PaperExample {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    PaperExample {
+        name: "RANDOM",
+        task_count: rng.gen_range(40..=120),
+        seed: rng.gen(),
+        phases: rng.gen_range(2..=4),
+        hw_share: rng.gen_range(0.25..0.50),
+        asic_share: rng.gen_range(0.05..0.18),
+        cpld_share: rng.gen_range(0.03..0.08),
+    }
+}
+
 /// The eight examples of Tables 2 and 3, with phase/share profiles chosen
 /// so the reconfiguration savings *spread* resembles the paper's
 /// (≈26 % … 57 %, larger systems generally saving more).
 pub fn paper_examples() -> Vec<PaperExample> {
     vec![
-        PaperExample { name: "A1TR", task_count: 1126, seed: 0xA17B, phases: 3, hw_share: 0.44, asic_share: 0.10, cpld_share: 0.06 },
-        PaperExample { name: "VDRTX", task_count: 1634, seed: 0x7D47, phases: 3, hw_share: 0.33, asic_share: 0.14, cpld_share: 0.05 },
-        PaperExample { name: "HROST", task_count: 2645, seed: 0x4057, phases: 2, hw_share: 0.37, asic_share: 0.12, cpld_share: 0.06 },
-        PaperExample { name: "EST189A", task_count: 3826, seed: 0xE189, phases: 2, hw_share: 0.35, asic_share: 0.14, cpld_share: 0.05 },
-        PaperExample { name: "HRXC", task_count: 4571, seed: 0x44C1, phases: 2, hw_share: 0.32, asic_share: 0.16, cpld_share: 0.05 },
-        PaperExample { name: "ADMR", task_count: 5419, seed: 0xAD49, phases: 3, hw_share: 0.31, asic_share: 0.14, cpld_share: 0.06 },
-        PaperExample { name: "B192G", task_count: 6815, seed: 0xB192, phases: 4, hw_share: 0.38, asic_share: 0.10, cpld_share: 0.06 },
-        PaperExample { name: "NGXM", task_count: 7416, seed: 0x96F1, phases: 4, hw_share: 0.46, asic_share: 0.08, cpld_share: 0.06 },
+        PaperExample {
+            name: "A1TR",
+            task_count: 1126,
+            seed: 0xA17B,
+            phases: 3,
+            hw_share: 0.44,
+            asic_share: 0.10,
+            cpld_share: 0.06,
+        },
+        PaperExample {
+            name: "VDRTX",
+            task_count: 1634,
+            seed: 0x7D47,
+            phases: 3,
+            hw_share: 0.33,
+            asic_share: 0.14,
+            cpld_share: 0.05,
+        },
+        PaperExample {
+            name: "HROST",
+            task_count: 2645,
+            seed: 0x4057,
+            phases: 2,
+            hw_share: 0.37,
+            asic_share: 0.12,
+            cpld_share: 0.06,
+        },
+        PaperExample {
+            name: "EST189A",
+            task_count: 3826,
+            seed: 0xE189,
+            phases: 2,
+            hw_share: 0.35,
+            asic_share: 0.14,
+            cpld_share: 0.05,
+        },
+        PaperExample {
+            name: "HRXC",
+            task_count: 4571,
+            seed: 0x44C1,
+            phases: 2,
+            hw_share: 0.32,
+            asic_share: 0.16,
+            cpld_share: 0.05,
+        },
+        PaperExample {
+            name: "ADMR",
+            task_count: 5419,
+            seed: 0xAD49,
+            phases: 3,
+            hw_share: 0.31,
+            asic_share: 0.14,
+            cpld_share: 0.06,
+        },
+        PaperExample {
+            name: "B192G",
+            task_count: 6815,
+            seed: 0xB192,
+            phases: 4,
+            hw_share: 0.38,
+            asic_share: 0.10,
+            cpld_share: 0.06,
+        },
+        PaperExample {
+            name: "NGXM",
+            task_count: 7416,
+            seed: 0x96F1,
+            phases: 4,
+            hw_share: 0.46,
+            asic_share: 0.08,
+            cpld_share: 0.06,
+        },
     ]
 }
 
@@ -239,6 +321,9 @@ mod tests {
             .filter(|(_, g)| g.name().contains("-dp"))
             .map(|(_, g)| g.est())
             .collect();
-        assert!(ests.len() >= 4, "expected several distinct phases, got {ests:?}");
+        assert!(
+            ests.len() >= 4,
+            "expected several distinct phases, got {ests:?}"
+        );
     }
 }

@@ -45,11 +45,7 @@ const ASSERTION_MENU: [(&str, f64); 5] = [
 /// let g0 = crusade_model::GraphId::new(0);
 /// let _ = ann.task(g0, crusade_model::TaskId::new(0));
 /// ```
-pub fn paper_ft_annotations(
-    spec: &SystemSpec,
-    lib: &PaperLibrary,
-    seed: u64,
-) -> FtAnnotations {
+pub fn paper_ft_annotations(spec: &SystemSpec, lib: &PaperLibrary, seed: u64) -> FtAnnotations {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xF7A0_17A5);
     let mut ann = FtAnnotations::none_for(spec);
     let pe_count = lib.lib.pe_count();
@@ -102,7 +98,11 @@ pub fn paper_ft_config(spec: &SystemSpec, lib: &PaperLibrary) -> FtConfig {
     cfg.required_coverage = 0.95;
     cfg.service_module_size = 8;
     for (gid, graph) in spec.graphs() {
-        let budget = if graph.name().contains("-line") { 4.0 } else { 12.0 };
+        let budget = if graph.name().contains("-line") {
+            4.0
+        } else {
+            12.0
+        };
         cfg.unavailability_min_per_year.push((gid, budget));
     }
     let _ = GraphId::new(0);

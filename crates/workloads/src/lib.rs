@@ -35,6 +35,6 @@ mod ft_annotations;
 mod library;
 
 pub use circuits::{table1_circuits, Table1Circuit, TABLE1_EPUF, TABLE1_ERUFS};
+pub use examples::{paper_examples, random_example, PaperExample};
 pub use ft_annotations::{paper_ft_annotations, paper_ft_config};
-pub use examples::{paper_examples, PaperExample};
 pub use library::{paper_library, PaperLibrary};

@@ -52,14 +52,7 @@ fn cpu(name: &str, cost: u64, cache: bool, ctx_us: u64, comm_overlap: bool) -> P
     )
 }
 
-fn fpga(
-    name: &str,
-    cost: u64,
-    pfus: u32,
-    pins: u32,
-    bits_per_pfu: u32,
-    partial: bool,
-) -> PeType {
+fn fpga(name: &str, cost: u64, pfus: u32, pins: u32, bits_per_pfu: u32, partial: bool) -> PeType {
     PeType::new(
         name,
         Dollars::new(cost),
@@ -170,63 +163,63 @@ pub fn paper_library() -> PaperLibrary {
 
     #[allow(clippy::vec_init_then_push)] // each push carries its own comment
     let links = {
-    let mut links = Vec::new();
-    // 680X0 bus: parallel, moderate arbitration growth.
-    links.push(lib.add_link(LinkType::new(
-        "mc680x0-bus",
-        Dollars::new(12),
-        LinkClass::Bus,
-        8,
-        vec![
-            Nanos::from_nanos(250),
-            Nanos::from_nanos(400),
-            Nanos::from_nanos(650),
-            Nanos::from_nanos(950),
-        ],
-        64,
-        Nanos::from_micros(2),
-    )));
-    // Power QUICC bus: faster.
-    links.push(lib.add_link(LinkType::new(
-        "quicc-bus",
-        Dollars::new(18),
-        LinkClass::Bus,
-        8,
-        vec![
-            Nanos::from_nanos(150),
-            Nanos::from_nanos(250),
-            Nanos::from_nanos(420),
-            Nanos::from_nanos(600),
-        ],
-        64,
-        Nanos::from_micros(1),
-    )));
-    // 10 Mb/s LAN: 1500-byte frames at ~1.2 ms each.
-    links.push(lib.add_link(LinkType::new(
-        "lan-10mbps",
-        Dollars::new(55),
-        LinkClass::Lan,
-        16,
-        vec![
-            Nanos::from_micros(20),
-            Nanos::from_micros(40),
-            Nanos::from_micros(80),
-            Nanos::from_micros(140),
-        ],
-        1500,
-        Nanos::from_micros(1200),
-    )));
-    // 31 Mb/s serial link: point-to-point-ish, two ports.
-    links.push(lib.add_link(LinkType::new(
-        "serial-31mbps",
-        Dollars::new(25),
-        LinkClass::Serial,
-        2,
-        vec![Nanos::from_micros(4)],
-        256,
-        Nanos::from_micros(66),
-    )));
-    links
+        let mut links = Vec::new();
+        // 680X0 bus: parallel, moderate arbitration growth.
+        links.push(lib.add_link(LinkType::new(
+            "mc680x0-bus",
+            Dollars::new(12),
+            LinkClass::Bus,
+            8,
+            vec![
+                Nanos::from_nanos(250),
+                Nanos::from_nanos(400),
+                Nanos::from_nanos(650),
+                Nanos::from_nanos(950),
+            ],
+            64,
+            Nanos::from_micros(2),
+        )));
+        // Power QUICC bus: faster.
+        links.push(lib.add_link(LinkType::new(
+            "quicc-bus",
+            Dollars::new(18),
+            LinkClass::Bus,
+            8,
+            vec![
+                Nanos::from_nanos(150),
+                Nanos::from_nanos(250),
+                Nanos::from_nanos(420),
+                Nanos::from_nanos(600),
+            ],
+            64,
+            Nanos::from_micros(1),
+        )));
+        // 10 Mb/s LAN: 1500-byte frames at ~1.2 ms each.
+        links.push(lib.add_link(LinkType::new(
+            "lan-10mbps",
+            Dollars::new(55),
+            LinkClass::Lan,
+            16,
+            vec![
+                Nanos::from_micros(20),
+                Nanos::from_micros(40),
+                Nanos::from_micros(80),
+                Nanos::from_micros(140),
+            ],
+            1500,
+            Nanos::from_micros(1200),
+        )));
+        // 31 Mb/s serial link: point-to-point-ish, two ports.
+        links.push(lib.add_link(LinkType::new(
+            "serial-31mbps",
+            Dollars::new(25),
+            LinkClass::Serial,
+            2,
+            vec![Nanos::from_micros(4)],
+            256,
+            Nanos::from_micros(66),
+        )));
+        links
     };
 
     PaperLibrary {
@@ -290,7 +283,10 @@ mod tests {
             .iter()
             .filter(|&&id| l.lib.pe(id).as_ppe().unwrap().partial_reconfig)
             .count();
-        assert_eq!(partials, 2, "XC6700 and AT6000 are partially reconfigurable");
+        assert_eq!(
+            partials, 2,
+            "XC6700 and AT6000 are partially reconfigurable"
+        );
     }
 
     #[test]

@@ -52,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
     // O&M software at the slow extreme.
     graphs.push(sw_pipeline(&lib, &mut rng, "oam", 12, Nanos::from_secs(60)));
-    graphs.push(sw_pipeline(&lib, &mut rng, "call-ctl", 10, Nanos::from_millis(10)));
+    graphs.push(sw_pipeline(
+        &lib,
+        &mut rng,
+        "call-ctl",
+        10,
+        Nanos::from_millis(10),
+    ));
 
     // Declare carrier compatibility a priori: carriers in different phases
     // may share devices (Section 4.1's compatibility vectors).
@@ -97,7 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(iface) = &with.architecture.interface {
         println!(
             "  programming interface: {:?}/{:?} @ {} MHz, worst boot {}",
-            iface.option.mode, iface.option.controller, iface.option.frequency_mhz, iface.worst_boot_time
+            iface.option.mode,
+            iface.option.controller,
+            iface.option.frequency_mhz,
+            iface.worst_boot_time
         );
     }
     println!(

@@ -43,9 +43,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Nanos::from_secs(1),
     ));
     let transmission = graphs.len(); // graphs [0, transmission) are transmission-plane
-    // Provisioning plane: software.
-    graphs.push(sw_pipeline(&lib, &mut rng, "provisioning", 10, Nanos::from_secs(1)));
-    graphs.push(sw_pipeline(&lib, &mut rng, "perf-monitor", 8, Nanos::from_millis(100)));
+                                     // Provisioning plane: software.
+    graphs.push(sw_pipeline(
+        &lib,
+        &mut rng,
+        "provisioning",
+        10,
+        Nanos::from_secs(1),
+    ));
+    graphs.push(sw_pipeline(
+        &lib,
+        &mut rng,
+        "perf-monitor",
+        8,
+        Nanos::from_millis(100),
+    ));
 
     let spec = SystemSpec::new(graphs).with_constraints(SystemConstraints {
         boot_time_requirement: Nanos::from_millis(5),
@@ -61,10 +73,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let exec = ExecutionTimes::uniform(
                 lib.lib.pe_count(),
                 Nanos::from_nanos(
-                    (task.exec.fastest().unwrap_or(Nanos::from_micros(1)).as_nanos() / 5).max(200),
+                    (task
+                        .exec
+                        .fastest()
+                        .unwrap_or(Nanos::from_micros(1))
+                        .as_nanos()
+                        / 5)
+                    .max(200),
                 ),
             );
-            let name = if gid.index() < transmission { "bipolar-coding" } else { "checksum" };
+            let name = if gid.index() < transmission {
+                "bipolar-coding"
+            } else {
+                "checksum"
+            };
             annotations.task_mut(gid, t).assertions.push(AssertionSpec {
                 name: name.into(),
                 coverage: 0.96,
@@ -77,7 +99,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // provisioning (the paper's requirements).
     let mut config = FtConfig::new(lib.lib.pe_count());
     for (gid, _) in spec.graphs() {
-        let budget = if gid.index() < transmission { 4.0 } else { 12.0 };
+        let budget = if gid.index() < transmission {
+            4.0
+        } else {
+            12.0
+        };
         config.unavailability_min_per_year.push((gid, budget));
     }
     let _ = GraphId::new(0);

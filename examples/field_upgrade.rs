@@ -34,7 +34,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // v1: what shipped.
     let v1 = SystemSpec::new(vec![
         sw_pipeline(&lib, &mut rng, "ctl", 8, Nanos::from_millis(10)),
-        hw_pipeline(&lib, &mut rng, "framer", 5, frame, Nanos::ZERO, Nanos::from_millis(30), 420),
+        hw_pipeline(
+            &lib,
+            &mut rng,
+            "framer",
+            5,
+            frame,
+            Nanos::ZERO,
+            Nanos::from_millis(30),
+            420,
+        ),
     ])
     .with_constraints(constraints());
     let deployed = CoSynthesis::new(&v1, &lib.lib).run()?;
@@ -47,8 +56,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(0xF1E1D);
     let v2 = SystemSpec::new(vec![
         sw_pipeline(&lib, &mut rng, "ctl", 8, Nanos::from_millis(10)),
-        hw_pipeline(&lib, &mut rng, "framer", 5, frame, Nanos::ZERO, Nanos::from_millis(30), 420),
-        hw_pipeline(&lib, &mut rng, "stats", 4, frame, Nanos::from_millis(60), Nanos::from_millis(30), 500),
+        hw_pipeline(
+            &lib,
+            &mut rng,
+            "framer",
+            5,
+            frame,
+            Nanos::ZERO,
+            Nanos::from_millis(30),
+            420,
+        ),
+        hw_pipeline(
+            &lib,
+            &mut rng,
+            "stats",
+            4,
+            frame,
+            Nanos::from_millis(60),
+            Nanos::from_millis(30),
+            500,
+        ),
     ])
     .with_constraints(constraints());
     match upgrade_in_field(&deployed.architecture, &v2, &lib.lib, &CosynOptions::default()) {
@@ -65,11 +92,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(0xF1E1D);
     let v3 = SystemSpec::new(vec![
         sw_pipeline(&lib, &mut rng, "ctl", 8, Nanos::from_millis(10)),
-        hw_pipeline(&lib, &mut rng, "framer", 5, frame, Nanos::ZERO, Nanos::from_millis(30), 420),
-        hw_pipeline(&lib, &mut rng, "hungry", 6, frame, Nanos::from_millis(5), Nanos::from_millis(30), 700),
+        hw_pipeline(
+            &lib,
+            &mut rng,
+            "framer",
+            5,
+            frame,
+            Nanos::ZERO,
+            Nanos::from_millis(30),
+            420,
+        ),
+        hw_pipeline(
+            &lib,
+            &mut rng,
+            "hungry",
+            6,
+            frame,
+            Nanos::from_millis(5),
+            Nanos::from_millis(30),
+            700,
+        ),
     ])
     .with_constraints(constraints());
-    match upgrade_in_field(&deployed.architecture, &v3, &lib.lib, &CosynOptions::default()) {
+    match upgrade_in_field(
+        &deployed.architecture,
+        &v3,
+        &lib.lib,
+        &CosynOptions::default(),
+    ) {
         Ok(up) => println!(
             "v3 upgrade: unexpectedly fits with {} new image(s)",
             up.extra_modes

@@ -13,19 +13,13 @@
 use crusade::core::{CoSynthesis, CosynOptions};
 use crusade::model::{
     Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass, PeType, PeTypeId,
-    PpeAttrs, PpeKind, Preference, ResourceLibrary, SystemConstraints, SystemSpec, Task,
-    TaskGraph, TaskGraphBuilder,
+    PpeAttrs, PpeKind, Preference, ResourceLibrary, SystemConstraints, SystemSpec, Task, TaskGraph,
+    TaskGraphBuilder,
 };
 
 /// One task graph occupying the window `[est, est + span)` of a 100 ms
 /// frame on an FPGA, using `pfus` PFUs.
-fn graph(
-    name: &str,
-    fpgas: &[PeTypeId],
-    est_ms: u64,
-    span_ms: u64,
-    pfus: u32,
-) -> TaskGraph {
+fn graph(name: &str, fpgas: &[PeTypeId], est_ms: u64, span_ms: u64, pfus: u32) -> TaskGraph {
     let mut b = TaskGraphBuilder::new(name, Nanos::from_millis(100));
     let mut prev = None;
     for i in 0..3 {
@@ -35,7 +29,9 @@ fn graph(
                 fpgas.iter().map(|f| f.index()).max().unwrap() + 1,
                 // Three tasks stretched across the whole window: the graph is
                 // genuinely busy for its entire span.
-                fpgas.iter().map(|&f| (f, Nanos::from_millis(span_ms * 10 / 32))),
+                fpgas
+                    .iter()
+                    .map(|&f| (f, Nanos::from_millis(span_ms * 10 / 32))),
             ),
         );
         t.preference = Preference::Only(fpgas.to_vec());

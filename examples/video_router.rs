@@ -58,8 +58,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     // Control and provisioning software.
-    graphs.push(sw_pipeline(&lib, &mut rng, "routing-ctl", 10, Nanos::from_millis(10)));
-    graphs.push(sw_pipeline(&lib, &mut rng, "provisioning", 8, Nanos::from_secs(1)));
+    graphs.push(sw_pipeline(
+        &lib,
+        &mut rng,
+        "routing-ctl",
+        10,
+        Nanos::from_millis(10),
+    ));
+    graphs.push(sw_pipeline(
+        &lib,
+        &mut rng,
+        "provisioning",
+        8,
+        Nanos::from_secs(1),
+    ));
 
     let spec = SystemSpec::new(graphs).with_constraints(SystemConstraints {
         boot_time_requirement: Nanos::from_millis(5),

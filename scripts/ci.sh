@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The full local CI gate: build, tests, lints, formatting.
+#
+# Usage: scripts/ci.sh [--full]
+#   --full   additionally runs the ignored eight-example audit sweep and
+#            the 104-scenario fault-injection campaign (minutes, release).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets --quiet -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping"
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+else
+    echo "==> cargo fmt unavailable; skipping"
+fi
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "==> full audit sweep (8 examples, both modes + FT)"
+    cargo test --release -q -p crusade-verify --test audit_examples -- --ignored
+    echo "==> fault-injection campaign (104 scenarios)"
+    cargo run --release -q -p crusade-bench --bin campaign
+fi
+
+echo "CI: all checks passed"

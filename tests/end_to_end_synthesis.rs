@@ -57,9 +57,17 @@ fn every_deadline_holds_on_the_final_schedule() {
         }
         let finishes = estimate_finish_times(
             graph,
-            |t| r.architecture.board.window(Occupant::Task(GlobalTaskId::new(g, t))),
+            |t| {
+                r.architecture
+                    .board
+                    .window(Occupant::Task(GlobalTaskId::new(g, t)))
+            },
             |_| Nanos::ZERO,
-            |e| r.architecture.board.window(Occupant::Edge(GlobalEdgeId::new(g, e))),
+            |e| {
+                r.architecture
+                    .board
+                    .window(Occupant::Edge(GlobalEdgeId::new(g, e)))
+            },
             |_| Nanos::ZERO,
         );
         let misses = check_deadlines(graph, &finishes);

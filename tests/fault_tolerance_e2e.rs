@@ -33,7 +33,10 @@ fn ft_architecture_is_larger_and_checked() {
     assert!(ft.transform.assertions_added > 100);
     assert!(ft.transform.duplicates_added > 10);
     assert_eq!(ft.transform.duplicates_added, ft.transform.compares_added);
-    assert!(ft.transform.transparent_skips > 0, "error transparency exploited");
+    assert!(
+        ft.transform.transparent_skips > 0,
+        "error transparency exploited"
+    );
 }
 
 #[test]
@@ -110,8 +113,12 @@ fn duplicates_never_share_hardware_with_originals() {
     use crusade::sched::Occupant;
     let arch = &r.synthesis.architecture;
     let pe_of = |g, t| {
-        let res = arch.board.resource_of(Occupant::Task(GlobalTaskId::new(g, t)))?;
-        arch.pes().find(|(_, p)| p.resource == res).map(|(id, _)| id)
+        let res = arch
+            .board
+            .resource_of(Occupant::Task(GlobalTaskId::new(g, t)))?;
+        arch.pes()
+            .find(|(_, p)| p.resource == res)
+            .map(|(id, _)| id)
     };
     let mut checked = 0;
     for (gid, graph) in ft_spec.graphs() {

@@ -20,7 +20,9 @@ fn graph(name: &str, fpgas: &[PeTypeId], est_ms: u64, span_ms: u64, pfus: u32) -
                 fpgas.iter().map(|f| f.index()).max().unwrap() + 1,
                 // Three tasks stretched across the whole window: the graph is
                 // genuinely busy for its entire span.
-                fpgas.iter().map(|&f| (f, Nanos::from_millis(span_ms * 10 / 32))),
+                fpgas
+                    .iter()
+                    .map(|&f| (f, Nanos::from_millis(span_ms * 10 / 32))),
             ),
         );
         t.preference = Preference::Only(fpgas.to_vec());
@@ -170,5 +172,8 @@ fn full_reconfiguration_devices_cannot_share_t1() {
         average_link_ports: 2,
     });
     let r = CoSynthesis::new(&s, &lib).run().unwrap();
-    assert_eq!(r.report.pe_count, 2, "always-on T1 blocks full-device merging");
+    assert_eq!(
+        r.report.pe_count, 2,
+        "always-on T1 blocks full-device merging"
+    );
 }

@@ -6,9 +6,9 @@
 
 use crusade::core::{cluster_tasks, CoSynthesis};
 use crusade::model::{
-    CpuAttrs, Dollars, ExecutionTimes, GraphId, HwDemand, LinkClass, LinkType, MemoryVector,
-    Nanos, PeClass, PeType, PeTypeId, PpeAttrs, PpeKind, Preference, ResourceLibrary,
-    SystemConstraints, SystemSpec, Task, TaskGraph, TaskGraphBuilder,
+    CpuAttrs, Dollars, ExecutionTimes, GraphId, HwDemand, LinkClass, LinkType, MemoryVector, Nanos,
+    PeClass, PeType, PeTypeId, PpeAttrs, PpeKind, Preference, ResourceLibrary, SystemConstraints,
+    SystemSpec, Task, TaskGraph, TaskGraphBuilder,
 };
 
 const CPU: usize = 0;
@@ -104,7 +104,7 @@ fn spec() -> SystemSpec {
 #[test]
 fn clusters_ordered_by_priority_and_c0_first() {
     let lib = library();
-    let clustering = cluster_tasks(&spec(), &lib, 8);
+    let clustering = cluster_tasks(&spec(), &lib, 8).expect("clustering succeeds");
     // First cluster (highest priority) is the tight-deadline software one.
     let (_, first) = clustering.clusters().next().unwrap();
     assert_eq!(first.graph, GraphId::new(0));

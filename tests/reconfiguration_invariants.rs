@@ -7,8 +7,8 @@
 use crusade::core::{CoSynthesis, CosynOptions};
 use crusade::model::{
     Dollars, ExecutionTimes, GlobalEdgeId, GlobalTaskId, HwDemand, LinkClass, LinkType, Nanos,
-    PeClass, PeType, PeTypeId, PpeAttrs, PpeKind, Preference, ResourceLibrary,
-    SystemConstraints, SystemSpec, Task, TaskGraph, TaskGraphBuilder,
+    PeClass, PeType, PeTypeId, PpeAttrs, PpeKind, Preference, ResourceLibrary, SystemConstraints,
+    SystemSpec, Task, TaskGraph, TaskGraphBuilder,
 };
 use crusade::sched::{check_deadlines, estimate_finish_times, Occupant};
 use proptest::prelude::*;
@@ -73,9 +73,7 @@ fn spec_from(phases: u64, blocks: &[(u64, usize, u32)]) -> SystemSpec {
     let graphs = blocks
         .iter()
         .enumerate()
-        .map(|(i, &(phase, n, pfus))| {
-            hw_graph(format!("g{i}"), phase % phases, phases, n, pfus)
-        })
+        .map(|(i, &(phase, n, pfus))| hw_graph(format!("g{i}"), phase % phases, phases, n, pfus))
         .collect();
     SystemSpec::new(graphs).with_constraints(SystemConstraints {
         boot_time_requirement: Nanos::from_millis(BOOT_MS),

@@ -27,8 +27,7 @@ fn deserialized_spec_synthesizes_identically() {
     use crusade::core::CoSynthesis;
     let lib = paper_library();
     let spec = paper_examples()[0].build(&lib);
-    let back: SystemSpec =
-        serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+    let back: SystemSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
     let a = CoSynthesis::new(&spec, &lib.lib).run().unwrap();
     let b = CoSynthesis::new(&back, &lib.lib).run().unwrap();
     assert_eq!(a.report.cost, b.report.cost);

@@ -327,7 +327,8 @@ pub mod test_runner {
             F: FnMut(S::Value) -> Result<(), TestCaseError>,
         {
             for case in 0..self.config.cases {
-                let mut rng = TestRng::new(0xc0ffee ^ (case as u64).wrapping_mul(0x2545f4914f6cdd1d));
+                let mut rng =
+                    TestRng::new(0xc0ffee ^ (case as u64).wrapping_mul(0x2545f4914f6cdd1d));
                 let value = strategy.new_value(&mut rng);
                 if let Err(e) = test(value) {
                     panic!("proptest case {case} failed: {e}");

@@ -310,7 +310,10 @@ impl Serialize for std::time::Duration {
     fn serialize_value(&self) -> Value {
         Value::Map(vec![
             ("secs".to_string(), Value::U64(self.as_secs())),
-            ("nanos".to_string(), Value::U64(u64::from(self.subsec_nanos()))),
+            (
+                "nanos".to_string(),
+                Value::U64(u64::from(self.subsec_nanos())),
+            ),
         ])
     }
 }
@@ -403,7 +406,9 @@ impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
 
 /// Iterates a map-as-pair-sequence value, yielding `(key, value)` value
 /// pairs for the map impls above.
-fn entry_pairs(v: &Value) -> Result<impl Iterator<Item = Result<(&Value, &Value), DeError>>, DeError> {
+fn entry_pairs(
+    v: &Value,
+) -> Result<impl Iterator<Item = Result<(&Value, &Value), DeError>>, DeError> {
     match v {
         Value::Seq(items) => Ok(items.iter().map(|pair| match pair {
             Value::Seq(kv) if kv.len() == 2 => Ok((&kv[0], &kv[1])),

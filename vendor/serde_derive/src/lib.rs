@@ -142,7 +142,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         fields.push(name);
         skip_until_comma(&tokens, &mut i);

@@ -69,10 +69,7 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     let value = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(T::deserialize_value(&value)?)
 }
@@ -239,7 +236,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -267,7 +269,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
