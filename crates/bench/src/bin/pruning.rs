@@ -1,0 +1,89 @@
+//! Measures the allocator's static pruning oracle on the paper's eight
+//! benchmark systems.
+//!
+//! Each example is synthesized twice — pruning off, then on — and the
+//! run asserts the two architectures are identical (PE count, link
+//! count, dollar cost): the oracle only skips candidates that would
+//! provably fail the allocator's own feasibility checks, so it must
+//! never change the result, only the work done reaching it.
+//!
+//! Exits nonzero if any architecture diverges or if pruning failed to
+//! reduce the number of explored allocation candidates on at least four
+//! of the eight examples.
+
+use crusade_core::{CoSynthesis, CosynOptions, SynthesisReport};
+use crusade_workloads::{paper_examples, paper_library};
+
+fn synthesize(example: &crusade_workloads::PaperExample, pruning: bool) -> Option<SynthesisReport> {
+    let lib = paper_library();
+    let spec = example.build(&lib);
+    let options = CosynOptions {
+        pruning,
+        ..CosynOptions::default()
+    };
+    CoSynthesis::new(&spec, &lib.lib)
+        .with_options(options)
+        .run()
+        .ok()
+        .map(|r| r.report)
+}
+
+fn main() {
+    println!("allocation-candidate pruning on the paper's eight examples\n");
+    println!(
+        "{:<8} {:>6} {:>9} {:>11} {:>11} {:>9} {:>9}",
+        "example", "PEs", "cost", "tried(off)", "tried(on)", "pruned", "saved"
+    );
+
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    let mut diverged = false;
+    for ex in paper_examples() {
+        let off = synthesize(&ex, false);
+        let on = synthesize(&ex, true);
+        let (off, on) = match (off, on) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                println!("{:<8} infeasible", ex.name);
+                continue;
+            }
+        };
+        total += 1;
+        if (off.pe_count, off.link_count, off.cost) != (on.pe_count, on.link_count, on.cost) {
+            println!(
+                "{:<8} DIVERGED: {} PEs ${} without pruning, {} PEs ${} with",
+                ex.name,
+                off.pe_count,
+                off.cost.amount(),
+                on.pe_count,
+                on.cost.amount()
+            );
+            diverged = true;
+            continue;
+        }
+        let saved = off.candidates_tried.saturating_sub(on.candidates_tried);
+        if saved > 0 {
+            wins += 1;
+        }
+        println!(
+            "{:<8} {:>6} {:>8}$ {:>11} {:>11} {:>9} {:>8.1}%",
+            ex.name,
+            on.pe_count,
+            on.cost.amount(),
+            off.candidates_tried,
+            on.candidates_tried,
+            on.candidates_pruned,
+            100.0 * saved as f64 / off.candidates_tried.max(1) as f64,
+        );
+    }
+
+    println!("\npruning reduced explored candidates on {wins}/{total} examples");
+    if diverged {
+        eprintln!("FAIL: pruning changed a final architecture");
+        std::process::exit(1);
+    }
+    if wins < 4 {
+        eprintln!("FAIL: expected a reduction on at least 4 examples");
+        std::process::exit(1);
+    }
+}

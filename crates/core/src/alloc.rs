@@ -22,13 +22,13 @@ use crusade_model::{
 };
 use crusade_sched::{
     check_deadlines, estimate_finish_times, latest_finish_times, priority_levels, Occupant,
-    PeriodicInterval, Window,
+    PeriodicInterval, Timeline, Window,
 };
 
 use crate::arch::{Architecture, LinkInstanceId, ModeIndex, PeInstanceId};
 use crate::cluster::{Cluster, ClusterId, Clustering};
 use crate::error::SynthesisError;
-use crate::options::CosynOptions;
+use crate::options::{derate, CosynOptions};
 
 /// One candidate in the allocation array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +88,14 @@ pub struct Allocator<'a> {
     /// Whether new configuration images may be opened on existing
     /// programmable PEs (true during field-upgrade synthesis).
     allow_new_modes: bool,
+    /// Static pruning oracle ([`CosynOptions::pruning`]): cached
+    /// per-task feasible-PE sets and earliest-start lower bounds from
+    /// `crusade-lint`. `None` when pruning is disabled.
+    oracle: Option<crusade_lint::PruningOracle>,
+    /// Allocation candidates evaluated (a scheduling attempt ran).
+    candidates_tried: usize,
+    /// Allocation candidates skipped by the oracle without scheduling.
+    candidates_pruned: usize,
 }
 
 impl<'a> Allocator<'a> {
@@ -126,6 +134,9 @@ impl<'a> Allocator<'a> {
             ));
         }
         let decisions = vec![None; clustering.cluster_count()];
+        let oracle = options
+            .pruning
+            .then(|| crusade_lint::PruningOracle::build(spec, lib, &options.lint_options()));
         Allocator {
             spec,
             lib,
@@ -137,7 +148,16 @@ impl<'a> Allocator<'a> {
             decisions,
             allow_new_instances: true,
             allow_new_modes: false,
+            oracle,
+            candidates_tried: 0,
+            candidates_pruned: 0,
         }
+    }
+
+    /// `(tried, pruned)` — allocation candidates that were evaluated with
+    /// a scheduling attempt vs. skipped outright by the pruning oracle.
+    pub fn candidate_counters(&self) -> (usize, usize) {
+        (self.candidates_tried, self.candidates_pruned)
     }
 
     /// Prepares an allocator for *field-upgrade* synthesis: the hardware
@@ -179,7 +199,8 @@ impl<'a> Allocator<'a> {
     /// Builds the allocation array for `cluster`, ordered by increasing
     /// incremental cost; among free (existing) candidates, the least-loaded
     /// instance comes first so placements finish early and load spreads.
-    fn allocation_array(&self, cluster: &Cluster) -> Vec<(AllocTarget, Dollars)> {
+    /// Also returns how many candidates the pruning oracle discarded.
+    fn allocation_array(&self, cluster: &Cluster) -> (Vec<(AllocTarget, Dollars)>, usize) {
         let mut entries: Vec<(AllocTarget, Dollars, usize)> = Vec::new();
         for (pid, pe) in self.arch.pes() {
             if !cluster.allowed_pes.contains(&pe.ty) {
@@ -217,10 +238,226 @@ impl<'a> Allocator<'a> {
             }
         }
         entries.sort_by_key(|&(_, cost, load)| (cost, load));
-        entries
+        // Static pruning: drop candidates whose PE type is provably dead
+        // for this cluster. Memoised per type — the verdict only depends
+        // on the type (and the board state, fixed for this array).
+        let est_finish = self
+            .oracle
+            .is_some()
+            .then(|| self.estimate_graph_finishes(&self.arch, cluster.graph));
+        let est_finish = est_finish.as_deref().unwrap_or(&[]);
+        let mut verdicts: Vec<(PeTypeId, bool)> = Vec::new();
+        let mut instance_verdicts: Vec<(PeInstanceId, bool)> = Vec::new();
+        let mut pruned = 0usize;
+        let kept = entries
             .into_iter()
+            .filter(|(target, ..)| {
+                let ty = match *target {
+                    AllocTarget::Existing { pe, .. } | AllocTarget::NewMode { pe } => {
+                        self.arch.pe(pe).ty
+                    }
+                    AllocTarget::New { ty } => ty,
+                };
+                let mut dead = match verdicts.iter().find(|(t, _)| *t == ty) {
+                    Some(&(_, d)) => d,
+                    None => {
+                        let d = self.cluster_pruned_on(cluster, ty, est_finish);
+                        verdicts.push((ty, d));
+                        d
+                    }
+                };
+                // Instance-level refinement: an existing CPU whose
+                // inviolable occupancies already block the first member's
+                // admission window is dead even though the type is not.
+                if !dead && !est_finish.is_empty() && self.lib.pe(ty).is_cpu() {
+                    if let AllocTarget::Existing { pe, .. } = *target {
+                        dead = match instance_verdicts.iter().find(|(p, _)| *p == pe) {
+                            Some(&(_, d)) => d,
+                            None => {
+                                let d = self.cpu_instance_dead(cluster, pe, est_finish);
+                                instance_verdicts.push((pe, d));
+                                d
+                            }
+                        };
+                    }
+                }
+                if dead {
+                    pruned += 1;
+                }
+                !dead
+            })
             .map(|(target, cost, _)| (target, cost))
-            .collect()
+            .collect();
+        (kept, pruned)
+    }
+
+    /// The pruning oracle's verdict: `true` when placing `cluster` on any
+    /// instance of `ty` is provably dead, i.e. the scheduling attempt in
+    /// [`try_target`](Self::try_target) must fail. Two sound arguments:
+    ///
+    /// * **Member timing** — a member's earliest possible start (static
+    ///   lower bound on its ready time under any schedule) plus its
+    ///   execution time on `ty` overshoots its latest-finish bound, so
+    ///   `ready > latest_start` in every placement attempt;
+    /// * **CPU serialisation** — a CPU runs cluster members sequentially
+    ///   within one period, so their summed execution must fit between the
+    ///   earliest member start and the latest member finish bound.
+    ///
+    /// Both bounds use the allocator's own `latest_finish` (worst-case
+    /// downstream estimates), which every dynamic bound in `try_target`
+    /// only tightens — pruning therefore never changes which candidate is
+    /// finally committed, just skips ones that could not be.
+    ///
+    /// A third, board-aware argument handles the *first* member (see
+    /// [`first_member_dead`](Self::first_member_dead)).
+    fn cluster_pruned_on(&self, cluster: &Cluster, ty: PeTypeId, est_finish: &[Nanos]) -> bool {
+        let Some(oracle) = &self.oracle else {
+            return false;
+        };
+        let gid = cluster.graph;
+        let graph = self.spec.graph(gid);
+        for &t in &cluster.tasks {
+            if !oracle.allows(gid, t, ty) {
+                return true;
+            }
+            let Some(exec) = graph.task(t).exec.on(ty) else {
+                return true;
+            };
+            let lf = self.latest_finish[gid.index()][t.index()];
+            if lf != Nanos::MAX {
+                match oracle.earliest_start(gid, t).checked_add(exec) {
+                    Some(finish) if finish <= lf => {}
+                    _ => return true,
+                }
+            }
+        }
+        if self.lib.pe(ty).is_cpu() && cluster.tasks.len() > 1 {
+            let mut min_es = Nanos::MAX;
+            let mut max_lf = Nanos::ZERO;
+            let mut sum = Nanos::ZERO;
+            for &t in &cluster.tasks {
+                min_es = min_es.min(oracle.earliest_start(gid, t));
+                let lf = self.latest_finish[gid.index()][t.index()];
+                if lf == Nanos::MAX {
+                    return false;
+                }
+                max_lf = max_lf.max(lf);
+                sum = sum.saturating_add(graph.task(t).exec.on(ty).unwrap_or(Nanos::ZERO));
+            }
+            if min_es.checked_add(sum).map_or(true, |f| f > max_lf) {
+                return true;
+            }
+        }
+        self.first_member_dead(cluster, ty, est_finish)
+    }
+
+    /// Mirrors the `ready > latest_start` rejection [`try_target`]
+    /// (Self::try_target) performs for the *first* cluster member. That
+    /// member's ready/latest-start computation runs against the still
+    /// unmodified board (no scratch placements, no preemption yet), so
+    /// every window read here is exactly what the scheduling attempt
+    /// would read. The only approximations are lower bounds: a placed
+    /// producer's bare finish stands in for its inter-PE arrival
+    /// (communication only adds delay), and saturation stands in for
+    /// overflow. A `true` verdict therefore proves the attempt fails
+    /// before any placement work, for every instance of `ty`.
+    fn first_member_dead(&self, cluster: &Cluster, ty: PeTypeId, est_finish: &[Nanos]) -> bool {
+        if est_finish.is_empty() {
+            return false;
+        }
+        match self.first_member_window(cluster, ty, est_finish) {
+            Some((_, ready, latest_start)) => ready > latest_start,
+            None => true,
+        }
+    }
+
+    /// The `(duration, ready, latest_start)` triple `try_target` would
+    /// compute for the first cluster member on `ty` (see
+    /// [`first_member_dead`](Self::first_member_dead) for why `ready` is a
+    /// lower bound and the other two are exact). `None` when the member
+    /// cannot run on `ty` at all or its execution exceeds the period —
+    /// both immediately fatal to the candidate.
+    fn first_member_window(
+        &self,
+        cluster: &Cluster,
+        ty: PeTypeId,
+        est_finish: &[Nanos],
+    ) -> Option<(Nanos, Nanos, Nanos)> {
+        let gid = cluster.graph;
+        let graph = self.spec.graph(gid);
+        let t = cluster.tasks[0];
+        let dur = graph.task(t).exec.on(ty)?.max(Nanos::from_nanos(1));
+        if dur > graph.period() {
+            return None;
+        }
+        let mut lf = self.latest_finish[gid.index()][t.index()];
+        for (eid, edge) in graph.successors(t) {
+            let dst = GlobalTaskId::new(gid, edge.to);
+            if let Some(cw) = self.arch.board.window(Occupant::Task(dst)) {
+                let comm = if self.clustering.same_cluster(gid, t, edge.to) {
+                    Nanos::ZERO
+                } else {
+                    self.guaranteed_comm(graph.edge(eid).bytes)
+                };
+                lf = lf.min(cw.start.saturating_sub(comm));
+            }
+        }
+        let latest_start = lf.saturating_sub(dur);
+        let mut ready = graph.est();
+        for (_, edge) in graph.predecessors(t) {
+            let src = GlobalTaskId::new(gid, edge.from);
+            let arrival = match self.arch.board.window(Occupant::Task(src)) {
+                Some(w) => w.finish,
+                None => {
+                    let comm = if self.clustering.same_cluster(gid, edge.from, edge.to) {
+                        Nanos::ZERO
+                    } else {
+                        self.guaranteed_comm(edge.bytes)
+                    };
+                    est_finish[edge.from.index()].saturating_add(comm)
+                }
+            };
+            ready = ready.max(arrival);
+        }
+        Some((dur, ready, latest_start))
+    }
+
+    /// Instance-level verdict for an existing CPU: `true` when the first
+    /// cluster member provably cannot be scheduled on `pid`, even with
+    /// preemption. The occupancies preemption could never remove — tasks
+    /// at the member's priority or higher, plus everything when preemption
+    /// is off — are collected and asked for a *definitive* blockage
+    /// certificate ([`Timeline::blocked`]) over the member's exact
+    /// admission window: if that subset alone blocks every start, the
+    /// full timeline does too, and so does every single-victim eviction
+    /// [`place_with_preemption`](Self::place_with_preemption) can try.
+    fn cpu_instance_dead(
+        &self,
+        cluster: &Cluster,
+        pid: PeInstanceId,
+        est_finish: &[Nanos],
+    ) -> bool {
+        let ty = self.arch.pe(pid).ty;
+        let Some((dur, ready, latest_start)) = self.first_member_window(cluster, ty, est_finish)
+        else {
+            // The type-level verdict already prunes these.
+            return true;
+        };
+        let gid = cluster.graph;
+        let t = cluster.tasks[0];
+        let my_prio = self.priorities[gid.index()][t.index()];
+        let mut inviolable = Timeline::new();
+        for p in self.arch.board.timeline(self.arch.pe(pid).resource).iter() {
+            let evictable = self.options.preemption
+                && match p.occupant {
+                    Occupant::Task(v) => self.priorities[v.graph.index()][v.task.index()] < my_prio,
+                    _ => false,
+                };
+            if !evictable {
+                inviolable.record(p.occupant, p.interval);
+            }
+        }
+        inviolable.blocked(ready, dur, self.spec.graph(gid).period(), latest_start)
     }
 
     /// Capacity check (memory for CPUs, gates/pins for ASICs, ERUF/EPUF
@@ -234,13 +471,13 @@ impl<'a> Allocator<'a> {
             PeClass::Cpu(attrs) => pe.memory_used + cluster.memory.total() <= attrs.memory_bytes,
             PeClass::Asic(attrs) => {
                 let hw = mode.used_hw + cluster.hw;
-                hw.gates <= attrs.gates && hw.pins <= (attrs.pins as f64 * self.options.epuf) as u32
+                hw.gates <= attrs.gates && hw.pins <= derate(attrs.pins, self.options.epuf)
             }
             PeClass::Ppe(attrs) => {
                 let hw = mode.used_hw + cluster.hw;
-                hw.pfus <= (attrs.pfus as f64 * self.options.eruf) as u32
+                hw.pfus <= derate(attrs.pfus, self.options.eruf)
                     && hw.flip_flops <= attrs.flip_flops
-                    && hw.pins <= (attrs.pins as f64 * self.options.epuf) as u32
+                    && hw.pins <= derate(attrs.pins, self.options.epuf)
             }
         }
     }
@@ -253,12 +490,12 @@ impl<'a> Allocator<'a> {
             PeClass::Cpu(attrs) => cluster.memory.total() <= attrs.memory_bytes,
             PeClass::Asic(attrs) => {
                 cluster.hw.gates <= attrs.gates
-                    && cluster.hw.pins <= (attrs.pins as f64 * self.options.epuf) as u32
+                    && cluster.hw.pins <= derate(attrs.pins, self.options.epuf)
             }
             PeClass::Ppe(attrs) => {
-                cluster.hw.pfus <= (attrs.pfus as f64 * self.options.eruf) as u32
+                cluster.hw.pfus <= derate(attrs.pfus, self.options.eruf)
                     && cluster.hw.flip_flops <= attrs.flip_flops
-                    && cluster.hw.pins <= (attrs.pins as f64 * self.options.epuf) as u32
+                    && cluster.hw.pins <= derate(attrs.pins, self.options.epuf)
             }
         }
     }
@@ -292,8 +529,10 @@ impl<'a> Allocator<'a> {
     /// [`SynthesisError::Unallocatable`] when every candidate fails.
     pub fn allocate(&mut self, cid: ClusterId) -> Result<AllocationDecision, SynthesisError> {
         let cluster = self.clustering.cluster(cid);
-        let entries = self.allocation_array(cluster);
+        let (entries, pruned) = self.allocation_array(cluster);
+        self.candidates_pruned += pruned;
         for (target, added_cost) in entries {
+            self.candidates_tried += 1;
             if let Some((arch, pe, mode)) = self.try_target(cid, cluster, target) {
                 self.arch = arch;
                 let decision = AllocationDecision {
@@ -351,6 +590,12 @@ impl<'a> Allocator<'a> {
                 .exec
                 .on(pe_ty_id(&arch, pid))?
                 .max(Nanos::from_nanos(1));
+            if dur > period {
+                // A periodic interval longer than its period can never be
+                // placed; reject the candidate instead of letting the
+                // timeline's invariant panic on a pathological spec.
+                return None;
+            }
             let gt = GlobalTaskId::new(gid, t);
 
             // Latest admissible start for this task; it also bounds when
@@ -682,7 +927,8 @@ impl<'a> Allocator<'a> {
             if has_src && has_dst {
                 options.push((Dollars::ZERO, dur, LinkOption::Use(id)));
             } else if (has_src || has_dst)
-                && (l.attached.len() as u32) < self.lib.link(l.ty).max_ports()
+                && u32::try_from(l.attached.len()).unwrap_or(u32::MAX)
+                    < self.lib.link(l.ty).max_ports()
             {
                 let missing = if has_src { dst_pe } else { src_pe };
                 options.push((Dollars::ZERO, dur, LinkOption::Extend(id, missing)));

@@ -23,7 +23,14 @@ pub struct PeInstanceId(u32);
 
 impl PeInstanceId {
     /// Creates an instance id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — far beyond any realisable
+    /// architecture.
     pub const fn new(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "PE index exceeds u32::MAX");
+        #[allow(clippy::cast_possible_truncation)] // asserted above
         PeInstanceId(index as u32)
     }
 
@@ -46,7 +53,14 @@ pub struct LinkInstanceId(u32);
 
 impl LinkInstanceId {
     /// Creates a link-instance id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — far beyond any realisable
+    /// architecture.
     pub const fn new(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "link index exceeds u32::MAX");
+        #[allow(clippy::cast_possible_truncation)] // asserted above
         LinkInstanceId(index as u32)
     }
 

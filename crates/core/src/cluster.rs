@@ -19,7 +19,7 @@ use crusade_model::{
 use crusade_sched::priority_levels;
 
 use crate::error::SynthesisError;
-use crate::options::CosynOptions;
+use crate::options::{derate, CosynOptions};
 
 /// Identifies a cluster across the whole specification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -28,7 +28,14 @@ pub struct ClusterId(u32);
 
 impl ClusterId {
     /// Creates a cluster id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — far beyond any realisable
+    /// clustering.
     pub const fn new(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "cluster index exceeds u32::MAX");
+        #[allow(clippy::cast_possible_truncation)] // asserted above
         ClusterId(index as u32)
     }
 
@@ -191,12 +198,12 @@ fn fits_some_pe(
     allowed.iter().any(|&ty| match lib.pe(ty).class() {
         crusade_model::PeClass::Cpu(attrs) => memory.total() <= attrs.memory_bytes,
         crusade_model::PeClass::Asic(attrs) => {
-            hw.gates <= attrs.gates && hw.pins <= (attrs.pins as f64 * options.epuf) as u32
+            hw.gates <= attrs.gates && hw.pins <= derate(attrs.pins, options.epuf)
         }
         crusade_model::PeClass::Ppe(attrs) => {
-            hw.pfus <= (attrs.pfus as f64 * options.eruf) as u32
+            hw.pfus <= derate(attrs.pfus, options.eruf)
                 && hw.flip_flops <= attrs.flip_flops
-                && hw.pins <= (attrs.pins as f64 * options.epuf) as u32
+                && hw.pins <= derate(attrs.pins, options.epuf)
         }
     })
 }

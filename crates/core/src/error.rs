@@ -32,6 +32,12 @@ pub enum SynthesisError {
         /// Human-readable description of every violation found.
         violations: Vec<String>,
     },
+    /// The static-analysis pre-pass ([`crate::CosynOptions::lint`]) proved
+    /// the specification infeasible before allocation started.
+    LintRejected {
+        /// Human-readable description of every Error-level lint.
+        lints: Vec<String>,
+    },
     /// An internal invariant of the synthesis engine was broken — a bug,
     /// not a property of the specification. Reported instead of panicking
     /// so long campaigns degrade gracefully.
@@ -62,6 +68,20 @@ impl fmt::Display for SynthesisError {
                     write!(f, "; {v}")?;
                 }
                 if violations.len() > 5 {
+                    write!(f, "; …")?;
+                }
+                Ok(())
+            }
+            SynthesisError::LintRejected { lints } => {
+                write!(
+                    f,
+                    "static analysis proved the specification infeasible ({} error(s))",
+                    lints.len()
+                )?;
+                for l in lints.iter().take(5) {
+                    write!(f, "; {l}")?;
+                }
+                if lints.len() > 5 {
                     write!(f, "; …")?;
                 }
                 Ok(())

@@ -38,6 +38,16 @@ pub struct CosynOptions {
     /// claimed invariant as a post-pass; violations turn into
     /// [`crate::SynthesisError::AuditFailed`].
     pub audit: bool,
+    /// Whether the `crusade-lint` static analyzer runs as a pre-pass;
+    /// Error-level lints (proved infeasibilities) abort synthesis with
+    /// [`crate::SynthesisError::LintRejected`] before any allocation work.
+    pub lint: bool,
+    /// Whether the allocator consults the static pruning oracle to skip
+    /// provably-dead allocation candidates. On by default: pruned
+    /// candidates would fail the allocator's own checks, so the final
+    /// architecture is identical — only wasted placement attempts are
+    /// saved (counted in [`crate::SynthesisReport`]).
+    pub pruning: bool,
 }
 
 impl Default for CosynOptions {
@@ -51,6 +61,8 @@ impl Default for CosynOptions {
             max_modes_per_device: 8,
             image_sharing: true,
             audit: false,
+            lint: false,
+            pruning: true,
         }
     }
 }
@@ -70,6 +82,39 @@ impl CosynOptions {
     pub fn with_audit(mut self) -> Self {
         self.audit = true;
         self
+    }
+
+    /// Enables the static-analysis pre-pass that rejects provably
+    /// infeasible specifications before allocation starts.
+    pub fn with_lint(mut self) -> Self {
+        self.lint = true;
+        self
+    }
+
+    /// Disables the allocation pruning oracle (ablation / benchmarking).
+    pub fn without_pruning(mut self) -> Self {
+        self.pruning = false;
+        self
+    }
+
+    /// The subset of these options the `crusade-lint` analyses share;
+    /// the capacity caps must match or feasible-PE sets would diverge.
+    pub fn lint_options(&self) -> crusade_lint::LintOptions {
+        crusade_lint::LintOptions {
+            eruf: self.eruf,
+            epuf: self.epuf,
+        }
+    }
+}
+
+/// Scales an integer capacity by a utilisation factor (ERUF/EPUF).
+///
+/// Factors are fractions in `[0, 1]`, so the floored product stays within
+/// the original capacity.
+pub(crate) fn derate(cap: u32, factor: f64) -> u32 {
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        (f64::from(cap) * factor) as u32
     }
 }
 

@@ -25,7 +25,7 @@ use crusade_sched::{Occupant, PeriodicInterval};
 
 use crate::arch::{Architecture, PeInstanceId};
 use crate::cluster::Clustering;
-use crate::options::CosynOptions;
+use crate::options::{derate, CosynOptions};
 
 /// Statistics of the dynamic-reconfiguration phase.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -123,8 +123,8 @@ pub(crate) fn device_modes_feasible(
             .map(|m| mode_parts(spec, clustering, arch, pe, m, guard))
             .collect();
     let Some(parts) = parts else { return false };
-    let pfu_cap = (attrs.pfus as f64 * options.eruf) as u32;
-    let pin_cap = (attrs.pins as f64 * options.epuf) as u32;
+    let pfu_cap = derate(attrs.pfus, options.eruf);
+    let pin_cap = derate(attrs.pins, options.epuf);
     for (m, mode) in arch.pe(pe).modes.iter().enumerate() {
         if mode.used_hw.pfus > pfu_cap || mode.used_hw.pins > pin_cap {
             return false;
@@ -257,8 +257,8 @@ fn plan_merge(
             .map(|&(_, _, hw)| hw)
             .unwrap_or(crusade_model::HwDemand::ZERO)
     };
-    let pfu_cap = (attrs.pfus as f64 * options.eruf) as u32;
-    let pin_cap = (attrs.pins as f64 * options.epuf) as u32;
+    let pfu_cap = derate(attrs.pfus, options.eruf);
+    let pin_cap = derate(attrs.pins, options.epuf);
     let mode_count_a = arch.pe(a).modes.len();
     let check_mode = |owner_a: bool, mode: usize, base: crusade_model::HwDemand| {
         let mut hw = base;
@@ -574,8 +574,8 @@ fn combine_modes(
     for pid in ids {
         let caps = match lib.pe(arch.pe(pid).ty).class() {
             PeClass::Ppe(attrs) => (
-                (attrs.pfus as f64 * options.eruf) as u32,
-                (attrs.pins as f64 * options.epuf) as u32,
+                derate(attrs.pfus, options.eruf),
+                derate(attrs.pins, options.epuf),
                 attrs.flip_flops,
             ),
             _ => continue,

@@ -25,7 +25,7 @@ use crate::alloc::Allocator;
 use crate::arch::{Architecture, LinkInstanceId, PeInstanceId};
 use crate::cluster::{ClusterId, Clustering};
 use crate::error::SynthesisError;
-use crate::options::CosynOptions;
+use crate::options::{derate, CosynOptions};
 use crate::synthesis::{resynthesize_interface, SynthesisResult};
 
 /// A fault to repair around.
@@ -510,7 +510,7 @@ fn evict_over_eruf(
         let PeClass::Ppe(attrs) = lib.pe(pe.ty).class() else {
             continue;
         };
-        let cap = (attrs.pfus as f64 * options.eruf) as u32;
+        let cap = derate(attrs.pfus, options.eruf);
         for m in 0..pe.modes.len() {
             loop {
                 let mode = &arch.pe(pid).modes[m];

@@ -41,6 +41,11 @@ pub struct SynthesisReport {
     pub total_modes: usize,
     /// Number of clusters allocated.
     pub cluster_count: usize,
+    /// Allocation candidates actually evaluated (scheduling attempted).
+    pub candidates_tried: usize,
+    /// Allocation candidates skipped by the static pruning oracle
+    /// ([`CosynOptions::pruning`]) without any scheduling work.
+    pub candidates_pruned: usize,
 }
 
 /// Everything a synthesis run produces.
@@ -127,6 +132,18 @@ impl<'a> CoSynthesis<'a> {
         let t0 = Instant::now();
         self.spec.validate()?;
 
+        // Optional pre-pass: the static analyzer proves infeasibility
+        // before any allocation work (the pre-synthesis mirror of the
+        // post-synthesis audit hook below).
+        if self.options.lint {
+            let report = crusade_lint::lint(self.spec, self.lib, &self.options.lint_options());
+            if report.has_errors() {
+                return Err(SynthesisError::LintRejected {
+                    lints: report.errors().map(|l| l.to_string()).collect(),
+                });
+            }
+        }
+
         // Pre-processing: clustering (priority levels are computed inside).
         let clustering = cluster_tasks_with(self.spec, self.lib, &self.options)?;
 
@@ -136,6 +153,7 @@ impl<'a> CoSynthesis<'a> {
         for cid in cluster_ids {
             allocator.allocate(cid)?;
         }
+        let (candidates_tried, candidates_pruned) = allocator.candidate_counters();
         let mut arch = allocator.arch;
 
         // Dynamic reconfiguration generation.
@@ -163,6 +181,8 @@ impl<'a> CoSynthesis<'a> {
             multi_mode_devices,
             total_modes,
             cluster_count: clustering.cluster_count(),
+            candidates_tried,
+            candidates_pruned,
         };
         let result = SynthesisResult {
             architecture: arch,

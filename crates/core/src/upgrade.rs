@@ -95,6 +95,7 @@ pub fn upgrade_in_field(
     for cid in cluster_ids {
         allocator.allocate(cid)?;
     }
+    let (candidates_tried, candidates_pruned) = allocator.candidate_counters();
     let mut arch = allocator.arch;
 
     // Drop images that ended up unused (opened speculatively), keeping at
@@ -127,6 +128,8 @@ pub fn upgrade_in_field(
         multi_mode_devices,
         total_modes,
         cluster_count: clustering.cluster_count(),
+        candidates_tried,
+        candidates_pruned,
     };
     Ok(UpgradeResult {
         synthesis: SynthesisResult {

@@ -2,6 +2,9 @@
 //! (evict a lower-priority software task, charge the preemption overhead
 //! plus context switch, re-place the victim).
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade_core::{CoSynthesis, CosynOptions};
 use crusade_model::{
     CpuAttrs, Dollars, ExecutionTimes, GlobalTaskId, GraphId, LinkClass, LinkType, Nanos, PeClass,

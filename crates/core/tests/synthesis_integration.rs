@@ -1,6 +1,9 @@
 //! Integration tests for the full co-synthesis flow, including the
 //! dynamic-reconfiguration merge that is the paper's headline mechanism.
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade_core::{CoSynthesis, CosynOptions, SynthesisError};
 use crusade_model::{
     CompatibilityMatrix, CpuAttrs, Dollars, ExecutionTimes, GraphId, HwDemand, LinkClass, LinkType,

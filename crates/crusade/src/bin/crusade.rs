@@ -5,6 +5,9 @@
 //! crusade upgrade <old.json> <new.json>       can the new spec ship as firmware?
 //! crusade example <name> [--no-reconfig]      run a built-in paper benchmark
 //! crusade sample <path.json>                  write a sample specification file
+//! crusade lint <spec.json|name> [--format json]
+//!                                             statically analyze a specification
+//!                                             without synthesizing it
 //! crusade audit <spec.json|name> [--no-reconfig]
 //!                                             synthesize, then independently
 //!                                             re-verify every claimed invariant
@@ -13,8 +16,13 @@
 //!                                             against the synthesized system
 //! ```
 //!
-//! `audit` and `inject` accept either a specification file or the name of
-//! a built-in paper benchmark (`crusade audit vdrtx`).
+//! `lint`, `audit` and `inject` accept either a specification file or the
+//! name of a built-in paper benchmark (`crusade lint vdrtx`), resolved
+//! through one shared loading path.
+//!
+//! Exit codes (shared by `lint` and `audit`): **0** — clean; **1** —
+//! warnings only (lint); **2** — proved infeasibilities, audit
+//! violations, or an operational error.
 //!
 //! A specification file is a JSON object `{ "library": ..., "spec": ... }`
 //! whose two fields are the serde forms of
@@ -24,9 +32,35 @@
 use std::process::ExitCode;
 
 use crusade::core::{describe, upgrade_in_field, CoSynthesis, CosynOptions};
+use crusade::lint::Severity;
 use crusade::model::{ResourceLibrary, SystemSpec};
 use crusade::workloads::{paper_examples, paper_library};
 use serde::{Deserialize, Serialize};
+
+/// Process exit code for a fully clean run.
+const EXIT_CLEAN: u8 = 0;
+/// Exit code when a check produced warnings but no proved failure.
+const EXIT_WARNINGS: u8 = 1;
+/// Exit code for proved infeasibilities, audit violations, or
+/// operational errors (bad arguments, unreadable files).
+const EXIT_ERRORS: u8 = 2;
+
+const USAGE: &str = "usage: crusade <command> ...
+
+commands:
+  synth <spec.json> [--no-reconfig]            co-synthesize a specification
+  upgrade <old.json> <new.json>                can the new spec ship as firmware?
+  example <name> [--no-reconfig]               run a built-in paper benchmark
+  sample <path.json>                           write a sample specification file
+  lint <spec.json|name> [--format json]        static analysis, no synthesis
+  audit <spec.json|name> [--no-reconfig]       synthesize + independent re-verify
+  inject <spec.json|name> [--seeds N] [--no-reconfig]
+                                               seeded fault-injection campaign
+
+exit codes (lint, audit):
+  0  clean — no findings (informational bounds do not count)
+  1  warnings only — synthesis may still succeed
+  2  errors — proved infeasibility / audit violation / operational error";
 
 #[derive(Serialize, Deserialize)]
 struct SpecFile {
@@ -47,7 +81,7 @@ fn options(args: &[String]) -> CosynOptions {
     }
 }
 
-fn cmd_synth(args: &[String]) -> Result<(), String> {
+fn cmd_synth(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("usage: crusade synth <spec.json>")?;
     let file = load(path)?;
     let result = CoSynthesis::new(&file.spec, &file.library)
@@ -55,10 +89,10 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
         .run()
         .map_err(|e| e.to_string())?;
     print!("{}", describe(&result, &file.spec, &file.library));
-    Ok(())
+    Ok(EXIT_CLEAN)
 }
 
-fn cmd_upgrade(args: &[String]) -> Result<(), String> {
+fn cmd_upgrade(args: &[String]) -> Result<u8, String> {
     let (old_path, new_path) = match args {
         [a, b, ..] => (a, b),
         _ => return Err("usage: crusade upgrade <old.json> <new.json>".into()),
@@ -83,16 +117,16 @@ fn cmd_upgrade(args: &[String]) -> Result<(), String> {
                 "upgrade: ships as firmware — {} new configuration image(s), hardware unchanged",
                 up.extra_modes
             );
-            Ok(())
+            Ok(EXIT_CLEAN)
         }
         Err(e) => {
             println!("upgrade: requires new hardware ({e})");
-            Ok(())
+            Ok(EXIT_CLEAN)
         }
     }
 }
 
-fn cmd_example(args: &[String]) -> Result<(), String> {
+fn cmd_example(args: &[String]) -> Result<u8, String> {
     let name = args.first().ok_or("usage: crusade example <name>")?;
     let lib = paper_library();
     let ex = paper_examples()
@@ -123,10 +157,10 @@ fn cmd_example(args: &[String]) -> Result<(), String> {
         result.report.multi_mode_devices,
         result.report.cpu_time,
     );
-    Ok(())
+    Ok(EXIT_CLEAN)
 }
 
-fn cmd_sample(args: &[String]) -> Result<(), String> {
+fn cmd_sample(args: &[String]) -> Result<u8, String> {
     use crusade::model::{
         CpuAttrs, Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass, PeType,
         PpeAttrs, PpeKind, Preference, Task, TaskGraphBuilder,
@@ -191,11 +225,12 @@ fn cmd_sample(args: &[String]) -> Result<(), String> {
     let json = serde_json::to_string_pretty(&file).map_err(|e| e.to_string())?;
     std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
     println!("wrote sample specification to {path}");
-    Ok(())
+    Ok(EXIT_CLEAN)
 }
 
-/// Resolves the first positional argument of `audit`/`inject`: the name
-/// of a built-in benchmark, or a specification file.
+/// Resolves the first positional argument of `lint`/`audit`/`inject`:
+/// the name of a built-in benchmark, or a specification file. The single
+/// loading path all three analysis commands share.
 fn load_or_example(arg: &str) -> Result<(ResourceLibrary, SystemSpec), String> {
     if let Some(ex) = paper_examples()
         .into_iter()
@@ -209,7 +244,52 @@ fn load_or_example(arg: &str) -> Result<(ResourceLibrary, SystemSpec), String> {
     Ok((file.library, file.spec))
 }
 
-fn cmd_audit(args: &[String]) -> Result<(), String> {
+/// Statically analyzes a specification without synthesizing it.
+///
+/// Prints each diagnostic (most severe first) and exits 0 when clean,
+/// 1 when only warnings were found, 2 when an infeasibility was proved.
+fn cmd_lint(args: &[String]) -> Result<u8, String> {
+    let arg = args
+        .first()
+        .ok_or("usage: crusade lint <spec.json|example-name> [--format json]")?;
+    let json = match args.iter().position(|a| a == "--format") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("json") => true,
+            Some("text") | None => false,
+            Some(other) => return Err(format!("--format: unknown format {other}")),
+        },
+        None => false,
+    };
+    let (library, spec) = load_or_example(arg)?;
+    let report = crusade::lint::lint(&spec, &library, &crusade::lint::LintOptions::default());
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        let mut lints: Vec<_> = report.iter().collect();
+        lints.sort_by_key(|l| std::cmp::Reverse(l.severity()));
+        for l in lints {
+            println!("{}[{}]: {l}", l.severity(), l.kind());
+        }
+        println!(
+            "lint: {} error(s), {} warning(s), {} info",
+            report.count(Severity::Error),
+            report.count(Severity::Warning),
+            report.count(Severity::Info),
+        );
+    }
+    Ok(if report.has_errors() {
+        EXIT_ERRORS
+    } else if report.is_clean() {
+        EXIT_CLEAN
+    } else {
+        EXIT_WARNINGS
+    })
+}
+
+fn cmd_audit(args: &[String]) -> Result<u8, String> {
     let arg = args
         .first()
         .ok_or("usage: crusade audit <spec.json|example-name> [--no-reconfig]")?;
@@ -226,7 +306,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     );
     if violations.is_empty() {
         println!("audit: clean — every re-derived invariant holds");
-        Ok(())
+        Ok(EXIT_CLEAN)
     } else {
         for v in &violations {
             println!("audit: [{}] {v}", v.kind());
@@ -235,7 +315,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_inject(args: &[String]) -> Result<(), String> {
+fn cmd_inject(args: &[String]) -> Result<u8, String> {
     let arg = args
         .first()
         .ok_or("usage: crusade inject <spec.json|example-name> [--seeds N] [--no-reconfig]")?;
@@ -291,29 +371,38 @@ fn cmd_inject(args: &[String]) -> Result<(), String> {
     if dirty > 0 {
         Err(format!("{dirty} scenario(s) produced an invalid repair"))
     } else {
-        Ok(())
+        Ok(EXIT_CLEAN)
     }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::from(EXIT_CLEAN);
+    }
     let result = match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "synth" => cmd_synth(rest),
             "upgrade" => cmd_upgrade(rest),
             "example" => cmd_example(rest),
             "sample" => cmd_sample(rest),
+            "lint" => cmd_lint(rest),
             "audit" => cmd_audit(rest),
             "inject" => cmd_inject(rest),
-            other => Err(format!("unknown command {other}")),
+            "help" => {
+                println!("{USAGE}");
+                Ok(EXIT_CLEAN)
+            }
+            other => Err(format!("unknown command {other}\n{USAGE}")),
         },
-        None => Err("usage: crusade <synth|upgrade|example|sample|audit|inject> ...".into()),
+        None => Err(USAGE.into()),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_ERRORS)
         }
     }
 }

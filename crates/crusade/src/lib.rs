@@ -12,6 +12,8 @@
 //!   estimation;
 //! * [`core`] — the CRUSADE algorithm: clustering, allocation, dynamic
 //!   reconfiguration generation;
+//! * [`lint`] — the pre-synthesis static analyzer: infeasibility proofs
+//!   and lower bounds over a specification, without running synthesis;
 //! * [`ft`] — the CRUSADE-FT fault-tolerance extension;
 //! * [`verify`] — the independent architecture auditor and the seeded
 //!   fault-injection engine;
@@ -44,6 +46,7 @@
 pub use crusade_core as core;
 pub use crusade_fabric as fabric;
 pub use crusade_ft as ft;
+pub use crusade_lint as lint;
 pub use crusade_model as model;
 pub use crusade_sched as sched;
 pub use crusade_verify as verify;
@@ -53,6 +56,7 @@ pub use crusade_workloads as workloads;
 pub mod prelude {
     pub use crusade_core::{CoSynthesis, CosynOptions, SynthesisError, SynthesisResult};
     pub use crusade_ft::{CrusadeFt, FtAnnotations, FtConfig};
+    pub use crusade_lint::{Lint, LintOptions, LintReport, Severity};
     pub use crusade_model::{
         CompatibilityMatrix, Dollars, ExecutionTimes, HwDemand, MemoryVector, Nanos, Preference,
         ResourceLibrary, SystemConstraints, SystemSpec, Task, TaskGraph, TaskGraphBuilder,

@@ -158,6 +158,9 @@ impl<'a> UtilisationExperiment<'a> {
     /// The device this circuit is mapped to: sized so the circuit alone
     /// occupies the baseline (70 %) utilisation, with a package-pin count
     /// sized so the circuit I/O fits exactly at EPUF = 0.80.
+    // Utilisation arithmetic divides small non-negative counts by factors
+    // in (0, 1]; the rounded results stay far below every integer limit.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn device(&self) -> Fabric {
         let capacity = (self.netlist.cell_count() as f64 / DEFAULT_ERUF).ceil() as usize;
         let pins = (self.netlist.io_count() as f64 / DEFAULT_EPUF).ceil() as u32;
@@ -171,6 +174,10 @@ impl<'a> UtilisationExperiment<'a> {
     ///
     /// See [`MeasureError`]; `Unroutable` corresponds to the paper's
     /// "Not routable" entries.
+    // Utilisation fractions scale bounded site/pin counts, so the rounded
+    // casts cannot truncate; the `expect` below is guarded by the
+    // `required > usable` check just above it.
+    #[allow(clippy::cast_possible_truncation, clippy::missing_panics_doc)]
     pub fn measure(&self, eruf: f64, epuf: f64) -> Result<DelayMeasurement, MeasureError> {
         let fabric = self.device();
         let capacity = fabric.site_count();

@@ -85,6 +85,8 @@ impl Fabric {
     /// Builds the smallest roughly square fabric with at least `capacity`
     /// PFU sites.
     pub fn with_capacity(capacity: usize, tracks_per_channel: u32, package_pins: u32) -> Self {
+        // √capacity of any realisable device fits u16 comfortably.
+        #[allow(clippy::cast_possible_truncation)]
         let side = (capacity as f64).sqrt().ceil() as u16;
         let w = side.max(2);
         let mut h = side.max(2);

@@ -158,7 +158,11 @@ pub fn synthesize_interface(req: &InterfaceRequirement) -> Option<SynthesizedInt
             .device_config_bits
             .iter()
             .enumerate()
-            .map(|(i, &bits)| option.boot_time(bits, i as u32))
+            .map(|(i, &bits)| {
+                // Device counts on one bus are tiny.
+                #[allow(clippy::cast_possible_truncation)]
+                option.boot_time(bits, i as u32)
+            })
             .max()
             .unwrap_or(Nanos::ZERO);
         if worst <= req.boot_time_requirement {

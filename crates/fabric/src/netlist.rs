@@ -19,7 +19,14 @@ pub struct CellId(u32);
 
 impl CellId {
     /// Creates a cell id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — far beyond any realisable
+    /// netlist.
     pub const fn new(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "cell index exceeds u32::MAX");
+        #[allow(clippy::cast_possible_truncation)] // asserted above
         CellId(index as u32)
     }
 

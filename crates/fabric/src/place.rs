@@ -84,7 +84,11 @@ pub fn place(
                 .fold((0u32, 0u32), |(ax, ay), s| {
                     (ax + s.x as u32, ay + s.y as u32)
                 });
+            // Fan-in counts and coordinate averages stay within the
+            // fabric's u16 grid by construction.
+            #[allow(clippy::cast_possible_truncation)]
             let n = fanin[cell].len() as u32;
+            #[allow(clippy::cast_possible_truncation)]
             Site::new((sx / n) as u16, (sy / n) as u16)
         };
         // Nearest free site to the target (ties by row-major order, which

@@ -34,7 +34,12 @@ pub struct RoutedNet {
 impl RoutedNet {
     /// Path length in channel segments.
     pub fn length(&self) -> u32 {
-        self.channels.len() as u32
+        // A route never visits more channels than the fabric has, far
+        // below u32::MAX.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.channels.len() as u32
+        }
     }
 }
 

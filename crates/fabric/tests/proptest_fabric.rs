@@ -1,5 +1,8 @@
 //! Property-based tests of the placement/routing substrate.
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade_fabric::{place, Fabric, Netlist, RouteRequest, Router, Site};
 use proptest::prelude::*;
 

@@ -1,0 +1,446 @@
+//! The five lint analyses.
+//!
+//! Each analysis consumes the shared [`Context`] (capacity-aware
+//! feasible-PE sets, per-edge communication lower bounds, best-case
+//! timing bounds) and appends diagnostics to the report. The order of
+//! emission is deterministic: graph by graph, entity by entity.
+
+use crusade_model::{
+    Dollars, EdgeId, GraphId, Nanos, PeClass, PeTypeId, ResourceLibrary, SystemSpec, TaskGraph,
+    TaskId,
+};
+use crusade_sched::PeriodicInterval;
+
+use crate::bounds::{
+    best_link_transfer, bin_lower_bound, feasible_pe_types, ffd_bins, TimingBounds,
+};
+use crate::{Lint, LintOptions, LintReport};
+
+/// Everything the analyses share, computed once.
+pub(crate) struct Context<'a> {
+    pub spec: &'a SystemSpec,
+    pub lib: &'a ResourceLibrary,
+    pub options: &'a LintOptions,
+    /// `[graph][task]` → capacity-aware feasible PE types.
+    pub feasible: Vec<Vec<Vec<PeTypeId>>>,
+    /// `[graph][edge]` → communication lower bound (zero when the
+    /// endpoints may share a PE).
+    pub comm_lb: Vec<Vec<Nanos>>,
+    /// `[graph][edge]` → endpoints can never share a PE.
+    pub forced_inter: Vec<Vec<bool>>,
+    /// `[graph]` → best-case timing bounds.
+    pub bounds: Vec<TimingBounds>,
+}
+
+/// The fastest execution time a task can have on any of its feasible
+/// types; falls back to the raw execution-vector minimum when the
+/// feasible set is empty (that case is flagged separately).
+pub(crate) fn fastest_feasible(graph: &TaskGraph, feasible: &[Vec<PeTypeId>], t: TaskId) -> Nanos {
+    let task = graph.task(t);
+    feasible[t.index()]
+        .iter()
+        .filter_map(|&ty| task.exec.on(ty))
+        .min()
+        .or_else(|| task.exec.fastest())
+        .unwrap_or(Nanos::ZERO)
+}
+
+impl<'a> Context<'a> {
+    pub(crate) fn build(
+        spec: &'a SystemSpec,
+        lib: &'a ResourceLibrary,
+        options: &'a LintOptions,
+    ) -> Self {
+        let mut feasible = Vec::with_capacity(spec.graph_count());
+        let mut comm_lb = Vec::with_capacity(spec.graph_count());
+        let mut forced_inter = Vec::with_capacity(spec.graph_count());
+        let mut bounds = Vec::with_capacity(spec.graph_count());
+        for (_, graph) in spec.graphs() {
+            let sets: Vec<Vec<PeTypeId>> = graph
+                .tasks()
+                .map(|(_, task)| feasible_pe_types(lib, task, options))
+                .collect();
+            let mut lbs = Vec::with_capacity(graph.edge_count());
+            let mut forced = Vec::with_capacity(graph.edge_count());
+            for (_, edge) in graph.edges() {
+                let a = &sets[edge.from.index()];
+                let b = &sets[edge.to.index()];
+                let can_share = a.is_empty() || b.is_empty() || a.iter().any(|ty| b.contains(ty));
+                forced.push(!can_share);
+                if can_share {
+                    lbs.push(Nanos::ZERO);
+                } else {
+                    // Forced onto a link; an unroutable library (no links)
+                    // contributes a zero bound here and is flagged as an
+                    // Error by the communication analysis.
+                    lbs.push(best_link_transfer(lib, edge.bytes).unwrap_or(Nanos::ZERO));
+                }
+            }
+            let tb = TimingBounds::compute(
+                graph,
+                |t| fastest_feasible(graph, &sets, t),
+                |e: EdgeId| lbs[e.index()],
+            );
+            feasible.push(sets);
+            comm_lb.push(lbs);
+            forced_inter.push(forced);
+            bounds.push(tb);
+        }
+        Context {
+            spec,
+            lib,
+            options,
+            feasible,
+            comm_lb,
+            forced_inter,
+            bounds,
+        }
+    }
+}
+
+/// Analysis 1 — best-case critical path vs. deadlines and periods.
+pub(crate) fn timing(ctx: &Context<'_>, report: &mut LintReport) {
+    for (gid, graph) in ctx.spec.graphs() {
+        let bounds = &ctx.bounds[gid.index()];
+        let feasible = &ctx.feasible[gid.index()];
+        for (t, _) in graph.tasks() {
+            let best = fastest_feasible(graph, feasible, t);
+            if best > graph.period() {
+                report.push(Lint::TaskExceedsPeriod {
+                    graph: gid,
+                    task: t,
+                    best,
+                    period: graph.period(),
+                });
+            }
+            if let Some(d) = graph.effective_deadline(t) {
+                let absolute = graph.est().saturating_add(d);
+                let best_finish = bounds.earliest_finish[t.index()];
+                if best_finish > absolute {
+                    report.push(Lint::CriticalPathExceedsDeadline {
+                        graph: gid,
+                        task: t,
+                        best_finish,
+                        deadline: absolute,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Analysis 4 — communication feasibility of forced inter-PE edges.
+pub(crate) fn communication(ctx: &Context<'_>, report: &mut LintReport) {
+    let has_links = ctx.lib.link_count() > 0;
+    for (gid, graph) in ctx.spec.graphs() {
+        for (eid, _) in graph.edges() {
+            if !ctx.forced_inter[gid.index()][eid.index()] {
+                continue;
+            }
+            if !has_links {
+                report.push(Lint::EdgeUnroutable {
+                    graph: gid,
+                    edge: eid,
+                });
+            } else if ctx.comm_lb[gid.index()][eid.index()] > graph.period() {
+                report.push(Lint::EdgeInfeasible {
+                    graph: gid,
+                    edge: eid,
+                    best: ctx.comm_lb[gid.index()][eid.index()],
+                    period: graph.period(),
+                });
+            }
+        }
+    }
+}
+
+/// Analysis 3 — constraint propagation over preference/exclusion vectors.
+pub(crate) fn constraints(ctx: &Context<'_>, report: &mut LintReport) {
+    for (gid, graph) in ctx.spec.graphs() {
+        let feasible = &ctx.feasible[gid.index()];
+        for (t, task) in graph.tasks() {
+            if feasible[t.index()].is_empty() {
+                report.push(Lint::NoFeasiblePe {
+                    graph: gid,
+                    task: t,
+                    name: task.name.clone(),
+                });
+            }
+            if task.exclusions.excludes(t) {
+                report.push(Lint::SelfExclusion {
+                    graph: gid,
+                    task: t,
+                });
+            }
+        }
+        for (eid, edge) in graph.edges() {
+            let a = graph.task(edge.from);
+            let b = graph.task(edge.to);
+            if a.exclusions.excludes(edge.to) || b.exclusions.excludes(edge.from) {
+                report.push(Lint::ExcludedAdjacent {
+                    graph: gid,
+                    edge: eid,
+                });
+            }
+        }
+        exclusion_cliques(gid, graph, feasible, report);
+    }
+}
+
+/// Greedy maximal clique of pairwise-exclusive tasks that are feasible on
+/// exactly one PE type: each clique member needs its own instance.
+fn exclusion_cliques(
+    gid: GraphId,
+    graph: &TaskGraph,
+    feasible: &[Vec<PeTypeId>],
+    report: &mut LintReport,
+) {
+    // Work bound: the single-type-forced set is tiny in practice; bail out
+    // rather than go quadratic on adversarial inputs.
+    const CAP: usize = 512;
+    let mut by_type: Vec<(PeTypeId, Vec<TaskId>)> = Vec::new();
+    for (t, _) in graph.tasks() {
+        if let [only] = feasible[t.index()][..] {
+            match by_type.iter_mut().find(|(ty, _)| *ty == only) {
+                Some((_, v)) => v.push(t),
+                None => by_type.push((only, vec![t])),
+            }
+        }
+    }
+    for (ty, tasks) in by_type {
+        if tasks.len() < 2 || tasks.len() > CAP {
+            continue;
+        }
+        let excl = |a: TaskId, b: TaskId| {
+            graph.task(a).exclusions.excludes(b) || graph.task(b).exclusions.excludes(a)
+        };
+        let mut clique: Vec<TaskId> = Vec::new();
+        for &t in &tasks {
+            if clique.iter().all(|&c| excl(t, c)) {
+                clique.push(t);
+            }
+        }
+        if clique.len() >= 2 {
+            report.push(Lint::ExclusionClique {
+                graph: gid,
+                pe_type: ty,
+                needed: clique.len() as u64,
+                tasks: clique,
+            });
+        }
+    }
+}
+
+/// Analysis 2 — utilisation and bin-packing lower bounds per device
+/// class, and the resulting dollar floor.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // ceil() of a small utilisation sum
+pub(crate) fn utilisation(ctx: &Context<'_>, report: &mut LintReport) {
+    let mut cpu_util = 0.0f64;
+    let mut cpu_mem: Vec<u64> = Vec::new();
+    let mut asic_gates: Vec<u64> = Vec::new();
+    // PFU demand per graph: reconfiguration lets *different* graphs
+    // time-share a device, but tasks of one graph occupy it concurrently,
+    // so only the per-graph maximum is a sound bound.
+    let mut ppe_pfus_per_graph: Vec<Vec<u64>> = Vec::new();
+
+    for (gid, graph) in ctx.spec.graphs() {
+        let feasible = &ctx.feasible[gid.index()];
+        let mut graph_pfus: Vec<u64> = Vec::new();
+        for (t, task) in graph.tasks() {
+            let set = &feasible[t.index()];
+            if set.is_empty() {
+                continue; // flagged as NoFeasiblePe
+            }
+            let classes: Vec<&'static str> = {
+                let mut c: Vec<&'static str> = set
+                    .iter()
+                    .map(|&ty| class_tag(ctx.lib.pe(ty).class()))
+                    .collect();
+                c.sort_unstable();
+                c.dedup();
+                c
+            };
+            let [class] = classes[..] else { continue };
+            match class {
+                "cpu" => {
+                    let best = fastest_feasible(graph, feasible, t);
+                    cpu_util += best.as_secs_f64() / graph.period().as_secs_f64();
+                    cpu_mem.push(task.memory.total());
+                }
+                "asic" => asic_gates.push(task.hw.gates),
+                _ => graph_pfus.push(u64::from(task.hw.pfus)),
+            }
+        }
+        ppe_pfus_per_graph.push(graph_pfus);
+    }
+
+    let mut total_floor = Dollars::ZERO;
+    let mut classes_bounded = 0u32;
+
+    let cpu_cap = class_caps(ctx, "cpu");
+    if !cpu_mem.is_empty() {
+        let util_lb = (cpu_util - 1e-9).ceil().max(0.0) as u64;
+        let min_instances = util_lb.max(bin_lower_bound(&cpu_mem, cpu_cap.0));
+        let ffd_instances = util_lb.max(ffd_bins(&cpu_mem, cpu_cap.0));
+        if min_instances > 0 && min_instances < u64::MAX {
+            let cost_floor = cpu_cap.1 * min_instances;
+            total_floor += cost_floor;
+            classes_bounded += 1;
+            report.push(Lint::ClassLowerBound {
+                class: "cpu",
+                min_instances,
+                ffd_instances,
+                cost_floor,
+            });
+        }
+    }
+    let asic_cap = class_caps(ctx, "asic");
+    if !asic_gates.is_empty() {
+        let min_instances = bin_lower_bound(&asic_gates, asic_cap.0);
+        let ffd_instances = ffd_bins(&asic_gates, asic_cap.0);
+        if min_instances > 0 && min_instances < u64::MAX {
+            let cost_floor = asic_cap.1 * min_instances;
+            total_floor += cost_floor;
+            classes_bounded += 1;
+            report.push(Lint::ClassLowerBound {
+                class: "asic",
+                min_instances,
+                ffd_instances,
+                cost_floor,
+            });
+        }
+    }
+    let ppe_cap = class_caps(ctx, "ppe");
+    let ppe_lb = ppe_pfus_per_graph
+        .iter()
+        .map(|items| bin_lower_bound(items, ppe_cap.0))
+        .max()
+        .unwrap_or(0);
+    if ppe_lb > 0 && ppe_lb < u64::MAX {
+        let ffd_instances = ppe_pfus_per_graph
+            .iter()
+            .map(|items| ffd_bins(items, ppe_cap.0))
+            .max()
+            .unwrap_or(0);
+        let cost_floor = ppe_cap.1 * ppe_lb;
+        total_floor += cost_floor;
+        classes_bounded += 1;
+        report.push(Lint::ClassLowerBound {
+            class: "ppe",
+            min_instances: ppe_lb,
+            ffd_instances,
+            cost_floor,
+        });
+    }
+    if classes_bounded > 0 && total_floor > Dollars::ZERO {
+        report.push(Lint::CostLowerBound { total: total_floor });
+    }
+}
+
+fn class_tag(class: &PeClass) -> &'static str {
+    match class {
+        PeClass::Cpu(_) => "cpu",
+        PeClass::Asic(_) => "asic",
+        PeClass::Ppe(_) => "ppe",
+    }
+}
+
+/// The loosest capacity and the cheapest price of a device class:
+/// `(capacity, cheapest cost)`. Capacity is the class's binning
+/// dimension — CPU memory bytes, ASIC gates, ERUF-scaled PFUs.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // deliberate f64 capacity scaling, mirrors crusade-core
+fn class_caps(ctx: &Context<'_>, class: &'static str) -> (u64, Dollars) {
+    let mut cap = 0u64;
+    let mut cheapest: Option<Dollars> = None;
+    for (_, ty) in ctx.lib.pes() {
+        if class_tag(ty.class()) != class {
+            continue;
+        }
+        let c = match ty.class() {
+            PeClass::Cpu(attrs) => attrs.memory_bytes,
+            PeClass::Asic(attrs) => attrs.gates,
+            PeClass::Ppe(attrs) => (f64::from(attrs.pfus) * ctx.options.eruf) as u64,
+        };
+        cap = cap.max(c);
+        cheapest = Some(cheapest.map_or(ty.cost(), |d: Dollars| d.min(ty.cost())));
+    }
+    (cap, cheapest.unwrap_or(Dollars::ZERO))
+}
+
+/// Analysis 5 — dead compatibility declarations: graphs declared able to
+/// time-share a reconfigurable device whose mandatory execution windows
+/// provably collide.
+pub(crate) fn modes(ctx: &Context<'_>, report: &mut LintReport) {
+    let Some(matrix) = ctx.spec.compatibility() else {
+        return;
+    };
+    // Per graph: tasks whose execution window has so little slack that an
+    // interval of time is occupied under *every* admissible schedule.
+    const CAP: usize = 64;
+    let mandatory: Vec<Vec<(TaskId, PeriodicInterval)>> = ctx
+        .spec
+        .graphs()
+        .map(|(gid, graph)| mandatory_windows(ctx, gid, graph, CAP))
+        .collect();
+    for (a, _) in ctx.spec.graphs() {
+        for (b, _) in ctx.spec.graphs() {
+            if b.index() <= a.index() || !matrix.compatible(a, b) {
+                continue;
+            }
+            'pair: for &(ta, wa) in &mandatory[a.index()] {
+                for &(tb, wb) in &mandatory[b.index()] {
+                    if wa.collides(&wb) {
+                        report.push(Lint::DeadCompatibility {
+                            a,
+                            b,
+                            task_a: ta,
+                            task_b: tb,
+                        });
+                        break 'pair;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Intervals each task must occupy under every admissible schedule: a
+/// task with start window `[es, lf − d]` and duration ≥ `d` is always
+/// running during `[lf − d, es + d)` when that interval is non-empty.
+fn mandatory_windows(
+    ctx: &Context<'_>,
+    gid: GraphId,
+    graph: &TaskGraph,
+    cap: usize,
+) -> Vec<(TaskId, PeriodicInterval)> {
+    let bounds = &ctx.bounds[gid.index()];
+    let feasible = &ctx.feasible[gid.index()];
+    let mut windows = Vec::new();
+    for (t, _) in graph.tasks() {
+        if windows.len() >= cap {
+            break;
+        }
+        let d = fastest_feasible(graph, feasible, t);
+        if d.is_zero() {
+            continue;
+        }
+        let lf = bounds.latest_finish[t.index()];
+        if lf == Nanos::MAX {
+            continue;
+        }
+        let es = bounds.earliest_start[t.index()];
+        // lf < es + d is a deadline miss flagged by the timing analysis;
+        // the window formula needs lf ≥ es + d.
+        let Some(end) = es.checked_add(d) else {
+            continue;
+        };
+        if lf < end {
+            continue;
+        }
+        let start = lf.saturating_sub(d);
+        if start < end && end - start <= graph.period() {
+            windows.push((t, PeriodicInterval::new(start, end - start, graph.period())));
+        }
+    }
+    windows
+}

@@ -1,0 +1,304 @@
+//! Mutation tests for the Error-level lint classes.
+//!
+//! Every test starts from one known-feasible baseline specification,
+//! applies a single minimal corrupting mutation, and asserts that the
+//! expected Error lint — and only errors of that class — fires. Together
+//! they prove each infeasibility analysis is *live*: remove any one and
+//! its mutation goes undetected.
+
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
+use crusade_lint::{lint, Lint, LintOptions, LintReport, Severity};
+use crusade_model::{
+    AsicAttrs, CpuAttrs, Dollars, ExecutionTimes, LinkClass, LinkType, Nanos, PeClass, PeType,
+    PeTypeId, Preference, ResourceLibrary, SystemSpec, Task, TaskGraph, TaskGraphBuilder, TaskId,
+};
+
+const CPU: PeTypeId = PeTypeId::new(0);
+const ASIC: PeTypeId = PeTypeId::new(1);
+const CPU_MEMORY: u64 = 1 << 20;
+const ASIC_GATES: u64 = 10_000;
+
+/// One CPU, one ASIC, one bus: every baseline below is feasible on it.
+fn library() -> ResourceLibrary {
+    let mut lib = ResourceLibrary::new();
+    lib.add_pe(PeType::new(
+        "cpu",
+        Dollars::new(100),
+        PeClass::Cpu(CpuAttrs {
+            memory_bytes: CPU_MEMORY,
+            context_switch: Nanos::from_micros(1),
+            comm_ports: 2,
+            comm_overlap: true,
+        }),
+    ));
+    lib.add_pe(PeType::new(
+        "asic",
+        Dollars::new(200),
+        PeClass::Asic(AsicAttrs {
+            gates: ASIC_GATES,
+            pins: 64,
+        }),
+    ));
+    lib.add_link(LinkType::new(
+        "bus",
+        Dollars::new(20),
+        LinkClass::Bus,
+        8,
+        vec![Nanos::from_nanos(100)],
+        64,
+        Nanos::from_micros(1),
+    ));
+    lib
+}
+
+/// A CPU-only task of the given execution time with tiny memory demand.
+fn sw_task(name: &str, exec: Nanos) -> Task {
+    let mut t = Task::new(name, ExecutionTimes::from_entries(2, [(CPU, exec)]));
+    t.memory = crusade_model::MemoryVector::new(1_000, 500, 100);
+    t
+}
+
+/// The feasible baseline: a three-task software chain well inside its
+/// period and deadline.
+fn baseline() -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("base", Nanos::from_millis(1));
+    let mut prev = None;
+    for i in 0..3 {
+        let id = b.add_task(sw_task(&format!("t{i}"), Nanos::from_micros(10)));
+        if let Some(p) = prev {
+            b.add_edge(p, id, 64);
+        }
+        prev = Some(id);
+    }
+    b.deadline(Nanos::from_micros(800)).build().unwrap()
+}
+
+fn run(spec: &SystemSpec) -> LintReport {
+    lint(spec, &library(), &LintOptions::default())
+}
+
+fn kinds(report: &LintReport, severity: Severity) -> Vec<&'static str> {
+    let mut v: Vec<_> = report
+        .iter()
+        .filter(|l| l.severity() == severity)
+        .map(Lint::kind)
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Asserts the mutated spec triggers exactly the one expected Error class.
+fn assert_only_error(spec: &SystemSpec, kind: &str) {
+    let report = run(spec);
+    assert!(report.has_errors(), "expected an `{kind}` error");
+    assert_eq!(
+        kinds(&report, Severity::Error),
+        vec![kind],
+        "expected only `{kind}` at Error level"
+    );
+}
+
+#[test]
+fn baseline_is_clean() {
+    let report = run(&SystemSpec::new(vec![baseline()]));
+    assert!(
+        report.is_clean(),
+        "baseline must lint clean, got: {:?}",
+        report.iter().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn invalid_spec_fires_on_hyperperiod_overflow() {
+    // Two huge coprime periods whose lcm overflows the u64 nanosecond
+    // range; each graph alone is fine.
+    let mut a = TaskGraphBuilder::new("a", Nanos::from_nanos(1_000_000_007));
+    a.add_task(sw_task("ta", Nanos::from_micros(10)));
+    let mut b = TaskGraphBuilder::new("b", Nanos::from_nanos(999_999_999_989));
+    b.add_task(sw_task("tb", Nanos::from_micros(10)));
+    let spec = SystemSpec::new(vec![a.build().unwrap(), b.build().unwrap()]);
+    assert_only_error(&spec, "invalid-spec");
+}
+
+#[test]
+fn invalid_spec_short_circuits_other_analyses() {
+    // The invalid spec also contains a would-be timing error; the lint
+    // pass must stop at structural validation rather than analyse
+    // unvalidated data.
+    let mut a = TaskGraphBuilder::new("a", Nanos::from_nanos(1_000_000_007));
+    a.add_task(sw_task("slow", Nanos::from_secs(10)));
+    let mut b = TaskGraphBuilder::new("b", Nanos::from_nanos(999_999_999_989));
+    b.add_task(sw_task("tb", Nanos::from_micros(10)));
+    let spec = SystemSpec::new(vec![a.build().unwrap(), b.build().unwrap()]);
+    let report = run(&spec);
+    assert_eq!(report.len(), 1);
+    assert_eq!(report.iter().next().unwrap().kind(), "invalid-spec");
+}
+
+#[test]
+fn critical_path_exceeds_deadline_fires() {
+    // Tighten the baseline deadline below the 30 µs best-case chain.
+    let mut b = TaskGraphBuilder::new("base", Nanos::from_millis(1));
+    let mut prev = None;
+    for i in 0..3 {
+        let id = b.add_task(sw_task(&format!("t{i}"), Nanos::from_micros(10)));
+        if let Some(p) = prev {
+            b.add_edge(p, id, 64);
+        }
+        prev = Some(id);
+    }
+    let g = b.deadline(Nanos::from_micros(15)).build().unwrap();
+    assert_only_error(&SystemSpec::new(vec![g]), "critical-path-exceeds-deadline");
+}
+
+#[test]
+fn task_exceeds_period_fires() {
+    // One task slower than the whole period: its periodic copies overlap.
+    let mut b = TaskGraphBuilder::new("g", Nanos::from_millis(1));
+    b.add_task(sw_task("slow", Nanos::from_millis(2)));
+    let g = b.build().unwrap();
+    let report = run(&SystemSpec::new(vec![g]));
+    assert!(report.has_errors());
+    assert!(
+        kinds(&report, Severity::Error).contains(&"task-exceeds-period"),
+        "expected `task-exceeds-period`, got {:?}",
+        kinds(&report, Severity::Error)
+    );
+}
+
+#[test]
+fn no_feasible_pe_fires_on_capacity() {
+    // Memory demand above every CPU's capacity, with no hardware mapping:
+    // the preference/exec/capacity intersection is empty.
+    let mut b = TaskGraphBuilder::new("g", Nanos::from_millis(1));
+    let mut t = sw_task("fat", Nanos::from_micros(10));
+    t.memory = crusade_model::MemoryVector::new(CPU_MEMORY, 1, 0);
+    b.add_task(t);
+    let g = b.build().unwrap();
+    assert_only_error(&SystemSpec::new(vec![g]), "no-feasible-pe");
+}
+
+#[test]
+fn self_exclusion_fires() {
+    let mut b = TaskGraphBuilder::new("g", Nanos::from_millis(1));
+    let mut t = sw_task("selfish", Nanos::from_micros(10));
+    t.exclusions.add(TaskId::new(0)); // its own id
+    b.add_task(t);
+    let g = b.build().unwrap();
+    assert_only_error(&SystemSpec::new(vec![g]), "self-exclusion");
+}
+
+/// A two-task chain forced across the CPU/ASIC boundary: `head` can only
+/// run on the CPU, `tail` only on the ASIC, so the edge can never be
+/// internalised onto one PE.
+fn forced_inter_pe_chain(bytes: u64) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("g", Nanos::from_millis(1));
+    let head = b.add_task(sw_task("head", Nanos::from_micros(10)));
+    let mut t = Task::new(
+        "tail",
+        ExecutionTimes::from_entries(2, [(ASIC, Nanos::from_micros(5))]),
+    );
+    t.preference = Preference::Only(vec![ASIC]);
+    t.hw = crusade_model::HwDemand::new(1_000, 0, 0, 8);
+    let tail = b.add_task(t);
+    b.add_edge(head, tail, bytes);
+    b.build().unwrap()
+}
+
+#[test]
+fn edge_unroutable_fires_without_links() {
+    let mut lib = library();
+    let spec = SystemSpec::new(vec![forced_inter_pe_chain(64)]);
+    // Sanity: with the bus present the same spec has no routing error.
+    assert!(!lint(&spec, &lib, &LintOptions::default()).has_errors());
+    lib = {
+        // Rebuild the library without any link type.
+        let mut no_links = ResourceLibrary::new();
+        for (_, pe) in lib.pes() {
+            no_links.add_pe(pe.clone());
+        }
+        no_links
+    };
+    let report = lint(&spec, &lib, &LintOptions::default());
+    assert!(report.has_errors());
+    assert_eq!(kinds(&report, Severity::Error), vec!["edge-unroutable"]);
+}
+
+#[test]
+fn edge_infeasible_fires_on_oversubscribed_link() {
+    // 1 MB across a 1 µs-per-64-byte bus needs ~16 ms, far beyond the
+    // 1 ms period of the forced inter-PE edge. The same communication
+    // lower bound necessarily also sinks the critical path, so only the
+    // presence of the routing error is asserted.
+    let spec = SystemSpec::new(vec![forced_inter_pe_chain(1 << 20)]);
+    let report = run(&spec);
+    assert!(report.has_errors());
+    assert!(
+        kinds(&report, Severity::Error).contains(&"edge-infeasible"),
+        "expected `edge-infeasible`, got {:?}",
+        kinds(&report, Severity::Error)
+    );
+}
+
+#[test]
+fn every_error_class_has_a_mutation() {
+    // Meta-test: the cases above cover exactly the Error-level kinds the
+    // diagnostics module defines, so adding a new Error lint without a
+    // mutation test fails here.
+    let covered = [
+        "invalid-spec",
+        "critical-path-exceeds-deadline",
+        "task-exceeds-period",
+        "no-feasible-pe",
+        "self-exclusion",
+        "edge-unroutable",
+        "edge-infeasible",
+    ];
+    let all_error_kinds = [
+        Lint::InvalidSpec {
+            message: String::new(),
+        },
+        Lint::CriticalPathExceedsDeadline {
+            graph: crusade_model::GraphId::new(0),
+            task: TaskId::new(0),
+            best_finish: Nanos::ZERO,
+            deadline: Nanos::ZERO,
+        },
+        Lint::TaskExceedsPeriod {
+            graph: crusade_model::GraphId::new(0),
+            task: TaskId::new(0),
+            best: Nanos::ZERO,
+            period: Nanos::ZERO,
+        },
+        Lint::NoFeasiblePe {
+            graph: crusade_model::GraphId::new(0),
+            task: TaskId::new(0),
+            name: String::new(),
+        },
+        Lint::SelfExclusion {
+            graph: crusade_model::GraphId::new(0),
+            task: TaskId::new(0),
+        },
+        Lint::EdgeUnroutable {
+            graph: crusade_model::GraphId::new(0),
+            edge: crusade_model::EdgeId::new(0),
+        },
+        Lint::EdgeInfeasible {
+            graph: crusade_model::GraphId::new(0),
+            edge: crusade_model::EdgeId::new(0),
+            best: Nanos::ZERO,
+            period: Nanos::ZERO,
+        },
+    ];
+    for lint in &all_error_kinds {
+        assert_eq!(lint.severity(), Severity::Error);
+        assert!(
+            covered.contains(&lint.kind()),
+            "Error lint `{}` has no mutation test",
+            lint.kind()
+        );
+    }
+}

@@ -71,12 +71,16 @@ pub fn hyperperiod<I: IntoIterator<Item = Nanos>>(periods: I) -> Result<Nanos, V
 /// How many activations ("copies") of a graph with period `period` occur in
 /// hyperperiod `gamma`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `period` is zero.
-pub fn copies(gamma: Nanos, period: Nanos) -> u64 {
-    assert!(!period.is_zero(), "period must be nonzero");
-    gamma / period
+/// Returns [`ValidateSpecError::ZeroPeriod`] when `period` is zero — a
+/// pathological specification is reported as a typed error rather than a
+/// panic, so pre-synthesis analyses can surface it as a diagnostic.
+pub fn copies(gamma: Nanos, period: Nanos) -> Result<u64, ValidateSpecError> {
+    if period.is_zero() {
+        return Err(ValidateSpecError::ZeroPeriod);
+    }
+    Ok(gamma / period)
 }
 
 #[cfg(test)]
@@ -130,8 +134,8 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(h, Nanos::from_secs(60));
-        assert_eq!(copies(h, Nanos::from_micros(25)), 2_400_000);
-        assert_eq!(copies(h, Nanos::from_secs(60)), 1);
+        assert_eq!(copies(h, Nanos::from_micros(25)).unwrap(), 2_400_000);
+        assert_eq!(copies(h, Nanos::from_secs(60)).unwrap(), 1);
     }
 
     #[test]
@@ -146,7 +150,15 @@ mod tests {
     fn non_harmonic_periods() {
         let h = hyperperiod([Nanos::from_micros(30), Nanos::from_micros(45)]).unwrap();
         assert_eq!(h, Nanos::from_micros(90));
-        assert_eq!(copies(h, Nanos::from_micros(30)), 3);
-        assert_eq!(copies(h, Nanos::from_micros(45)), 2);
+        assert_eq!(copies(h, Nanos::from_micros(30)).unwrap(), 3);
+        assert_eq!(copies(h, Nanos::from_micros(45)).unwrap(), 2);
+    }
+
+    #[test]
+    fn zero_period_is_typed_error() {
+        assert_eq!(
+            copies(Nanos::from_secs(1), Nanos::ZERO).unwrap_err(),
+            ValidateSpecError::ZeroPeriod
+        );
     }
 }

@@ -20,8 +20,15 @@ macro_rules! define_id {
 
         impl $name {
             /// Creates an identifier from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX` — far beyond any
+            /// representable specification.
             #[inline]
             pub const fn new(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "id index exceeds u32::MAX");
+                #[allow(clippy::cast_possible_truncation)] // asserted above
                 $name(index as u32)
             }
 

@@ -113,6 +113,31 @@ impl Nanos {
         Nanos(self.0.saturating_add(rhs.0))
     }
 
+    /// Checked addition; `None` on overflow.
+    ///
+    /// ```
+    /// # use crusade_model::Nanos;
+    /// assert_eq!(Nanos::MAX.checked_add(Nanos::from_nanos(1)), None);
+    /// ```
+    #[inline]
+    pub fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_add(rhs.0).map(Nanos)
+    }
+
+    /// Checked scalar multiplication; `None` on overflow. Used by
+    /// hyperperiod and task-copy arithmetic so pathological periods surface
+    /// as typed diagnostics instead of panics.
+    ///
+    /// ```
+    /// # use crusade_model::Nanos;
+    /// assert_eq!(Nanos::MAX.checked_mul(2), None);
+    /// assert_eq!(Nanos::from_nanos(3).checked_mul(4), Some(Nanos::from_nanos(12)));
+    /// ```
+    #[inline]
+    pub fn checked_mul(self, rhs: u64) -> Option<Nanos> {
+        self.0.checked_mul(rhs).map(Nanos)
+    }
+
     /// The larger of two durations.
     #[inline]
     pub fn max(self, other: Nanos) -> Nanos {

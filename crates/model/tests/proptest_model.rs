@@ -1,5 +1,8 @@
 //! Property-based tests for the specification model.
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade_model::hyperperiod::{copies, gcd, hyperperiod, lcm};
 use crusade_model::{
     CompatibilityMatrix, Dollars, ExecutionTimes, GraphId, Nanos, PeTypeId, Task, TaskGraphBuilder,
@@ -37,7 +40,7 @@ proptest! {
             Ok(h) => {
                 for &p in &periods {
                     prop_assert_eq!(h % p, Nanos::ZERO);
-                    prop_assert_eq!(p * copies(h, p), h);
+                    prop_assert_eq!(p * copies(h, p).unwrap(), h);
                 }
             }
             Err(e) => prop_assert_eq!(e, ValidateSpecError::HyperperiodOverflow),

@@ -90,13 +90,15 @@ impl AssociationArray {
         let gamma = spec.hyperperiod()?;
         let entries = spec
             .graphs()
-            .map(|(id, g)| AssociationEntry {
-                graph: id,
-                period: g.period(),
-                est: g.est(),
-                copies: hyperperiod::copies(gamma, g.period()),
+            .map(|(id, g)| {
+                Ok(AssociationEntry {
+                    graph: id,
+                    period: g.period(),
+                    est: g.est(),
+                    copies: hyperperiod::copies(gamma, g.period())?,
+                })
             })
-            .collect();
+            .collect::<Result<_, ValidateSpecError>>()?;
         Ok(AssociationArray { gamma, entries })
     }
 

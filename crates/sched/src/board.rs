@@ -23,7 +23,17 @@ pub struct ResourceId(u32);
 
 impl ResourceId {
     /// Creates a resource id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — far beyond any realisable
+    /// board.
     pub const fn new(index: usize) -> Self {
+        assert!(
+            index <= u32::MAX as usize,
+            "resource index exceeds u32::MAX"
+        );
+        #[allow(clippy::cast_possible_truncation)] // asserted above
         ResourceId(index as u32)
     }
 

@@ -157,7 +157,11 @@ impl PeriodicInterval {
 /// `v mod m` with a non-negative result, for possibly-negative `v`.
 fn signed_mod(v: i128, m: u64) -> u64 {
     let m = m as i128;
-    (((v % m) + m) % m) as u64
+    // The double-mod result is in [0, m), which fits u64 by construction.
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        (((v % m) + m) % m) as u64
+    }
 }
 
 #[cfg(test)]

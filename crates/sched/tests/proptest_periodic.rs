@@ -5,6 +5,9 @@
 //! the hyperperiod. These tests check that equivalence exhaustively on
 //! randomly drawn interval pairs, plus timeline-level invariants.
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade_model::{GlobalTaskId, GraphId, Nanos, TaskId};
 use crusade_sched::{Occupant, PeriodicInterval, ScheduleBoard, Timeline};
 use proptest::prelude::*;

@@ -249,8 +249,12 @@ fn check_capacities_and_bookkeeping(
             }
             match lib.pe(pe.ty).class() {
                 PeClass::Ppe(attrs) => {
-                    let pfu_cap = (attrs.pfus as f64 * options.eruf) as u32;
-                    let pin_cap = (attrs.pins as f64 * options.epuf) as u32;
+                    // Utilisation factors are fractions in [0, 1]; the
+                    // floored products stay within the u32 capacities.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let pfu_cap = (f64::from(attrs.pfus) * options.eruf) as u32;
+                    #[allow(clippy::cast_possible_truncation)]
+                    let pin_cap = (f64::from(attrs.pins) * options.epuf) as u32;
                     if derived.pfus > pfu_cap {
                         out.push(Violation::ErufExceeded {
                             pe: pid,

@@ -7,6 +7,9 @@
 //! `#[ignore]`d sweep extends the same checks to all eight (the campaign
 //! binary in `crusade-bench` runs them routinely in release mode).
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade_core::{CoSynthesis, CosynOptions};
 use crusade_ft::CrusadeFt;
 use crusade_verify::{audit, audit_ft, inject};

@@ -4,6 +4,9 @@
 //! evidence that a clean audit means something — each check provably
 //! fires on the defect it claims to catch.
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade_core::{CoSynthesis, CosynOptions, SynthesisResult};
 use crusade_model::{GlobalTaskId, HwDemand, Nanos, SystemSpec};
 use crusade_sched::{Occupant, PeriodicInterval};

@@ -3,6 +3,9 @@
 //! plain or fault-tolerant flow — passes the independent auditor with
 //! zero violations.
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade_core::{CoSynthesis, CosynOptions};
 use crusade_ft::CrusadeFt;
 use crusade_verify::{audit, audit_ft};

@@ -23,10 +23,13 @@ pub fn cpu_exec(lib: &PaperLibrary, base: Nanos) -> ExecutionTimes {
     ExecutionTimes::from_entries(
         lib.lib.pe_count(),
         lib.cpus.iter().zip(&lib.cpu_speed).map(|(&id, &s)| {
-            (
-                id,
-                Nanos::from_nanos((base.as_nanos() as f64 * s) as u64).max(Nanos::from_nanos(1)),
-            )
+            (id, {
+                // Speed factors are small (~0.5–2), keeping the
+                // product far inside u64.
+                #[allow(clippy::cast_possible_truncation)]
+                let scaled = (base.as_nanos() as f64 * s) as u64;
+                Nanos::from_nanos(scaled).max(Nanos::from_nanos(1))
+            })
         }),
     )
 }
@@ -36,10 +39,13 @@ pub fn fpga_exec(lib: &PaperLibrary, base: Nanos) -> ExecutionTimes {
     ExecutionTimes::from_entries(
         lib.lib.pe_count(),
         lib.fpgas.iter().zip(&lib.fpga_speed).map(|(&id, &s)| {
-            (
-                id,
-                Nanos::from_nanos((base.as_nanos() as f64 * s) as u64).max(Nanos::from_nanos(1)),
-            )
+            (id, {
+                // Speed factors are small (~0.5–2), keeping the
+                // product far inside u64.
+                #[allow(clippy::cast_possible_truncation)]
+                let scaled = (base.as_nanos() as f64 * s) as u64;
+                Nanos::from_nanos(scaled).max(Nanos::from_nanos(1))
+            })
         }),
     )
 }
@@ -53,6 +59,11 @@ pub fn asic_exec(lib: &PaperLibrary, asic: PeTypeId, base: Nanos) -> ExecutionTi
 /// side branches, CPU-only execution.
 ///
 /// Deadline defaults to 80 % of the period.
+///
+/// # Panics
+///
+/// Panics only if the generated spine were not a DAG, which the
+/// construction rules out.
 pub fn sw_pipeline(
     lib: &PaperLibrary,
     rng: &mut SmallRng,
@@ -92,6 +103,11 @@ pub fn sw_pipeline(
 /// A hardware datapath pipeline (framing / cell processing / codec
 /// stages): FPGA-preferring tasks with PFU demand, executing inside the
 /// window `[est, est + span)` of each period.
+///
+/// # Panics
+///
+/// Panics only if the generated chain were not a DAG, which the
+/// construction rules out.
 #[allow(clippy::too_many_arguments)]
 pub fn hw_pipeline(
     lib: &PaperLibrary,
@@ -112,7 +128,7 @@ pub fn hw_pipeline(
         let base = Nanos::from_nanos(rng.gen_range(per_task / 2..=per_task));
         let mut t = Task::new(format!("{name}-hw{i}"), fpga_exec(lib, base));
         t.preference = Preference::Only(lib.fpgas.clone());
-        let pfus = (pfus_total / n as u32).max(8);
+        let pfus = (pfus_total / u32::try_from(n).unwrap_or(u32::MAX)).max(8);
         t.hw = HwDemand::new(0, pfus, pfus, rng.gen_range(2..8));
         // Datapath stages commonly forward corrupt data unchanged, letting
         // CRUSADE-FT share a downstream check (error transparency).
@@ -131,6 +147,11 @@ pub fn hw_pipeline(
 
 /// A small control-glue block on CPLDs (protection switching, scan
 /// control): like a hardware pipeline but preferring the CPLD types.
+///
+/// # Panics
+///
+/// Panics only if the generated chain were not a DAG, which the
+/// construction rules out.
 pub fn cpld_glue(
     lib: &PaperLibrary,
     rng: &mut SmallRng,
@@ -171,6 +192,11 @@ pub fn cpld_glue(
 
 /// A line-interface function bound to a specific ASIC, bracketed by
 /// software pre/post-processing: CPU → ASIC stages → CPU.
+///
+/// # Panics
+///
+/// Panics when `n < 3` — the shape needs ingress, datapath and egress —
+/// or (never, by construction) if the generated chain were not a DAG.
 pub fn asic_interface(
     lib: &PaperLibrary,
     rng: &mut SmallRng,

@@ -26,7 +26,12 @@ fn graph(name: &str, fpgas: &[PeTypeId], est_ms: u64, span_ms: u64, pfus: u32) -
         let mut t = Task::new(
             format!("{name}-t{i}"),
             ExecutionTimes::from_entries(
-                fpgas.iter().map(|f| f.index()).max().unwrap() + 1,
+                fpgas
+                    .iter()
+                    .map(|f| f.index())
+                    .max()
+                    .expect("non-empty FPGA list")
+                    + 1,
                 // Three tasks stretched across the whole window: the graph is
                 // genuinely busy for its entire span.
                 fpgas

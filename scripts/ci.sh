@@ -27,11 +27,20 @@ else
     echo "==> cargo fmt unavailable; skipping"
 fi
 
+echo "==> cargo doc -D warnings"
+# Only the crusade crates: the vendored stand-ins don't hold doc-clean.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+    -p crusade-model -p crusade-fabric -p crusade-sched -p crusade-lint \
+    -p crusade-core -p crusade-ft -p crusade-verify -p crusade-workloads \
+    -p crusade-bench -p crusade
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full audit sweep (8 examples, both modes + FT)"
     cargo test --release -q -p crusade-verify --test audit_examples -- --ignored
     echo "==> fault-injection campaign (104 scenarios)"
     cargo run --release -q -p crusade-bench --bin campaign
+    echo "==> allocation-pruning benchmark (8 examples, on/off parity)"
+    cargo run --release -q -p crusade-bench --bin pruning
 fi
 
 echo "CI: all checks passed"

@@ -3,6 +3,9 @@
 //! reconfiguration reduces PEs and cost at similar link count — plus
 //! determinism and final-schedule deadline safety.
 
+// Test code: capacity arithmetic casts freely on controlled inputs.
+#![allow(clippy::cast_possible_truncation)]
+
 use crusade::core::{CoSynthesis, CosynOptions};
 use crusade::model::{GlobalEdgeId, GlobalTaskId, Nanos};
 use crusade::sched::{check_deadlines, estimate_finish_times, Occupant};

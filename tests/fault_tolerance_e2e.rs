@@ -3,6 +3,9 @@
 //! Table-3 shape (FT architectures larger than plain ones, reconfiguration
 //! still saving cost).
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade::core::{CoSynthesis, CosynOptions};
 use crusade::ft::CrusadeFt;
 use crusade::workloads::{paper_examples, paper_ft_annotations, paper_ft_config, paper_library};

@@ -3,6 +3,9 @@
 //! turns the two-F1 baseline into a single two-mode F1 with T1 shared
 //! across both configuration images.
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade::core::{CoSynthesis, CosynOptions};
 use crusade::model::{
     Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass, PeType, PeTypeId,

@@ -4,6 +4,9 @@
 //! windows overlap share the device *spatially* while non-overlapping ones
 //! can time-share through modes.
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade::core::{cluster_tasks, CoSynthesis};
 use crusade::model::{
     CpuAttrs, Dollars, ExecutionTimes, GraphId, HwDemand, LinkClass, LinkType, MemoryVector, Nanos,

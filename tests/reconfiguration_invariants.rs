@@ -4,6 +4,9 @@
 //! any two different modes of one device time-disjoint (with boot room)
 //! unless the graph is shared across the images.
 
+// Test code: generator helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade::core::{CoSynthesis, CosynOptions};
 use crusade::model::{
     Dollars, ExecutionTimes, GlobalEdgeId, GlobalTaskId, HwDemand, LinkClass, LinkType, Nanos,

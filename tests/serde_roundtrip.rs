@@ -1,6 +1,9 @@
 //! Serialization round-trips: specifications and libraries survive JSON —
 //! the contract behind the `crusade` CLI's spec files.
 
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use crusade::model::{ResourceLibrary, SystemSpec};
 use crusade::workloads::{paper_examples, paper_library};
 
