@@ -7,12 +7,33 @@
 //! provably fail the allocator's own feasibility checks, so it must
 //! never change the result, only the work done reaching it.
 //!
+//! Besides the human-readable table on stdout, the run writes
+//! `BENCH_pruning.json` with every example's cost, wall-clock
+//! milliseconds, and scheduling-attempt counts under both settings.
+//!
 //! Exits nonzero if any architecture diverges or if pruning failed to
 //! reduce the number of explored allocation candidates on at least four
 //! of the eight examples.
 
+use crusade_bench::json;
 use crusade_core::{CoSynthesis, CosynOptions, SynthesisReport};
 use crusade_workloads::{paper_examples, paper_library};
+use serde::Serialize;
+
+/// One example's measurements under both pruning settings.
+#[derive(Debug, Clone, Serialize)]
+struct PruningRecord {
+    example: String,
+    pes: usize,
+    links: usize,
+    cost: u64,
+    wall_ms_off: f64,
+    wall_ms_on: f64,
+    scheduling_attempts_off: usize,
+    scheduling_attempts_on: usize,
+    candidates_pruned: usize,
+    saved_percent: f64,
+}
 
 fn synthesize(example: &crusade_workloads::PaperExample, pruning: bool) -> Option<SynthesisReport> {
     let lib = paper_library();
@@ -38,6 +59,7 @@ fn main() {
     let mut wins = 0usize;
     let mut total = 0usize;
     let mut diverged = false;
+    let mut records: Vec<PruningRecord> = Vec::new();
     for ex in paper_examples() {
         let off = synthesize(&ex, false);
         let on = synthesize(&ex, true);
@@ -65,6 +87,7 @@ fn main() {
         if saved > 0 {
             wins += 1;
         }
+        let saved_percent = 100.0 * saved as f64 / off.candidates_tried.max(1) as f64;
         println!(
             "{:<8} {:>6} {:>8}$ {:>11} {:>11} {:>9} {:>8.1}%",
             ex.name,
@@ -73,11 +96,27 @@ fn main() {
             off.candidates_tried,
             on.candidates_tried,
             on.candidates_pruned,
-            100.0 * saved as f64 / off.candidates_tried.max(1) as f64,
+            saved_percent,
         );
+        records.push(PruningRecord {
+            example: ex.name.to_string(),
+            pes: on.pe_count,
+            links: on.link_count,
+            cost: on.cost.amount(),
+            wall_ms_off: off.cpu_time.as_secs_f64() * 1e3,
+            wall_ms_on: on.cpu_time.as_secs_f64() * 1e3,
+            scheduling_attempts_off: off.candidates_tried,
+            scheduling_attempts_on: on.candidates_tried,
+            candidates_pruned: on.candidates_pruned,
+            saved_percent,
+        });
     }
 
     println!("\npruning reduced explored candidates on {wins}/{total} examples");
+    if let Err(e) = json::write("BENCH_pruning.json", &records) {
+        eprintln!("BENCH_pruning.json: {e}");
+        std::process::exit(1);
+    }
     if diverged {
         eprintln!("FAIL: pruning changed a final architecture");
         std::process::exit(1);

@@ -1,7 +1,11 @@
 //! Regenerates Table 2 of the paper: efficacy of CRUSADE with and without
 //! dynamic reconfiguration on the eight reconstructed examples.
+//!
+//! Besides the human-readable table on stdout, the run writes
+//! `BENCH_table2.json` with every row's cost, wall-clock milliseconds,
+//! and scheduling-attempt counts.
 
-use crusade_bench::{synthesis_header, table2_rows};
+use crusade_bench::{json, synthesis_header, table2_rows};
 
 fn main() {
     println!("Table 2: efficacy of CRUSADE");
@@ -10,6 +14,11 @@ fn main() {
         Ok(rows) => {
             for row in &rows {
                 println!("{}", row.format());
+            }
+            let records: Vec<json::RowRecord> = rows.iter().map(json::RowRecord::from).collect();
+            if let Err(e) = json::write("BENCH_table2.json", &records) {
+                eprintln!("BENCH_table2.json: {e}");
+                std::process::exit(1);
             }
         }
         Err(e) => {

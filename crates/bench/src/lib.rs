@@ -30,6 +30,9 @@ pub struct ArchFigures {
     pub cost: Dollars,
     /// Synthesis wall-clock time (the paper's "CPU time" column).
     pub cpu_time: Duration,
+    /// Allocation candidates actually evaluated — each one is a full
+    /// incremental-scheduling attempt.
+    pub scheduling_attempts: usize,
 }
 
 /// One full row of Table 2 or Table 3.
@@ -99,12 +102,14 @@ pub fn table2_row(lib: &PaperLibrary, ex: &PaperExample) -> Result<SynthesisRow,
             links: without.report.link_count,
             cost: without.report.cost,
             cpu_time: without.report.cpu_time,
+            scheduling_attempts: without.report.candidates_tried,
         },
         with: ArchFigures {
             pes: with.report.pe_count,
             links: with.report.link_count,
             cost: with.report.cost,
             cpu_time: with.report.cpu_time,
+            scheduling_attempts: with.report.candidates_tried,
         },
     })
 }
@@ -131,6 +136,7 @@ pub fn table3_row(lib: &PaperLibrary, ex: &PaperExample) -> Result<SynthesisRow,
                 links: r.synthesis.report.link_count,
                 cost: r.synthesis.report.cost,
                 cpu_time: t.elapsed(),
+                scheduling_attempts: r.synthesis.report.candidates_tried,
             })
     };
     let without = run(CosynOptions::without_reconfiguration())?;
@@ -211,6 +217,84 @@ pub fn table3_rows() -> Result<Vec<SynthesisRow>, SynthesisError> {
         .iter()
         .map(|ex| table3_row(&lib, ex))
         .collect()
+}
+
+/// Machine-readable emission for the bench binaries.
+///
+/// Each table binary writes a `BENCH_<name>.json` file alongside its
+/// human-readable output so downstream tooling (regression tracking,
+/// plotting) never has to scrape the formatted tables.
+pub mod json {
+    use serde::Serialize;
+
+    use super::{ArchFigures, SynthesisRow};
+
+    /// One architecture's figures in machine-readable form.
+    #[derive(Debug, Clone, Copy, Serialize)]
+    pub struct ArchRecord {
+        /// Number of PEs.
+        pub pes: usize,
+        /// Number of links.
+        pub links: usize,
+        /// Architecture dollar cost.
+        pub cost: u64,
+        /// Synthesis wall-clock time in milliseconds.
+        pub wall_ms: f64,
+        /// Allocation candidates evaluated (scheduling attempts).
+        pub scheduling_attempts: usize,
+    }
+
+    impl From<ArchFigures> for ArchRecord {
+        fn from(f: ArchFigures) -> Self {
+            ArchRecord {
+                pes: f.pes,
+                links: f.links,
+                cost: f.cost.amount(),
+                wall_ms: f.cpu_time.as_secs_f64() * 1e3,
+                scheduling_attempts: f.scheduling_attempts,
+            }
+        }
+    }
+
+    /// One Table-2/3 row in machine-readable form.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct RowRecord {
+        /// Example name (A1TR … NGXM).
+        pub example: String,
+        /// Task count.
+        pub tasks: usize,
+        /// Figures without dynamic reconfiguration.
+        pub without_reconfig: ArchRecord,
+        /// Figures with dynamic reconfiguration.
+        pub with_reconfig: ArchRecord,
+        /// The paper's "Cost savings %" column.
+        pub savings_percent: f64,
+    }
+
+    impl From<&SynthesisRow> for RowRecord {
+        fn from(row: &SynthesisRow) -> Self {
+            RowRecord {
+                example: row.name.to_string(),
+                tasks: row.tasks,
+                without_reconfig: row.without.into(),
+                with_reconfig: row.with.into(),
+                savings_percent: row.savings_percent(),
+            }
+        }
+    }
+
+    /// Pretty-prints `value` to `path` and reports where it went on
+    /// stderr, keeping stdout reserved for the human-readable table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and filesystem failures.
+    pub fn write(path: &str, value: &impl Serialize) -> Result<(), String> {
+        let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,8 @@ use crate::arch::{Architecture, LinkInstanceId, ModeIndex, PeInstanceId};
 use crate::cluster::{Cluster, ClusterId, Clustering};
 use crate::error::SynthesisError;
 use crate::options::{derate, CosynOptions};
+use crate::policy::splitmix64;
+use crate::portfolio::{cache_key, PortfolioHooks};
 
 /// One candidate in the allocation array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +98,15 @@ pub struct Allocator<'a> {
     candidates_tried: usize,
     /// Allocation candidates skipped by the oracle without scheduling.
     candidates_pruned: usize,
+    /// Portfolio sharing (cancellation flag + negative evaluation cache),
+    /// installed by [`crate::CoSynthesis::with_portfolio_hooks`].
+    hooks: Option<PortfolioHooks<'a>>,
+    /// Hash chain over the committed `(cluster, target)` decisions of this
+    /// run, seeded with a fingerprint of everything else the scheduling
+    /// attempt depends on. Two runs with equal chains have byte-identical
+    /// boards, which is what makes sharing failure verdicts through the
+    /// [`crate::EvalCache`] sound.
+    history_hash: u64,
 }
 
 impl<'a> Allocator<'a> {
@@ -137,6 +148,23 @@ impl<'a> Allocator<'a> {
         let oracle = options
             .pruning
             .then(|| crusade_lint::PruningOracle::build(spec, lib, &options.lint_options()));
+        // Fingerprint of everything a scheduling attempt's outcome depends
+        // on besides the decision history: the option knobs that reach
+        // `try_target` (and the clustering shape, which the size cap
+        // drives). Portfolio members with different knobs therefore never
+        // share cache entries.
+        let mut fp = splitmix64(options.eruf.to_bits() ^ options.epuf.to_bits().rotate_left(32));
+        fp = splitmix64(
+            fp ^ u64::from(options.preemption)
+                ^ (u64::from(options.reconfiguration) << 1)
+                ^ (u64::from(options.image_sharing) << 2),
+        );
+        fp = splitmix64(
+            fp ^ (options.cluster_size_cap as u64) ^ ((options.max_modes_per_device as u64) << 24),
+        );
+        fp = splitmix64(
+            fp ^ (clustering.cluster_count() as u64) ^ ((spec.graph_count() as u64) << 32),
+        );
         Allocator {
             spec,
             lib,
@@ -151,7 +179,16 @@ impl<'a> Allocator<'a> {
             oracle,
             candidates_tried: 0,
             candidates_pruned: 0,
+            hooks: None,
+            history_hash: fp,
         }
+    }
+
+    /// Installs portfolio sharing: the cancellation flag is checked before
+    /// every scheduling attempt, and failed attempts are shared through
+    /// the negative evaluation cache.
+    pub fn set_portfolio_hooks(&mut self, hooks: PortfolioHooks<'a>) {
+        self.hooks = Some(hooks);
     }
 
     /// `(tried, pruned)` — allocation candidates that were evaluated with
@@ -200,7 +237,11 @@ impl<'a> Allocator<'a> {
     /// incremental cost; among free (existing) candidates, the least-loaded
     /// instance comes first so placements finish early and load spreads.
     /// Also returns how many candidates the pruning oracle discarded.
-    fn allocation_array(&self, cluster: &Cluster) -> (Vec<(AllocTarget, Dollars)>, usize) {
+    fn allocation_array(
+        &self,
+        cid: ClusterId,
+        cluster: &Cluster,
+    ) -> (Vec<(AllocTarget, Dollars)>, usize) {
         let mut entries: Vec<(AllocTarget, Dollars, usize)> = Vec::new();
         for (pid, pe) in self.arch.pes() {
             if !cluster.allowed_pes.contains(&pe.ty) {
@@ -238,6 +279,30 @@ impl<'a> Allocator<'a> {
             }
         }
         entries.sort_by_key(|&(_, cost, load)| (cost, load));
+        // Policy tie-break: rotate every maximal run of candidates tied on
+        // (cost, load) by a seeded amount, so portfolio members commit to
+        // different — but equally cheap — hosts first. The baseline seed
+        // keeps the stable order above.
+        if self.options.policy.tie_break_seed != 0 {
+            let salt = cid.index() as u64;
+            let mut i = 0;
+            while i < entries.len() {
+                let mut j = i + 1;
+                while j < entries.len()
+                    && (entries[j].1, entries[j].2) == (entries[i].1, entries[i].2)
+                {
+                    j += 1;
+                }
+                if j - i > 1 {
+                    let r = self
+                        .options
+                        .policy
+                        .tie_rotation(salt ^ ((i as u64) << 32), j - i);
+                    entries[i..j].rotate_left(r);
+                }
+                i = j;
+            }
+        }
         // Static pruning: drop candidates whose PE type is provably dead
         // for this cluster. Memoised per type — the verdict only depends
         // on the type (and the board state, fixed for this array).
@@ -529,12 +594,26 @@ impl<'a> Allocator<'a> {
     /// [`SynthesisError::Unallocatable`] when every candidate fails.
     pub fn allocate(&mut self, cid: ClusterId) -> Result<AllocationDecision, SynthesisError> {
         let cluster = self.clustering.cluster(cid);
-        let (entries, pruned) = self.allocation_array(cluster);
+        let (entries, pruned) = self.allocation_array(cid, cluster);
         self.candidates_pruned += pruned;
         for (target, added_cost) in entries {
+            if self.hooks.is_some_and(|h| h.cancelled()) {
+                return Err(SynthesisError::Cancelled);
+            }
+            // Extend the decision hash-chain to this candidate: the key a
+            // shared negative cache stores a failure verdict under. Two
+            // runs reach the same key only with identical commit history
+            // (hence identical boards), so a hit skips a scheduling
+            // attempt that provably fails again.
+            let decision_hash = self.decision_hash(cid, target);
+            let cache = self.hooks.and_then(|h| h.cache);
+            if cache.is_some_and(|c| c.known_failure(cache_key(decision_hash))) {
+                continue;
+            }
             self.candidates_tried += 1;
             if let Some((arch, pe, mode)) = self.try_target(cid, cluster, target) {
                 self.arch = arch;
+                self.history_hash = decision_hash;
                 let decision = AllocationDecision {
                     pe,
                     mode,
@@ -543,12 +622,30 @@ impl<'a> Allocator<'a> {
                 self.decisions[cid.index()] = Some(decision);
                 return Ok(decision);
             }
+            if let Some(cache) = cache {
+                cache.record_failure(cache_key(decision_hash));
+            }
         }
         let graph = self.spec.graph(cluster.graph);
         Err(SynthesisError::Unallocatable {
             cluster: cid,
             task_name: graph.task(cluster.tasks[0]).name.clone(),
         })
+    }
+
+    /// The decision hash-chain extended by trying `target` for `cid`: a
+    /// collision-resistant mix of the current history with a tagged
+    /// encoding of the candidate.
+    fn decision_hash(&self, cid: ClusterId, target: AllocTarget) -> u64 {
+        let code = match target {
+            AllocTarget::Existing { pe, mode } => {
+                0b01 | ((pe.index() as u64) << 2) | ((mode as u64) << 34)
+            }
+            AllocTarget::NewMode { pe } => 0b10 | ((pe.index() as u64) << 2),
+            AllocTarget::New { ty } => 0b11 | ((ty.index() as u64) << 2),
+        };
+        let h = splitmix64(self.history_hash ^ splitmix64(cid.index() as u64));
+        splitmix64(h ^ splitmix64(code))
     }
 
     /// Attempts to place `cluster` on `target` against a scratch copy of

@@ -38,6 +38,8 @@ mod audit_hook;
 mod cluster;
 mod error;
 mod options;
+mod policy;
+mod portfolio;
 mod reconfig;
 mod repair;
 mod report;
@@ -52,6 +54,8 @@ pub use audit_hook::{audit_hook, install_audit_hook, AuditHook};
 pub use cluster::{cluster_tasks, cluster_tasks_with, Cluster, ClusterId, Clustering};
 pub use error::SynthesisError;
 pub use options::CosynOptions;
+pub use policy::{splitmix64, SynthesisPolicy};
+pub use portfolio::{cache_key, CostIncumbent, EvalCache, PortfolioHooks};
 pub use reconfig::ReconfigReport;
 pub use repair::{repair, Damage, RepairError, RepairOptions, RepairOutcome};
 pub use report::{

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::policy::SynthesisPolicy;
+
 /// Configuration of a [`crate::CoSynthesis`] run.
 ///
 /// The defaults reproduce the paper's settings: dynamic reconfiguration
@@ -48,6 +50,11 @@ pub struct CosynOptions {
     /// architecture is identical — only wasted placement attempts are
     /// saved (counted in [`crate::SynthesisReport`]).
     pub pruning: bool,
+    /// The portfolio policy of this run: deterministic perturbations and
+    /// knob overrides a multi-start exploration varies between otherwise
+    /// identical runs. The default ([`SynthesisPolicy::baseline`]) is the
+    /// identity and reproduces the paper's single sequential pass.
+    pub policy: SynthesisPolicy,
 }
 
 impl Default for CosynOptions {
@@ -63,6 +70,7 @@ impl Default for CosynOptions {
             audit: false,
             lint: false,
             pruning: true,
+            policy: SynthesisPolicy::baseline(),
         }
     }
 }
@@ -95,6 +103,29 @@ impl CosynOptions {
     pub fn without_pruning(mut self) -> Self {
         self.pruning = false;
         self
+    }
+
+    /// Installs a portfolio policy (builder style).
+    pub fn with_policy(mut self, policy: SynthesisPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Resolves the policy's knob overrides into plain option fields, so
+    /// the synthesis internals keep reading `cluster_size_cap` &c. without
+    /// knowing about policies. The perturbation seeds stay on `policy`.
+    pub fn effective(&self) -> Self {
+        let mut o = self.clone();
+        if let Some(cap) = self.policy.cluster_size_cap {
+            o.cluster_size_cap = cap;
+        }
+        if let Some(modes) = self.policy.max_modes_per_device {
+            o.max_modes_per_device = modes;
+        }
+        if let Some(sharing) = self.policy.image_sharing {
+            o.image_sharing = sharing;
+        }
+        o
     }
 
     /// The subset of these options the `crusade-lint` analyses share;

@@ -1,0 +1,199 @@
+//! Synthesis policies: the knobs a multi-start exploration portfolio
+//! varies between otherwise identical co-synthesis runs.
+//!
+//! CRUSADE is a constructive heuristic, and the paper itself notes its
+//! sensitivity to the cluster allocation order and to tie-breaks inside
+//! the allocation array. A [`SynthesisPolicy`] captures exactly those
+//! degrees of freedom — ordering perturbation, allocation tie-break
+//! seed, and reconfiguration-aggressiveness overrides — so an exploration
+//! engine (the `crusade-explore` crate) can run a *portfolio* of policy
+//! variants and keep the cheapest deadline-feasible architecture.
+//!
+//! Every knob is deterministic: the same policy always reproduces the
+//! same architecture, which is what makes the portfolio reduction
+//! bit-identical regardless of how many worker threads evaluate it.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic knobs of one portfolio member.
+///
+/// The default policy (`id` 0, zero seeds, no overrides) reproduces the
+/// paper's single sequential CRUSADE pass exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthesisPolicy {
+    /// Stable identifier used as the deterministic tie-break when two
+    /// portfolio members produce architectures of equal dollar cost:
+    /// the lower id wins, independent of evaluation order.
+    pub id: u32,
+    /// Seed for the bounded perturbation of the cluster allocation
+    /// order. `0` keeps the paper's decreasing-priority order.
+    pub ordering_seed: u64,
+    /// Seed for rotating ties inside the allocation array (candidates
+    /// with equal incremental cost and load). `0` keeps the stable
+    /// first-come order.
+    pub tie_break_seed: u64,
+    /// Overrides [`crate::CosynOptions::cluster_size_cap`] when set —
+    /// smaller caps trade communication savings for placement freedom.
+    pub cluster_size_cap: Option<usize>,
+    /// Overrides [`crate::CosynOptions::max_modes_per_device`] when set —
+    /// the reconfiguration-aggressiveness knob: more modes per device
+    /// means heavier time-sharing of programmable hardware.
+    pub max_modes_per_device: Option<usize>,
+    /// Overrides [`crate::CosynOptions::image_sharing`] when set.
+    pub image_sharing: Option<bool>,
+}
+
+impl Default for SynthesisPolicy {
+    fn default() -> Self {
+        SynthesisPolicy::baseline()
+    }
+}
+
+impl SynthesisPolicy {
+    /// The identity policy: the paper's sequential CRUSADE heuristic.
+    pub const fn baseline() -> Self {
+        SynthesisPolicy {
+            id: 0,
+            ordering_seed: 0,
+            tie_break_seed: 0,
+            cluster_size_cap: None,
+            max_modes_per_device: None,
+            image_sharing: None,
+        }
+    }
+
+    /// Whether this policy changes anything over the baseline pass.
+    pub fn is_baseline(&self) -> bool {
+        self.ordering_seed == 0
+            && self.tie_break_seed == 0
+            && self.cluster_size_cap.is_none()
+            && self.max_modes_per_device.is_none()
+            && self.image_sharing.is_none()
+    }
+
+    /// Applies the bounded ordering perturbation to a cluster evaluation
+    /// order: the slice is cut into disjoint windows of four entries
+    /// (window phase chosen by the seed) and each window is shuffled with
+    /// a seeded Fisher–Yates, so no entry drifts more than three slots
+    /// from the paper's decreasing-priority position. A zero seed leaves
+    /// the order untouched.
+    pub fn perturb_order<T>(&self, order: &mut [T]) {
+        const WINDOW: usize = 4;
+        if self.ordering_seed == 0 || order.len() < 2 {
+            return;
+        }
+        let mut state = splitmix64(self.ordering_seed);
+        #[allow(clippy::cast_possible_truncation)] // reduced modulo WINDOW
+        let phase = (state % WINDOW as u64) as usize;
+        let (head, tail) = order.split_at_mut(phase.min(order.len()));
+        for window in [head]
+            .into_iter()
+            .chain(tail.chunks_mut(WINDOW))
+            .filter(|w| w.len() >= 2)
+        {
+            // Fisher–Yates within the window.
+            for i in (1..window.len()).rev() {
+                state = splitmix64(state);
+                #[allow(clippy::cast_possible_truncation)] // reduced modulo i+1
+                let j = (state % (i as u64 + 1)) as usize;
+                window.swap(i, j);
+            }
+        }
+    }
+
+    /// Rotation applied to a run of `len` tied allocation-array entries
+    /// for cluster `salt` (see `Allocator::allocation_array`). Zero for
+    /// the baseline tie-break.
+    pub fn tie_rotation(&self, salt: u64, len: usize) -> usize {
+        if self.tie_break_seed == 0 || len < 2 {
+            return 0;
+        }
+        #[allow(clippy::cast_possible_truncation)] // reduced modulo len
+        {
+            (splitmix64(self.tie_break_seed ^ splitmix64(salt)) % len as u64) as usize
+        }
+    }
+}
+
+/// SplitMix64: the de-facto standard 64-bit mixing step (Steele et al.,
+/// "Fast splittable pseudorandom number generators"). Used for every
+/// deterministic perturbation and for the evaluation-cache keys, so the
+/// core crate needs no random-number dependency.
+#[must_use]
+pub const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_identity() {
+        let p = SynthesisPolicy::baseline();
+        assert!(p.is_baseline());
+        let mut v = vec![1, 2, 3, 4, 5];
+        p.perturb_order(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+        assert_eq!(p.tie_rotation(7, 5), 0);
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_and_bounded() {
+        let p = SynthesisPolicy {
+            ordering_seed: 42,
+            ..SynthesisPolicy::baseline()
+        };
+        let mut a: Vec<usize> = (0..32).collect();
+        let mut b: Vec<usize> = (0..32).collect();
+        p.perturb_order(&mut a);
+        p.perturb_order(&mut b);
+        assert_eq!(a, b, "same seed, same order");
+        // A permutation, and nothing drifted far from its original slot.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        for (slot, &item) in a.iter().enumerate() {
+            assert!(slot.abs_diff(item) <= 4, "{item} drifted to {slot}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a: Vec<usize> = (0..32).collect();
+        let mut b: Vec<usize> = (0..32).collect();
+        SynthesisPolicy {
+            ordering_seed: 1,
+            ..SynthesisPolicy::baseline()
+        }
+        .perturb_order(&mut a);
+        SynthesisPolicy {
+            ordering_seed: 2,
+            ..SynthesisPolicy::baseline()
+        }
+        .perturb_order(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tie_rotation_in_range() {
+        let p = SynthesisPolicy {
+            tie_break_seed: 9,
+            ..SynthesisPolicy::baseline()
+        };
+        for salt in 0..100u64 {
+            for len in 2..8usize {
+                assert!(p.tie_rotation(salt, len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_spreads() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -1,0 +1,214 @@
+//! Shared state a multi-start exploration portfolio threads through
+//! concurrent co-synthesis runs.
+//!
+//! Three pieces, all lock-free or sharded so portfolio members never
+//! serialise on them:
+//!
+//! * [`CostIncumbent`] — the best (lowest) architecture dollar cost any
+//!   audit-clean member has completed with, held in an `AtomicU64`.
+//!   Members abort as *dominated* once their partial cost plus a sound
+//!   lower bound on the cost still to come strictly exceeds it; because
+//!   the comparison is strict and architecture cost only grows during
+//!   allocation, a member that would end at the minimum cost can never
+//!   observe the abort condition — which is what keeps the portfolio
+//!   reduction deterministic under any thread schedule.
+//! * [`EvalCache`] — a sharded negative cache of allocation attempts,
+//!   keyed by the hash chain of the run's committed decisions (the
+//!   cluster prefix) and the candidate target. Two members that share a
+//!   decision prefix face byte-identical schedule boards, so a candidate
+//!   that failed once can be skipped without re-scheduling.
+//! * a cancellation flag checked at every allocation step, so a caller
+//!   can stop a whole portfolio early.
+//!
+//! [`PortfolioHooks`] bundles the three for
+//! [`crate::CoSynthesis::with_portfolio_hooks`].
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use crate::policy::splitmix64;
+
+/// The best known architecture cost across a portfolio (dollar amount).
+///
+/// Starts at `u64::MAX` ("no incumbent"), monotonically decreases.
+#[derive(Debug, Default)]
+pub struct CostIncumbent(AtomicU64);
+
+impl CostIncumbent {
+    /// A fresh incumbent with no bound installed.
+    pub fn new() -> Self {
+        CostIncumbent(AtomicU64::new(u64::MAX))
+    }
+
+    /// Lowers the incumbent to `cost` if it improves on the best known.
+    pub fn observe(&self, cost: u64) {
+        self.0.fetch_min(cost, Ordering::AcqRel);
+    }
+
+    /// The current bound (`u64::MAX` when nothing completed yet).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Number of shards in an [`EvalCache`]; a power of two so the shard
+/// index is a mask of the key's low bits.
+const SHARDS: usize = 64;
+
+/// Sharded negative cache of allocation attempts shared by a portfolio.
+///
+/// Stores 128-bit keys of *(decision-prefix hash, cluster, candidate
+/// target)* triples whose scheduling attempt failed. Soundness rests on
+/// the attempt being a pure function of the committed decision history:
+/// an identical prefix reproduces an identical schedule board, so the
+/// attempt fails again. Hits therefore only skip provably dead work and
+/// can never change which candidate a run commits.
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: Vec<RwLock<HashSet<u128>>>,
+    hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new()
+    }
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EvalCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashSet::new())).collect(),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &RwLock<HashSet<u128>> {
+        #[allow(clippy::cast_possible_truncation)] // masked to SHARDS
+        &self.shards[(key as u64 as usize) & (SHARDS - 1)]
+    }
+
+    /// Whether the keyed attempt is a known failure. Counts the lookup
+    /// (and the hit) for [`stats`](Self::stats). A poisoned shard is
+    /// treated as a miss — the cache is an accelerator, never load-bearing.
+    pub fn known_failure(&self, key: u128) -> bool {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let hit = self
+            .shard(key)
+            .read()
+            .map(|s| s.contains(&key))
+            .unwrap_or(false);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Records a failed attempt.
+    pub fn record_failure(&self, key: u128) {
+        if let Ok(mut s) = self.shard(key).write() {
+            s.insert(key);
+        }
+    }
+
+    /// `(hits, lookups)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.lookups.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct failures recorded.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().map(|g| g.len()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Widens a 64-bit decision hash into the cache's 128-bit key space with
+/// two independently salted mixes, making accidental collisions between
+/// unrelated (prefix, candidate) pairs vanishingly unlikely.
+#[must_use]
+pub fn cache_key(h: u64) -> u128 {
+    let lo = splitmix64(h ^ 0xa076_1d64_78bd_642f);
+    let hi = splitmix64(h ^ 0xe703_7ed1_a0b4_28db);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+/// Everything a portfolio member shares with its siblings, borrowed for
+/// the duration of one [`crate::CoSynthesis::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct PortfolioHooks<'s> {
+    /// Best known audit-clean cost; runs abort as dominated against it.
+    pub incumbent: &'s CostIncumbent,
+    /// Shared negative evaluation cache (`None` disables caching).
+    pub cache: Option<&'s EvalCache>,
+    /// Cooperative cancellation, checked at every allocation step.
+    pub cancel: &'s AtomicBool,
+}
+
+impl<'s> PortfolioHooks<'s> {
+    /// Whether the portfolio has been cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incumbent_monotone() {
+        let inc = CostIncumbent::new();
+        assert_eq!(inc.get(), u64::MAX);
+        inc.observe(500);
+        inc.observe(700);
+        assert_eq!(inc.get(), 500);
+        inc.observe(300);
+        assert_eq!(inc.get(), 300);
+    }
+
+    #[test]
+    fn cache_round_trip_and_stats() {
+        let cache = EvalCache::new();
+        let k = cache_key(12345);
+        assert!(!cache.known_failure(k));
+        cache.record_failure(k);
+        assert!(cache.known_failure(k));
+        assert!(!cache.known_failure(cache_key(54321)));
+        let (hits, lookups) = cache.stats();
+        assert_eq!((hits, lookups), (1, 3));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cache_keys_diverge() {
+        assert_ne!(cache_key(1), cache_key(2));
+        // The two salted halves must not collapse to the same word.
+        #[allow(clippy::cast_possible_truncation)]
+        let (lo, hi) = (cache_key(0) as u64, (cache_key(0) >> 64) as u64);
+        assert_ne!(lo, hi);
+    }
+
+    #[test]
+    fn cache_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvalCache>();
+        assert_send_sync::<CostIncumbent>();
+        assert_send_sync::<PortfolioHooks<'_>>();
+    }
+}

@@ -452,7 +452,9 @@ fn commit_merge(
 
     // Edges whose endpoints both live on `a` now are intra-device: free
     // their link slots (consumers only get earlier data — always safe).
-    let tasks_on_a: std::collections::HashSet<crusade_model::GlobalTaskId> = arch
+    // BTreeSet: the set is iterated below, and synthesis must not depend
+    // on hash order anywhere.
+    let tasks_on_a: std::collections::BTreeSet<crusade_model::GlobalTaskId> = arch
         .pe(a)
         .modes
         .iter()

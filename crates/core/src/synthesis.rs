@@ -19,6 +19,7 @@ use crate::arch::Architecture;
 use crate::cluster::{cluster_tasks_with, Clustering};
 use crate::error::SynthesisError;
 use crate::options::CosynOptions;
+use crate::portfolio::PortfolioHooks;
 use crate::reconfig::{self, ReconfigReport};
 
 /// Summary figures of a finished synthesis — the columns of Tables 2
@@ -98,6 +99,7 @@ pub struct CoSynthesis<'a> {
     spec: &'a SystemSpec,
     lib: &'a ResourceLibrary,
     options: CosynOptions,
+    hooks: Option<PortfolioHooks<'a>>,
 }
 
 impl<'a> CoSynthesis<'a> {
@@ -108,12 +110,26 @@ impl<'a> CoSynthesis<'a> {
             spec,
             lib,
             options: CosynOptions::default(),
+            hooks: None,
         }
     }
 
     /// Overrides the options.
     pub fn with_options(mut self, options: CosynOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Connects this run to a multi-start portfolio: the shared incumbent
+    /// lets the run abort once provably dominated, the evaluation cache
+    /// shares failed allocation attempts across members, and the cancel
+    /// flag stops the run cooperatively. The run *reads* the incumbent
+    /// but never updates it — only the exploration engine does, and only
+    /// with audit-clean completed architectures, which (together with the
+    /// strictly-greater domination test) keeps the portfolio winner
+    /// independent of thread scheduling.
+    pub fn with_portfolio_hooks(mut self, hooks: PortfolioHooks<'a>) -> Self {
+        self.hooks = Some(hooks);
         self
     }
 
@@ -131,12 +147,15 @@ impl<'a> CoSynthesis<'a> {
     pub fn run(&self) -> Result<SynthesisResult, SynthesisError> {
         let t0 = Instant::now();
         self.spec.validate()?;
+        // Resolve the policy's knob overrides into plain fields once; all
+        // phases below read the effective options.
+        let options = self.options.effective();
 
         // Optional pre-pass: the static analyzer proves infeasibility
         // before any allocation work (the pre-synthesis mirror of the
         // post-synthesis audit hook below).
-        if self.options.lint {
-            let report = crusade_lint::lint(self.spec, self.lib, &self.options.lint_options());
+        if options.lint {
+            let report = crusade_lint::lint(self.spec, self.lib, &options.lint_options());
             if report.has_errors() {
                 return Err(SynthesisError::LintRejected {
                     lints: report.errors().map(|l| l.to_string()).collect(),
@@ -145,20 +164,45 @@ impl<'a> CoSynthesis<'a> {
         }
 
         // Pre-processing: clustering (priority levels are computed inside).
-        let clustering = cluster_tasks_with(self.spec, self.lib, &self.options)?;
+        let clustering = cluster_tasks_with(self.spec, self.lib, &options)?;
 
-        // Synthesis: the outer allocation loop in priority order.
-        let mut allocator = Allocator::new(self.spec, self.lib, &self.options, &clustering);
-        let cluster_ids: Vec<_> = clustering.clusters().map(|(id, _)| id).collect();
+        // Synthesis: the outer allocation loop, in priority order under
+        // the baseline policy, boundedly perturbed otherwise.
+        let mut allocator = Allocator::new(self.spec, self.lib, &options, &clustering);
+        if let Some(hooks) = self.hooks {
+            allocator.set_portfolio_hooks(hooks);
+        }
+        let mut cluster_ids: Vec<_> = clustering.clusters().map(|(id, _)| id).collect();
+        options.policy.perturb_order(&mut cluster_ids);
         for cid in cluster_ids {
+            if let Some(hooks) = self.hooks {
+                if hooks.cancelled() {
+                    return Err(SynthesisError::Cancelled);
+                }
+                // Domination test against the portfolio incumbent. The
+                // comparison is STRICT and the bound is a true lower bound
+                // on this run's final cost, so a run that would finish at
+                // the portfolio minimum can never trip it — completed
+                // minimal runs are schedule-independent, and with them the
+                // reduced winner. Keep it strict.
+                let incumbent = hooks.incumbent.get();
+                if incumbent != u64::MAX {
+                    let floor = final_cost_lower_bound(self.lib, &options, &clustering, &allocator);
+                    if floor.amount() > incumbent {
+                        return Err(SynthesisError::Dominated {
+                            incumbent: Dollars::new(incumbent),
+                        });
+                    }
+                }
+            }
             allocator.allocate(cid)?;
         }
         let (candidates_tried, candidates_pruned) = allocator.candidate_counters();
         let mut arch = allocator.arch;
 
         // Dynamic reconfiguration generation.
-        let recon = if self.options.reconfiguration {
-            reconfig::generate(self.spec, self.lib, &self.options, &clustering, &mut arch)
+        let recon = if options.reconfiguration {
+            reconfig::generate(self.spec, self.lib, &options, &clustering, &mut arch)
         } else {
             ReconfigReport::default()
         };
@@ -192,7 +236,7 @@ impl<'a> CoSynthesis<'a> {
 
         // Optional post-pass: the independent auditor from crusade-verify
         // re-derives every invariant from spec + schedule.
-        if self.options.audit {
+        if options.audit {
             let Some(hook) = crate::audit_hook::audit_hook() else {
                 return Err(SynthesisError::Internal(
                     "audit requested but no auditor installed (call \
@@ -200,7 +244,7 @@ impl<'a> CoSynthesis<'a> {
                         .into(),
                 ));
             };
-            let violations = hook(self.spec, self.lib, &self.options, &result);
+            let violations = hook(self.spec, self.lib, &options, &result);
             if !violations.is_empty() {
                 return Err(SynthesisError::AuditFailed { violations });
             }
@@ -227,6 +271,67 @@ impl<'a> CoSynthesis<'a> {
         }
         true
     }
+}
+
+/// A sound lower bound on the *final* dollar cost any completion of the
+/// current partial allocation can reach, used for incumbent-based
+/// domination in portfolio runs.
+///
+/// Conservative about everything dynamic reconfiguration can later remove:
+/// link and interface costs are ignored entirely (merging may retire
+/// links), and programmable devices are counted as if merging later packed
+/// them maximally — `ceil(instances / max_modes_per_device)` per type,
+/// sound because merging only ever combines devices of the *same* type and
+/// caps the merged mode count. Unallocated clusters none of whose allowed
+/// types is instantiated yet are grouped greedily by disjoint allowed-type
+/// sets; the groups force pairwise-distinct future purchases (disjoint
+/// sets means different types, which can never merge with each other), so
+/// each adds at least its cheapest allowed type's cost.
+fn final_cost_lower_bound(
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    clustering: &Clustering,
+    allocator: &Allocator<'_>,
+) -> Dollars {
+    let mut counts: Vec<(crusade_model::PeTypeId, usize)> = Vec::new();
+    for (_, pe) in allocator.arch.pes() {
+        match counts.iter_mut().find(|(t, _)| *t == pe.ty) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((pe.ty, 1)),
+        }
+    }
+    let mut lb = Dollars::ZERO;
+    for &(ty, n) in &counts {
+        let devices = if lib.pe(ty).is_reconfigurable() {
+            n.div_ceil(options.max_modes_per_device.max(1))
+        } else {
+            n
+        };
+        lb += Dollars::new(lib.pe(ty).cost().amount() * devices as u64);
+    }
+    let mut group_types: Vec<crusade_model::PeTypeId> = Vec::new();
+    for (cid, cluster) in clustering.clusters() {
+        if allocator.decisions[cid.index()].is_some() || cluster.allowed_pes.is_empty() {
+            continue;
+        }
+        if cluster
+            .allowed_pes
+            .iter()
+            .any(|t| counts.iter().any(|(c, _)| c == t))
+        {
+            // Might join (or merge with) an already-purchased instance.
+            continue;
+        }
+        if cluster.allowed_pes.iter().any(|t| group_types.contains(t)) {
+            // Might share the purchase an earlier group already forces.
+            continue;
+        }
+        if let Some(min_cost) = cluster.allowed_pes.iter().map(|&t| lib.pe(t).cost()).min() {
+            lb += min_cost;
+        }
+        group_types.extend(cluster.allowed_pes.iter().copied());
+    }
+    lb
 }
 
 /// Builds the interface requirement from the final modes and runs the

@@ -14,11 +14,15 @@
 //! crusade inject <spec.json|name> [--seeds N] [--no-reconfig]
 //!                                             seeded fault-injection campaign
 //!                                             against the synthesized system
+//! crusade explore <spec.json|name> [--jobs N] [--portfolio M] [--no-reconfig]
+//!                                             parallel multi-start exploration
+//!                                             over a portfolio of synthesis
+//!                                             policies
 //! ```
 //!
-//! `lint`, `audit` and `inject` accept either a specification file or the
-//! name of a built-in paper benchmark (`crusade lint vdrtx`), resolved
-//! through one shared loading path.
+//! `lint`, `audit`, `inject` and `explore` accept either a specification
+//! file or the name of a built-in paper benchmark (`crusade lint vdrtx`),
+//! resolved through one shared loading path.
 //!
 //! Exit codes (shared by `lint` and `audit`): **0** — clean; **1** —
 //! warnings only (lint); **2** — proved infeasibilities, audit
@@ -56,6 +60,8 @@ commands:
   audit <spec.json|name> [--no-reconfig]       synthesize + independent re-verify
   inject <spec.json|name> [--seeds N] [--no-reconfig]
                                                seeded fault-injection campaign
+  explore <spec.json|name> [--jobs N] [--portfolio M] [--no-reconfig]
+                                               parallel multi-start exploration
 
 exit codes (lint, audit):
   0  clean — no findings (informational bounds do not count)
@@ -311,8 +317,73 @@ fn cmd_audit(args: &[String]) -> Result<u8, String> {
         for v in &violations {
             println!("audit: [{}] {v}", v.kind());
         }
-        Err(format!("audit found {} violation(s)", violations.len()))
+        // Violations are findings, not operational errors: report them on
+        // stdout like `lint` does and exit 2 through the shared convention
+        // rather than through the `error:` path.
+        println!(
+            "audit: {} violation(s) — architecture rejected",
+            violations.len()
+        );
+        Ok(EXIT_ERRORS)
     }
+}
+
+/// Parses an optional `--name <usize>` flag.
+fn flag_usize(args: &[String], name: &str) -> Result<Option<usize>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or(format!("{name} needs a value"))?
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|e| format!("{name}: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// Runs the parallel multi-start exploration engine over a portfolio of
+/// synthesis policies and prints the cheapest audit-clean winner.
+///
+/// The winner line on stdout is deterministic — bit-identical regardless
+/// of `--jobs`. Schedule-dependent statistics (cache hit-rate, pruning
+/// counts) go to stderr.
+fn cmd_explore(args: &[String]) -> Result<u8, String> {
+    let arg = args
+        .first()
+        .ok_or("usage: crusade explore <spec.json|example-name> [--jobs N] [--portfolio M]")?;
+    let jobs = match flag_usize(args, "--jobs")? {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, usize::from),
+    };
+    let portfolio = flag_usize(args, "--portfolio")?.unwrap_or(8).max(1);
+    let (library, spec) = load_or_example(arg)?;
+    let config = crusade::explore::ExploreConfig::new(portfolio, jobs).with_base(options(args));
+    let outcome = crusade::explore::explore(&spec, &library, &config).map_err(|e| e.to_string())?;
+    println!(
+        "explore: winner policy #{} -> {} PEs, {} links, {} ({} multi-mode devices)",
+        outcome.policy.id,
+        outcome.winner.report.pe_count,
+        outcome.winner.report.link_count,
+        outcome.winner.report.cost,
+        outcome.winner.report.multi_mode_devices,
+    );
+    let stats = &outcome.stats;
+    eprintln!(
+        "explore: portfolio {} at {} job(s) — {} clean, {} dominated, {} skipped by bound, \
+         {} audit-rejected, {} failed; cache {:.0}% hit ({} / {} lookups); lower bound {}",
+        stats.portfolio,
+        stats.jobs,
+        stats.clean,
+        stats.dominated,
+        stats.skipped_by_bound,
+        stats.audit_rejected,
+        stats.failed,
+        stats.cache_hit_rate() * 100.0,
+        stats.cache_hits,
+        stats.cache_lookups,
+        stats.cost_lower_bound,
+    );
+    Ok(EXIT_CLEAN)
 }
 
 fn cmd_inject(args: &[String]) -> Result<u8, String> {
@@ -390,6 +461,7 @@ fn main() -> ExitCode {
             "lint" => cmd_lint(rest),
             "audit" => cmd_audit(rest),
             "inject" => cmd_inject(rest),
+            "explore" => cmd_explore(rest),
             "help" => {
                 println!("{USAGE}");
                 Ok(EXIT_CLEAN)

@@ -17,6 +17,9 @@
 //! * [`ft`] — the CRUSADE-FT fault-tolerance extension;
 //! * [`verify`] — the independent architecture auditor and the seeded
 //!   fault-injection engine;
+//! * [`explore`] — parallel multi-start design-space exploration over
+//!   policy portfolios, with a shared evaluation cache and cost lower
+//!   bounds;
 //! * [`workloads`] — deterministic reconstructions of the paper's
 //!   benchmarks.
 //!
@@ -44,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub use crusade_core as core;
+pub use crusade_explore as explore;
 pub use crusade_fabric as fabric;
 pub use crusade_ft as ft;
 pub use crusade_lint as lint;

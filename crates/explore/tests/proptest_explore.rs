@@ -1,0 +1,41 @@
+//! Property: every portfolio winner the exploration engine returns —
+//! over seeded random specifications and varying portfolio/job shapes —
+//! passes the independent architecture auditor with zero violations,
+//! under the exact options the winning member synthesized with.
+
+// Test code: helpers unwrap freely on controlled inputs.
+#![allow(clippy::unwrap_used)]
+
+use crusade_core::CosynOptions;
+use crusade_explore::{explore, ExploreConfig};
+use crusade_verify::audit;
+use crusade_workloads::{paper_library, random_example};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_portfolio_winner_audits_clean(
+        seed in 0u64..1_000_000,
+        jobs in 1usize..4,
+    ) {
+        let lib = paper_library();
+        let spec = random_example(seed).build(&lib);
+        let Ok(outcome) = explore(&spec, &lib.lib, &ExploreConfig::new(4, jobs)) else {
+            // No feasible member for this random workload is a
+            // legitimate refusal, not an audit subject.
+            return Ok(());
+        };
+        // Re-audit from outside the engine, under the winning member's
+        // effective options — the winner must hold up independently.
+        let options = CosynOptions::default().with_policy(outcome.policy.clone());
+        let violations = audit(&spec, &lib.lib, &options.effective(), &outcome.winner);
+        prop_assert!(
+            violations.is_empty(),
+            "seed {seed} ({jobs} jobs, winner policy #{}): {:?}",
+            outcome.policy.id,
+            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -175,9 +175,8 @@ impl<'a> UtilisationExperiment<'a> {
     /// See [`MeasureError`]; `Unroutable` corresponds to the paper's
     /// "Not routable" entries.
     // Utilisation fractions scale bounded site/pin counts, so the rounded
-    // casts cannot truncate; the `expect` below is guarded by the
-    // `required > usable` check just above it.
-    #[allow(clippy::cast_possible_truncation, clippy::missing_panics_doc)]
+    // casts cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn measure(&self, eruf: f64, epuf: f64) -> Result<DelayMeasurement, MeasureError> {
         let fabric = self.device();
         let capacity = fabric.site_count();
@@ -202,11 +201,15 @@ impl<'a> UtilisationExperiment<'a> {
         let mut pin_of_cell = Vec::with_capacity(required);
         for cell in self.netlist.io_cells() {
             let here = placement.site_of(cell);
-            let (idx, _) = free_pins
+            // `required <= usable` was checked above, so a free pin always
+            // remains; running out anyway means the budget was wrong.
+            let Some((idx, _)) = free_pins
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, p)| p.distance(here))
-                .expect("usable >= required");
+            else {
+                return Err(MeasureError::PinLimited { required, usable });
+            };
             pin_of_cell.push((cell, free_pins.swap_remove(idx)));
         }
 

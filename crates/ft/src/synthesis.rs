@@ -177,7 +177,7 @@ impl<'a> CrusadeFt<'a> {
             .annotations
             .clone()
             .unwrap_or_else(|| FtAnnotations::none_for(self.spec));
-        let (ft_spec, transform) = transform_spec(self.spec, &annotations, &self.config);
+        let (ft_spec, transform) = transform_spec(self.spec, &annotations, &self.config)?;
         let mut result = CoSynthesis::new(&ft_spec, self.lib)
             .with_options(self.options.clone())
             .run()?;

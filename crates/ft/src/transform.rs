@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crusade_model::{GraphId, SystemSpec, Task, TaskGraph, TaskId};
+use crusade_model::{GraphId, SystemSpec, Task, TaskGraph, TaskId, ValidateSpecError};
 
 use crate::ftspec::{FtAnnotations, FtConfig};
 
@@ -64,6 +64,13 @@ fn needs_check(graph: &TaskGraph) -> Vec<bool> {
 /// inherit the original task's deadline obligations by carrying the
 /// checked task's effective deadline.
 ///
+/// # Errors
+///
+/// Propagates graph validation failure from rebuilding a transformed
+/// graph. Check tasks only ever extend a graph at its sinks, so on a
+/// valid input this cannot happen; the error is surfaced rather than
+/// unwrapped so a modelling bug degrades gracefully.
+///
 /// # Examples
 ///
 /// ```
@@ -75,7 +82,7 @@ fn needs_check(graph: &TaskGraph) -> Vec<bool> {
 /// b.add_task(Task::new("t", ExecutionTimes::uniform(1, Nanos::from_micros(10))));
 /// let spec = SystemSpec::new(vec![b.build()?]);
 /// let annotations = FtAnnotations::none_for(&spec);
-/// let (ft_spec, report) = transform_spec(&spec, &annotations, &FtConfig::new(1));
+/// let (ft_spec, report) = transform_spec(&spec, &annotations, &FtConfig::new(1))?;
 /// // No assertion available: the task is duplicated and compared.
 /// assert_eq!(report.duplicates_added, 1);
 /// assert_eq!(report.compares_added, 1);
@@ -87,7 +94,7 @@ pub fn transform_spec(
     spec: &SystemSpec,
     annotations: &FtAnnotations,
     config: &FtConfig,
-) -> (SystemSpec, TransformReport) {
+) -> Result<(SystemSpec, TransformReport), ValidateSpecError> {
     let mut report = TransformReport::default();
     let mut graphs = Vec::with_capacity(spec.graph_count());
     for (gid, graph) in spec.graphs() {
@@ -97,13 +104,13 @@ pub fn transform_spec(
             annotations,
             config,
             &mut report,
-        ));
+        )?);
     }
     let mut out = SystemSpec::new(graphs).with_constraints(spec.constraints().clone());
     if let Some(m) = spec.compatibility() {
         out = out.with_compatibility(m.clone());
     }
-    (out, report)
+    Ok((out, report))
 }
 
 fn transform_graph(
@@ -112,7 +119,7 @@ fn transform_graph(
     annotations: &FtAnnotations,
     config: &FtConfig,
     report: &mut TransformReport,
-) -> TaskGraph {
+) -> Result<TaskGraph, ValidateSpecError> {
     let needs = needs_check(graph);
     let mut b = graph.clone().into_builder();
     for (t, _) in graph.tasks() {
@@ -163,7 +170,6 @@ fn transform_graph(
         }
     }
     b.build()
-        .expect("adding sink-side check tasks preserves acyclicity")
 }
 
 #[cfg(test)]
@@ -194,7 +200,7 @@ mod tests {
     fn all_tasks_duplicated_without_assertions() {
         let spec = base_spec(false);
         let ann = FtAnnotations::none_for(&spec);
-        let (out, report) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        let (out, report) = transform_spec(&spec, &ann, &FtConfig::new(1)).unwrap();
         assert_eq!(report.duplicates_added, 3);
         assert_eq!(report.compares_added, 3);
         // 3 original + 3 dup + 3 compare.
@@ -212,7 +218,7 @@ mod tests {
             exec: ExecutionTimes::uniform(1, Nanos::from_micros(1)),
             bytes: 4,
         }];
-        let (out, report) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        let (out, report) = transform_spec(&spec, &ann, &FtConfig::new(1)).unwrap();
         assert_eq!(report.assertions_added, 1);
         assert_eq!(report.duplicates_added, 2);
         assert_eq!(out.graph(GraphId::new(0)).task_count(), 8);
@@ -222,7 +228,7 @@ mod tests {
     fn error_transparency_skips_mid_task() {
         let spec = base_spec(true);
         let ann = FtAnnotations::none_for(&spec);
-        let (_, report) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        let (_, report) = transform_spec(&spec, &ann, &FtConfig::new(1)).unwrap();
         assert_eq!(report.transparent_skips, 1);
         assert_eq!(report.duplicates_added, 2);
     }
@@ -235,7 +241,7 @@ mod tests {
         b.add_task(t);
         let spec = SystemSpec::new(vec![b.build().unwrap()]);
         let ann = FtAnnotations::none_for(&spec);
-        let (_, report) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        let (_, report) = transform_spec(&spec, &ann, &FtConfig::new(1)).unwrap();
         // A sink has no downstream check to lean on.
         assert_eq!(report.transparent_skips, 0);
         assert_eq!(report.duplicates_added, 1);
@@ -245,7 +251,7 @@ mod tests {
     fn duplicate_excluded_from_original_pe() {
         let spec = base_spec(false);
         let ann = FtAnnotations::none_for(&spec);
-        let (out, _) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        let (out, _) = transform_spec(&spec, &ann, &FtConfig::new(1)).unwrap();
         let g = out.graph(GraphId::new(0));
         // Find the duplicate of task 0 by name.
         let (dup_id, _) = g
@@ -260,7 +266,7 @@ mod tests {
     fn check_tasks_inherit_deadlines() {
         let spec = base_spec(false);
         let ann = FtAnnotations::none_for(&spec);
-        let (out, _) = transform_spec(&spec, &ann, &FtConfig::new(1));
+        let (out, _) = transform_spec(&spec, &ann, &FtConfig::new(1)).unwrap();
         let g = out.graph(GraphId::new(0));
         let (cmp_id, cmp) = g
             .tasks()

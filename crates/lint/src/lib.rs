@@ -60,7 +60,7 @@ mod analyses;
 pub mod bounds;
 mod diagnostics;
 
-use crusade_model::{GraphId, Nanos, PeTypeId, ResourceLibrary, SystemSpec, TaskId};
+use crusade_model::{Dollars, GraphId, Nanos, PeTypeId, ResourceLibrary, SystemSpec, TaskId};
 
 pub use diagnostics::{Lint, LintReport, Severity};
 
@@ -109,6 +109,36 @@ pub fn lint(spec: &SystemSpec, lib: &ResourceLibrary, options: &LintOptions) -> 
     analyses::modes(&ctx, &mut report);
     analyses::utilisation(&ctx, &mut report);
     report
+}
+
+/// A sound lower bound on the dollar cost of *any* architecture that
+/// satisfies `spec` against `lib`: the utilisation analysis's per-class
+/// bin-packing floor (summed minimum loads over the hyperperiod, volume
+/// and half-bin bounds, priced at each class's cheapest capable type).
+///
+/// Exploration engines prune against this — an achieved cost equal to the
+/// bound is provably unbeatable. Returns [`Dollars::ZERO`] when the
+/// specification is invalid or the analysis finds no binding floor (a
+/// lower bound of zero is always sound).
+pub fn cost_lower_bound(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    options: &LintOptions,
+) -> Dollars {
+    if spec.validate().is_err() {
+        return Dollars::ZERO;
+    }
+    let ctx = analyses::Context::build(spec, lib, options);
+    let mut report = LintReport::new();
+    analyses::utilisation(&ctx, &mut report);
+    let floor = report
+        .iter()
+        .find_map(|l| match l {
+            Lint::CostLowerBound { total } => Some(*total),
+            _ => None,
+        })
+        .unwrap_or(Dollars::ZERO);
+    floor
 }
 
 /// Cached necessary-condition data the allocator consults to skip

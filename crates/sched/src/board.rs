@@ -7,7 +7,7 @@
 //! model in `crusade-core`) to [`Timeline`]s and keeps a reverse index from
 //! occupant to placement for O(1) window lookups.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -70,7 +70,10 @@ impl std::fmt::Display for ResourceId {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ScheduleBoard {
     timelines: Vec<Timeline>,
-    index: HashMap<Occupant, (ResourceId, PeriodicInterval)>,
+    // A BTreeMap so that iteration (`placements`, `occupants_of`) and
+    // the serialized form are deterministic — the engine's winners must
+    // encode bit-identically run to run.
+    index: BTreeMap<Occupant, (ResourceId, PeriodicInterval)>,
 }
 
 impl ScheduleBoard {

@@ -11,7 +11,7 @@ use crusade_model::{GlobalEdgeId, GlobalTaskId};
 /// Tasks occupy PE (mode) timelines, edges occupy link timelines, and
 /// `Reboot` intervals occupy a programmable PE while it is being
 /// reconfigured between modes (the paper's `reboot_task`, Section 4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Occupant {
     /// A task copy executing on a PE.
     Task(GlobalTaskId),

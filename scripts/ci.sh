@@ -31,8 +31,12 @@ echo "==> cargo doc -D warnings"
 # Only the crusade crates: the vendored stand-ins don't hold doc-clean.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
     -p crusade-model -p crusade-fabric -p crusade-sched -p crusade-lint \
-    -p crusade-core -p crusade-ft -p crusade-verify -p crusade-workloads \
-    -p crusade-bench -p crusade
+    -p crusade-core -p crusade-ft -p crusade-verify -p crusade-explore \
+    -p crusade-workloads -p crusade-bench -p crusade
+
+echo "==> explore smoke (2 examples, portfolio 4, jobs 2)"
+cargo run --release -q -p crusade-bench --bin explore -- \
+    --examples A1TR,VDRTX --jobs 2 --portfolio 4
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full audit sweep (8 examples, both modes + FT)"
@@ -41,6 +45,8 @@ if [[ "${1:-}" == "--full" ]]; then
     cargo run --release -q -p crusade-bench --bin campaign
     echo "==> allocation-pruning benchmark (8 examples, on/off parity)"
     cargo run --release -q -p crusade-bench --bin pruning
+    echo "==> exploration determinism (8 examples, jobs 1/2/8 bit-identical)"
+    cargo test --release -q -p crusade-explore --test determinism -- --ignored
 fi
 
 echo "CI: all checks passed"

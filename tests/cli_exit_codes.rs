@@ -1,0 +1,148 @@
+//! Asserts the documented CLI exit-code convention shared by `crusade
+//! lint` and `crusade audit`:
+//!
+//! * **0** — clean, no findings;
+//! * **1** — warnings only (lint);
+//! * **2** — proved infeasibilities, audit violations, or operational
+//!   errors (bad arguments, unreadable files).
+//!
+//! The audit command historically routed violations through the generic
+//! `error:` path; these tests pin both commands to the same convention.
+
+use std::process::Command;
+
+fn crusade(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_crusade"))
+        .args(args)
+        .output()
+        .expect("spawning the crusade binary")
+}
+
+fn exit_code(out: &std::process::Output) -> i32 {
+    out.status.code().expect("process terminated by signal")
+}
+
+/// A tiny known-clean specification, written through `crusade sample`
+/// so the test exercises the same loading path as a user would.
+fn sample_spec(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("sample.json");
+    let out = crusade(&["sample", path.to_str().expect("utf-8 temp path")]);
+    assert_eq!(exit_code(&out), 0, "sample generation must be clean");
+    path
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("crusade-cli-exit-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creating temp dir");
+    dir
+}
+
+#[test]
+fn lint_clean_spec_exits_zero() {
+    let dir = temp_dir("lint-clean");
+    let spec = sample_spec(&dir);
+    let out = crusade(&["lint", spec.to_str().expect("utf-8 temp path")]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "lint on a clean spec: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn audit_clean_spec_exits_zero() {
+    let dir = temp_dir("audit-clean");
+    let spec = sample_spec(&dir);
+    let out = crusade(&["audit", spec.to_str().expect("utf-8 temp path")]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "audit on a clean spec: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("audit: clean"),
+        "audit must confirm cleanliness on stdout"
+    );
+}
+
+#[test]
+fn lint_unreadable_path_exits_two() {
+    let out = crusade(&["lint", "/nonexistent/crusade-spec.json"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "operational failures report through stderr"
+    );
+}
+
+#[test]
+fn audit_unreadable_path_exits_two() {
+    let out = crusade(&["audit", "/nonexistent/crusade-spec.json"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "operational failures report through stderr"
+    );
+}
+
+#[test]
+fn lint_proved_infeasibility_exits_two() {
+    // A task that runs on no PE type in the library is a proved
+    // infeasibility: lint must exit 2, through findings, not `error:`.
+    let dir = temp_dir("lint-err");
+    let path = sample_spec(&dir);
+    let text = std::fs::read_to_string(&path).expect("reading sample spec");
+    // The sample's `filter` task is FPGA-only; quadruple its pin demand
+    // past the library's largest device so no PE type can host it.
+    let broken = text.replace("\"pins\": 12", "\"pins\": 4000");
+    assert_ne!(broken, text, "sample spec layout changed; update the test");
+    let broken_path = dir.join("broken.json");
+    std::fs::write(&broken_path, broken).expect("writing broken spec");
+    let out = crusade(&["lint", broken_path.to_str().expect("utf-8 temp path")]);
+    assert_eq!(
+        exit_code(&out),
+        2,
+        "lint must prove infeasibility: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "proved findings are not operational errors"
+    );
+}
+
+#[test]
+fn explore_clean_spec_exits_zero_and_reports_winner() {
+    let dir = temp_dir("explore-clean");
+    let spec = sample_spec(&dir);
+    let out = crusade(&[
+        "explore",
+        spec.to_str().expect("utf-8 temp path"),
+        "--jobs",
+        "2",
+        "--portfolio",
+        "4",
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "explore on a clean spec: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("explore: winner policy #"),
+        "explore must name the winning policy on stdout"
+    );
+}
+
+#[test]
+fn unknown_command_exits_two() {
+    let out = crusade(&["frobnicate"]);
+    assert_eq!(exit_code(&out), 2);
+}

@@ -111,7 +111,8 @@ fn duplicates_never_share_hardware_with_originals() {
         &spec,
         &paper_ft_annotations(&spec, &lib, ex.seed),
         &paper_ft_config(&spec, &lib),
-    );
+    )
+    .unwrap();
     use crusade::model::GlobalTaskId;
     use crusade::sched::Occupant;
     let arch = &r.synthesis.architecture;
