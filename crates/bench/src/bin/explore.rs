@@ -64,6 +64,9 @@ struct ExploreRecord {
     /// Portfolio members skipped outright by the lint lower bound
     /// (parallel run).
     skipped_by_bound: usize,
+    /// Structured-metrics snapshot aggregated over every member of the
+    /// parallel run (schedule-dependent, like the cache statistics).
+    metrics: crusade_obs::MetricsSnapshot,
 }
 
 fn flag_usize(args: &[String], name: &str, default: usize) -> usize {
@@ -110,8 +113,9 @@ fn timed_explore(
     lib: &ResourceLibrary,
     portfolio: usize,
     jobs: usize,
+    base: CosynOptions,
 ) -> (ExploreOutcome, f64) {
-    let config = ExploreConfig::new(portfolio, jobs);
+    let config = ExploreConfig::new(portfolio, jobs).with_base(base);
     let t = Instant::now();
     let outcome = match explore(spec, lib, &config) {
         Ok(o) => o,
@@ -177,8 +181,16 @@ fn main() {
             }
         };
         let (naive_best, naive_ms) = naive_portfolio(&spec, &lib.lib, portfolio);
-        let (seq_pf, seq_pf_ms) = timed_explore(&spec, &lib.lib, portfolio, 1);
-        let (par, par_ms) = timed_explore(&spec, &lib.lib, portfolio, jobs);
+        let (seq_pf, seq_pf_ms) =
+            timed_explore(&spec, &lib.lib, portfolio, 1, CosynOptions::default());
+        let metrics = std::sync::Arc::new(crusade_obs::Metrics::new());
+        let (par, par_ms) = timed_explore(
+            &spec,
+            &lib.lib,
+            portfolio,
+            jobs,
+            CosynOptions::default().with_observer(metrics.clone()),
+        );
 
         // The engine's determinism guarantee: same winner at any job count.
         if (par.winner.report.cost, par.policy.id) != (seq_pf.winner.report.cost, seq_pf.policy.id)
@@ -237,6 +249,7 @@ fn main() {
             cache_hit_rate: par.stats.cache_hit_rate(),
             dominated_runs: par.stats.dominated,
             skipped_by_bound: par.stats.skipped_by_bound,
+            metrics: metrics.snapshot(),
         };
         println!(
             "{:<8} {:>6} | {:>8}$ {:>8}$ {:>7} | {:>9.0} {:>9.0} {:>9.0} {:>7.2}x | {:>5.1}% {:>5} {:>5}",

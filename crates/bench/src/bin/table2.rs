@@ -3,17 +3,19 @@
 //!
 //! Besides the human-readable table on stdout, the run writes
 //! `BENCH_table2.json` with every row's cost, wall-clock milliseconds,
-//! and scheduling-attempt counts.
+//! scheduling-attempt counts, and the structured-metrics snapshot of
+//! each synthesis run (attempts, rejections by reason, per-phase wall
+//! time).
 
-use crusade_bench::{json, synthesis_header, table2_rows};
+use crusade_bench::{json, synthesis_header, table2_rows_instrumented};
 
 fn main() {
     println!("Table 2: efficacy of CRUSADE");
     println!("{}", synthesis_header("CRUSADE"));
-    match table2_rows() {
+    match table2_rows_instrumented() {
         Ok(rows) => {
             for row in &rows {
-                println!("{}", row.format());
+                println!("{}", row.row.format());
             }
             let records: Vec<json::RowRecord> = rows.iter().map(json::RowRecord::from).collect();
             if let Err(e) = json::write("BENCH_table2.json", &records) {

@@ -9,11 +9,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use crusade_core::{CoSynthesis, CosynOptions, SynthesisError};
 use crusade_ft::CrusadeFt;
 use crusade_model::Dollars;
+use crusade_obs::{Metrics, MetricsSnapshot};
 use crusade_workloads::{
     paper_examples, paper_ft_annotations, paper_ft_config, paper_library, table1_circuits,
     PaperExample, PaperLibrary, TABLE1_EPUF, TABLE1_ERUFS,
@@ -114,6 +116,64 @@ pub fn table2_row(lib: &PaperLibrary, ex: &PaperExample) -> Result<SynthesisRow,
     })
 }
 
+/// A Table-2 row plus the metrics snapshots of the two synthesis runs
+/// that produced it — the instrumented variant of [`table2_row`].
+#[derive(Debug, Clone)]
+pub struct InstrumentedRow {
+    /// The row figures.
+    pub row: SynthesisRow,
+    /// Metrics of the without-reconfiguration run.
+    pub without_metrics: MetricsSnapshot,
+    /// Metrics of the with-reconfiguration run.
+    pub with_metrics: MetricsSnapshot,
+}
+
+/// [`table2_row`] with a metrics observer attached to both runs.
+///
+/// The observer never influences synthesis decisions, so the row figures
+/// (cost, PEs, links, attempts) are identical to [`table2_row`]'s; only
+/// wall time may differ marginally.
+///
+/// # Errors
+///
+/// Propagates the first synthesis failure.
+pub fn table2_row_instrumented(
+    lib: &PaperLibrary,
+    ex: &PaperExample,
+) -> Result<InstrumentedRow, SynthesisError> {
+    let spec = ex.build(lib);
+    let m_without = Arc::new(Metrics::new());
+    let without = CoSynthesis::new(&spec, &lib.lib)
+        .with_options(CosynOptions::without_reconfiguration().with_observer(m_without.clone()))
+        .run()?;
+    let m_with = Arc::new(Metrics::new());
+    let with = CoSynthesis::new(&spec, &lib.lib)
+        .with_options(CosynOptions::default().with_observer(m_with.clone()))
+        .run()?;
+    Ok(InstrumentedRow {
+        row: SynthesisRow {
+            name: ex.name,
+            tasks: spec.task_count(),
+            without: ArchFigures {
+                pes: without.report.pe_count,
+                links: without.report.link_count,
+                cost: without.report.cost,
+                cpu_time: without.report.cpu_time,
+                scheduling_attempts: without.report.candidates_tried,
+            },
+            with: ArchFigures {
+                pes: with.report.pe_count,
+                links: with.report.link_count,
+                cost: with.report.cost,
+                cpu_time: with.report.cpu_time,
+                scheduling_attempts: with.report.candidates_tried,
+            },
+        },
+        without_metrics: m_without.snapshot(),
+        with_metrics: m_with.snapshot(),
+    })
+}
+
 /// Runs one Table-3 row (CRUSADE-FT, without then with dynamic
 /// reconfiguration).
 ///
@@ -206,6 +266,19 @@ pub fn table2_rows() -> Result<Vec<SynthesisRow>, SynthesisError> {
         .collect()
 }
 
+/// Runs all of Table 2 with metrics observers attached.
+///
+/// # Errors
+///
+/// Propagates the first failing row.
+pub fn table2_rows_instrumented() -> Result<Vec<InstrumentedRow>, SynthesisError> {
+    let lib = paper_library();
+    paper_examples()
+        .iter()
+        .map(|ex| table2_row_instrumented(&lib, ex))
+        .collect()
+}
+
 /// Runs all of Table 3.
 ///
 /// # Errors
@@ -225,9 +298,10 @@ pub fn table3_rows() -> Result<Vec<SynthesisRow>, SynthesisError> {
 /// human-readable output so downstream tooling (regression tracking,
 /// plotting) never has to scrape the formatted tables.
 pub mod json {
+    use crusade_obs::MetricsSnapshot;
     use serde::Serialize;
 
-    use super::{ArchFigures, SynthesisRow};
+    use super::{ArchFigures, InstrumentedRow, SynthesisRow};
 
     /// One architecture's figures in machine-readable form.
     #[derive(Debug, Clone, Copy, Serialize)]
@@ -269,6 +343,11 @@ pub mod json {
         pub with_reconfig: ArchRecord,
         /// The paper's "Cost savings %" column.
         pub savings_percent: f64,
+        /// Metrics snapshot of the without-reconfiguration run, when the
+        /// row came from an instrumented runner.
+        pub without_metrics: Option<MetricsSnapshot>,
+        /// Metrics snapshot of the with-reconfiguration run, likewise.
+        pub with_metrics: Option<MetricsSnapshot>,
     }
 
     impl From<&SynthesisRow> for RowRecord {
@@ -279,6 +358,18 @@ pub mod json {
                 without_reconfig: row.without.into(),
                 with_reconfig: row.with.into(),
                 savings_percent: row.savings_percent(),
+                without_metrics: None,
+                with_metrics: None,
+            }
+        }
+    }
+
+    impl From<&InstrumentedRow> for RowRecord {
+        fn from(ir: &InstrumentedRow) -> Self {
+            RowRecord {
+                without_metrics: Some(ir.without_metrics.clone()),
+                with_metrics: Some(ir.with_metrics.clone()),
+                ..RowRecord::from(&ir.row)
             }
         }
     }

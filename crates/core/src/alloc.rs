@@ -20,6 +20,7 @@ use crusade_model::{
     Dollars, GlobalEdgeId, GlobalTaskId, GraphId, Nanos, PeClass, PeTypeId, Priority,
     ResourceLibrary, SystemSpec, TaskId,
 };
+use crusade_obs::{Event, RejectReason};
 use crusade_sched::{
     check_deadlines, estimate_finish_times, latest_finish_times, priority_levels, Occupant,
     PeriodicInterval, Timeline, Window,
@@ -165,6 +166,11 @@ impl<'a> Allocator<'a> {
         fp = splitmix64(
             fp ^ (clustering.cluster_count() as u64) ^ ((spec.graph_count() as u64) << 32),
         );
+        // The board shares the options' observer handle: every placement
+        // attempt — including ones on scratch clones — reports the slot
+        // it chose.
+        let mut arch = Architecture::new();
+        arch.board.set_observer(options.observer.clone());
         Allocator {
             spec,
             lib,
@@ -172,7 +178,7 @@ impl<'a> Allocator<'a> {
             clustering,
             latest_finish,
             priorities,
-            arch: Architecture::new(),
+            arch,
             decisions,
             allow_new_instances: true,
             allow_new_modes: false,
@@ -210,6 +216,7 @@ impl<'a> Allocator<'a> {
     ) -> Self {
         let mut a = Allocator::new(spec, lib, options, clustering);
         a.arch = shell;
+        a.arch.board.set_observer(options.observer.clone());
         a.allow_new_instances = false;
         a.allow_new_modes = true;
         a
@@ -230,6 +237,7 @@ impl<'a> Allocator<'a> {
     ) -> Self {
         let mut a = Allocator::new(spec, lib, options, clustering);
         a.arch = arch;
+        a.arch.board.set_observer(options.observer.clone());
         a
     }
 
@@ -596,6 +604,12 @@ impl<'a> Allocator<'a> {
         let cluster = self.clustering.cluster(cid);
         let (entries, pruned) = self.allocation_array(cid, cluster);
         self.candidates_pruned += pruned;
+        if pruned > 0 {
+            self.options.observer.emit(|| Event::CandidatesPruned {
+                cluster: cid.index() as u64,
+                pruned: pruned as u64,
+            });
+        }
         for (target, added_cost) in entries {
             if self.hooks.is_some_and(|h| h.cancelled()) {
                 return Err(SynthesisError::Cancelled);
@@ -608,19 +622,40 @@ impl<'a> Allocator<'a> {
             let decision_hash = self.decision_hash(cid, target);
             let cache = self.hooks.and_then(|h| h.cache);
             if cache.is_some_and(|c| c.known_failure(cache_key(decision_hash))) {
+                self.options.observer.emit(|| Event::CacheHit {
+                    cluster: cid.index() as u64,
+                });
                 continue;
             }
             self.candidates_tried += 1;
-            if let Some((arch, pe, mode)) = self.try_target(cid, cluster, target) {
-                self.arch = arch;
-                self.history_hash = decision_hash;
-                let decision = AllocationDecision {
-                    pe,
-                    mode,
-                    added_cost,
-                };
-                self.decisions[cid.index()] = Some(decision);
-                return Ok(decision);
+            self.options.observer.emit(|| Event::CandidateConsidered {
+                cluster: cid.index() as u64,
+                target: self.target_label(target),
+            });
+            match self.try_target(cid, cluster, target) {
+                Ok((arch, pe, mode)) => {
+                    self.arch = arch;
+                    self.history_hash = decision_hash;
+                    let decision = AllocationDecision {
+                        pe,
+                        mode,
+                        added_cost,
+                    };
+                    self.decisions[cid.index()] = Some(decision);
+                    self.options.observer.emit(|| Event::CandidateAccepted {
+                        cluster: cid.index() as u64,
+                        target: self.target_label(target),
+                        added_cost: added_cost.amount(),
+                    });
+                    return Ok(decision);
+                }
+                Err(reason) => {
+                    self.options.observer.emit(|| Event::CandidateRejected {
+                        cluster: cid.index() as u64,
+                        target: self.target_label(target),
+                        reason,
+                    });
+                }
             }
             if let Some(cache) = cache {
                 cache.record_failure(cache_key(decision_hash));
@@ -631,6 +666,28 @@ impl<'a> Allocator<'a> {
             cluster: cid,
             task_name: graph.task(cluster.tasks[0]).name.clone(),
         })
+    }
+
+    /// Human-readable candidate label for the event stream. Only built
+    /// when an observer is installed.
+    fn target_label(&self, target: AllocTarget) -> String {
+        match target {
+            AllocTarget::Existing { pe, mode } => {
+                format!(
+                    "existing {} pe{} mode{mode}",
+                    self.lib.pe(self.arch.pe(pe).ty).name(),
+                    pe.index()
+                )
+            }
+            AllocTarget::NewMode { pe } => {
+                format!(
+                    "new-mode {} pe{}",
+                    self.lib.pe(self.arch.pe(pe).ty).name(),
+                    pe.index()
+                )
+            }
+            AllocTarget::New { ty } => format!("new {}", self.lib.pe(ty).name()),
+        }
     }
 
     /// The decision hash-chain extended by trying `target` for `cid`: a
@@ -649,13 +706,15 @@ impl<'a> Allocator<'a> {
     }
 
     /// Attempts to place `cluster` on `target` against a scratch copy of
-    /// the architecture; returns the mutated copy on success.
+    /// the architecture; returns the mutated copy on success, or the
+    /// first gate the candidate failed (the [`RejectReason`] reported in
+    /// `CandidateRejected` events).
     fn try_target(
         &self,
         cid: ClusterId,
         cluster: &Cluster,
         target: AllocTarget,
-    ) -> Option<(Architecture, PeInstanceId, usize)> {
+    ) -> Result<(Architecture, PeInstanceId, usize), RejectReason> {
         let mut arch = self.arch.clone();
         let (pid, mode_idx) = match target {
             AllocTarget::Existing { pe, mode } => (pe, mode),
@@ -685,13 +744,14 @@ impl<'a> Allocator<'a> {
             let dur = graph
                 .task(t)
                 .exec
-                .on(pe_ty_id(&arch, pid))?
+                .on(pe_ty_id(&arch, pid))
+                .ok_or(RejectReason::NoExecutionTime)?
                 .max(Nanos::from_nanos(1));
             if dur > period {
                 // A periodic interval longer than its period can never be
                 // placed; reject the candidate instead of letting the
                 // timeline's invariant panic on a pathological spec.
-                return None;
+                return Err(RejectReason::ExceedsPeriod);
             }
             let gt = GlobalTaskId::new(gid, t);
 
@@ -722,7 +782,7 @@ impl<'a> Allocator<'a> {
                 let src = GlobalTaskId::new(gid, edge.from);
                 let arrival = match arch.board.window(Occupant::Task(src)) {
                     Some(w) => {
-                        let src_pe = self.pe_of_task(&arch, src)?;
+                        let src_pe = self.pe_of_task(&arch, src).ok_or(RejectReason::Internal)?;
                         if src_pe == pid {
                             w.finish
                         } else {
@@ -738,7 +798,8 @@ impl<'a> Allocator<'a> {
                                 w.finish,
                                 period,
                                 latest_start,
-                            )?
+                            )
+                            .ok_or(RejectReason::EdgeUnroutable)?
                         }
                     }
                     None => {
@@ -755,7 +816,7 @@ impl<'a> Allocator<'a> {
                 ready = ready.max(arrival);
             }
             if ready > latest_start {
-                return None;
+                return Err(RejectReason::WindowClosed);
             }
 
             let start = if is_cpu {
@@ -768,17 +829,19 @@ impl<'a> Allocator<'a> {
                     latest_start,
                 ) {
                     Some(s) => s,
-                    None if self.options.preemption => self.place_with_preemption(
-                        &mut arch,
-                        pid,
-                        gt,
-                        ready,
-                        dur,
-                        period,
-                        latest_start,
-                        &mut touched_graphs,
-                    )?,
-                    None => return None,
+                    None if self.options.preemption => self
+                        .place_with_preemption(
+                            &mut arch,
+                            pid,
+                            gt,
+                            ready,
+                            dur,
+                            period,
+                            latest_start,
+                            &mut touched_graphs,
+                        )
+                        .ok_or(RejectReason::NoCpuSlot)?,
+                    None => return Err(RejectReason::NoCpuSlot),
                 }
             } else {
                 // Hardware: spatial parallelism, starts exactly when ready.
@@ -796,18 +859,20 @@ impl<'a> Allocator<'a> {
             for (eid, edge) in graph.successors(t) {
                 let dst = GlobalTaskId::new(gid, edge.to);
                 if let Some(w) = arch.board.window(Occupant::Task(dst)) {
-                    let dst_pe = self.pe_of_task(&arch, dst)?;
+                    let dst_pe = self.pe_of_task(&arch, dst).ok_or(RejectReason::Internal)?;
                     if dst_pe == pid {
                         if finish > w.start {
-                            return None;
+                            return Err(RejectReason::SuccessorOverlap);
                         }
                     } else {
                         let geid = GlobalEdgeId::new(gid, eid);
-                        let arrive = self.place_edge(
-                            &mut arch, geid, pid, dst_pe, edge.bytes, finish, period, w.start,
-                        )?;
+                        let arrive = self
+                            .place_edge(
+                                &mut arch, geid, pid, dst_pe, edge.bytes, finish, period, w.start,
+                            )
+                            .ok_or(RejectReason::EdgeUnroutable)?;
                         if arrive > w.start {
-                            return None;
+                            return Err(RejectReason::EdgeUnroutable);
                         }
                     }
                 }
@@ -838,7 +903,7 @@ impl<'a> Allocator<'a> {
                 pid,
             )
         {
-            return None;
+            return Err(RejectReason::ModeInfeasible);
         }
 
         // Deadline verification on every touched graph, plus a
@@ -851,7 +916,7 @@ impl<'a> Allocator<'a> {
             let graph = self.spec.graph(g);
             let finishes = self.estimate_graph_finishes(&arch, g);
             if !check_deadlines(graph, &finishes).is_empty() {
-                return None;
+                return Err(RejectReason::DeadlineMiss);
             }
             for (eid, edge) in graph.edges() {
                 let consumer = arch
@@ -868,12 +933,12 @@ impl<'a> Allocator<'a> {
                         self.guaranteed_comm(graph.edge(eid).bytes)
                     };
                     if finishes[edge.from.index()] + comm > cw.start {
-                        return None;
+                        return Err(RejectReason::ProducerInversion);
                     }
                 }
             }
         }
-        Some((arch, pid, mode_idx))
+        Ok((arch, pid, mode_idx))
     }
 
     /// Preemption fallback: evict the lowest-priority software task from
@@ -973,6 +1038,10 @@ impl<'a> Allocator<'a> {
             }
             *arch = scratch;
             touched_graphs.push(victim.graph);
+            self.options.observer.emit(|| Event::Preemption {
+                victim: Occupant::Task(victim).to_string(),
+                resource: resource.index() as u64,
+            });
             return Some(start);
         }
         None

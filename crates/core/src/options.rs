@@ -1,6 +1,10 @@
 //! Tunable knobs of the co-synthesis algorithm.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
+
+use crusade_obs::{ObserverHandle, SynthesisObserver};
 
 use crate::policy::SynthesisPolicy;
 
@@ -55,6 +59,11 @@ pub struct CosynOptions {
     /// identical runs. The default ([`SynthesisPolicy::baseline`]) is the
     /// identity and reproduces the paper's single sequential pass.
     pub policy: SynthesisPolicy,
+    /// The observability hook: disabled by default (events are not even
+    /// constructed), installed with [`CosynOptions::with_observer`].
+    /// Serializes as `null` — an observer is a runtime attachment, never
+    /// part of a persisted options artifact.
+    pub observer: ObserverHandle,
 }
 
 impl Default for CosynOptions {
@@ -71,6 +80,7 @@ impl Default for CosynOptions {
             lint: false,
             pruning: true,
             policy: SynthesisPolicy::baseline(),
+            observer: ObserverHandle::none(),
         }
     }
 }
@@ -108,6 +118,17 @@ impl CosynOptions {
     /// Installs a portfolio policy (builder style).
     pub fn with_policy(mut self, policy: SynthesisPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Installs a structured-event observer (builder style). The
+    /// observer sees every synthesis decision — cluster formation,
+    /// candidate accept/reject with reason, per-attempt placements,
+    /// reconfiguration merges — as [`crusade_obs::Event`]s; sinks such as
+    /// [`crusade_obs::Metrics`] and [`crusade_obs::TraceSink`] aggregate
+    /// them. Without this call the hooks cost one untaken branch.
+    pub fn with_observer(mut self, observer: Arc<dyn SynthesisObserver>) -> Self {
+        self.observer = ObserverHandle::new(observer);
         self
     }
 

@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use crusade_fabric::{option_array, reconfiguration_bits};
 use crusade_model::{GraphId, Nanos, PeClass, ResourceLibrary, SystemSpec};
+use crusade_obs::Event;
 use crusade_sched::{Occupant, PeriodicInterval};
 
 use crate::arch::{Architecture, PeInstanceId};
@@ -533,6 +534,10 @@ pub fn generate(
                     continue;
                 }
                 report.merges_examined += 1;
+                options.observer.emit(|| Event::MergeExamined {
+                    survivor: a.index() as u64,
+                    retired: b.index() as u64,
+                });
                 if !declared_compatible(spec, arch, a, b) {
                     continue;
                 }
@@ -546,8 +551,19 @@ pub fn generate(
                 else {
                     continue;
                 };
+                let links_before = report.links_retired;
                 commit_merge(spec, clustering, arch, a, b, plan, &mut report);
                 report.merges_accepted += 1;
+                options.observer.emit(|| Event::MergeAccepted {
+                    survivor: a.index() as u64,
+                    retired: b.index() as u64,
+                });
+                let links_freed = report.links_retired - links_before;
+                if links_freed > 0 {
+                    options.observer.emit(|| Event::LinkRetired {
+                        links: links_freed as u64,
+                    });
+                }
                 merged_any = true;
             }
         }
@@ -610,6 +626,9 @@ fn combine_modes(
                     }
                     modes[i].used_hw = hw;
                     report.modes_combined += 1;
+                    options.observer.emit(|| Event::ModeCombined {
+                        device: pid.index() as u64,
+                    });
                 } else {
                     j += 1;
                 }

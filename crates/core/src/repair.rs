@@ -19,6 +19,7 @@
 use std::collections::BTreeSet;
 
 use crusade_model::{Dollars, GlobalEdgeId, GlobalTaskId, PeClass, ResourceLibrary, SystemSpec};
+use crusade_obs::Event;
 use crusade_sched::Occupant;
 
 use crate::alloc::Allocator;
@@ -218,6 +219,9 @@ pub fn repair(
     let (mut repaired, moved, added_cost) = loop {
         let mut attempt = snapshot.clone();
         for &cid in &victims {
+            options.observer.emit(|| Event::Eviction {
+                cluster: cid.index() as u64,
+            });
             evict_cluster(&mut attempt, clustering, spec, cid);
         }
         let to_place: Vec<ClusterId> = orphans.iter().chain(victims.iter()).copied().collect();
@@ -267,7 +271,7 @@ pub fn repair(
     // device — evict its beyond-first-image clusters back onto the open
     // market — and try again, still under the retry budget.
     loop {
-        match resynthesize_interface(spec, lib, &mut repaired) {
+        match resynthesize_interface(spec, lib, &mut repaired, &options.observer) {
             Ok(()) => break,
             Err(SynthesisError::NoFeasibleInterface) => {
                 if retries_used >= ropts.retry_budget {

@@ -10,8 +10,9 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use crusade_fabric::{synthesize_interface, InterfaceRequirement};
+use crusade_fabric::{synthesize_interface_observed, InterfaceRequirement};
 use crusade_model::{Dollars, GlobalTaskId, Nanos, PeClass, PpeAttrs, ResourceLibrary, SystemSpec};
+use crusade_obs::{Event, ObserverHandle};
 use crusade_sched::{check_deadlines, estimate_finish_times, Occupant};
 
 use crate::alloc::Allocator;
@@ -155,6 +156,7 @@ impl<'a> CoSynthesis<'a> {
         // before any allocation work (the pre-synthesis mirror of the
         // post-synthesis audit hook below).
         if options.lint {
+            let _span = options.observer.span("lint");
             let report = crusade_lint::lint(self.spec, self.lib, &options.lint_options());
             if report.has_errors() {
                 return Err(SynthesisError::LintRejected {
@@ -164,10 +166,21 @@ impl<'a> CoSynthesis<'a> {
         }
 
         // Pre-processing: clustering (priority levels are computed inside).
-        let clustering = cluster_tasks_with(self.spec, self.lib, &options)?;
+        let clustering = {
+            let _span = options.observer.span("clustering");
+            let clustering = cluster_tasks_with(self.spec, self.lib, &options)?;
+            for (cid, cluster) in clustering.clusters() {
+                options.observer.emit(|| Event::ClusterFormed {
+                    cluster: cid.index() as u64,
+                    tasks: cluster.tasks.len() as u64,
+                });
+            }
+            clustering
+        };
 
         // Synthesis: the outer allocation loop, in priority order under
         // the baseline policy, boundedly perturbed otherwise.
+        let alloc_span = options.observer.span("allocation");
         let mut allocator = Allocator::new(self.spec, self.lib, &options, &clustering);
         if let Some(hooks) = self.hooks {
             allocator.set_portfolio_hooks(hooks);
@@ -199,16 +212,21 @@ impl<'a> CoSynthesis<'a> {
         }
         let (candidates_tried, candidates_pruned) = allocator.candidate_counters();
         let mut arch = allocator.arch;
+        drop(alloc_span);
 
         // Dynamic reconfiguration generation.
         let recon = if options.reconfiguration {
+            let _span = options.observer.span("reconfiguration");
             reconfig::generate(self.spec, self.lib, &options, &clustering, &mut arch)
         } else {
             ReconfigReport::default()
         };
 
         // Reconfiguration-controller interface synthesis.
-        resynthesize_interface(self.spec, self.lib, &mut arch)?;
+        {
+            let _span = options.observer.span("interface");
+            resynthesize_interface(self.spec, self.lib, &mut arch, &options.observer)?;
+        }
 
         // Final verification: every graph's deadlines hold on the exact
         // schedule.
@@ -228,6 +246,13 @@ impl<'a> CoSynthesis<'a> {
             candidates_tried,
             candidates_pruned,
         };
+        options.observer.emit(|| Event::SynthesisComplete {
+            cost: report.cost.amount(),
+            pes: report.pe_count as u64,
+            links: report.link_count as u64,
+            attempts: report.candidates_tried as u64,
+            pruned: report.candidates_pruned as u64,
+        });
         let result = SynthesisResult {
             architecture: arch,
             clustering,
@@ -341,6 +366,7 @@ pub(crate) fn resynthesize_interface(
     spec: &SystemSpec,
     lib: &ResourceLibrary,
     arch: &mut Architecture,
+    observer: &ObserverHandle,
 ) -> Result<(), SynthesisError> {
     let mut device_bits = Vec::new();
     let mut image_bytes = 0u64;
@@ -371,7 +397,12 @@ pub(crate) fn resynthesize_interface(
         image_bytes,
         boot_time_requirement: requirement,
     };
-    if let Some(iface) = synthesize_interface(&req) {
+    if let Some(iface) = synthesize_interface_observed(&req, observer) {
+        observer.emit(|| Event::InterfaceChosen {
+            cost: iface.cost.amount(),
+            worst_boot_ns: iface.worst_boot_time.as_nanos(),
+            fallback: false,
+        });
         arch.interface = Some(iface);
         return Ok(());
     }
@@ -388,7 +419,7 @@ pub(crate) fn resynthesize_interface(
             image_bytes: image_bytes / device_bits.len() as u64,
             boot_time_requirement: requirement,
         };
-        match synthesize_interface(&solo) {
+        match synthesize_interface_observed(&solo, observer) {
             Some(iface) => {
                 total_cost += iface.cost;
                 worst = worst.max(iface.worst_boot_time);
@@ -404,6 +435,11 @@ pub(crate) fn resynthesize_interface(
             "per-device interface loop produced no option despite non-empty device list".into(),
         ));
     };
+    observer.emit(|| Event::InterfaceChosen {
+        cost: total_cost.amount(),
+        worst_boot_ns: worst.as_nanos(),
+        fallback: true,
+    });
     arch.interface = Some(crusade_fabric::SynthesizedInterface {
         option,
         cost: total_cost,

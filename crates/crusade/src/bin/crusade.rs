@@ -18,7 +18,18 @@
 //!                                             parallel multi-start exploration
 //!                                             over a portfolio of synthesis
 //!                                             policies
+//! crusade trace <spec.json|name> [--out trace.jsonl] [--jobs N] [--portfolio M]
+//!                                             explore, then replay the winning
+//!                                             policy with the structured-event
+//!                                             observer attached and emit the
+//!                                             JSONL trace
 //! ```
+//!
+//! `synth` and `explore` accept `--metrics`: a metrics accumulator is
+//! attached to the run and its JSON snapshot printed after the normal
+//! output. The `trace` output is deterministic — byte-identical for any
+//! `--jobs` value — because the trace comes from a solo replay of the
+//! deterministic winner, never from the racing portfolio members.
 //!
 //! `lint`, `audit`, `inject` and `explore` accept either a specification
 //! file or the name of a built-in paper benchmark (`crusade lint vdrtx`),
@@ -52,7 +63,8 @@ const EXIT_ERRORS: u8 = 2;
 const USAGE: &str = "usage: crusade <command> ...
 
 commands:
-  synth <spec.json> [--no-reconfig]            co-synthesize a specification
+  synth <spec.json> [--no-reconfig] [--metrics]
+                                               co-synthesize a specification
   upgrade <old.json> <new.json>                can the new spec ship as firmware?
   example <name> [--no-reconfig]               run a built-in paper benchmark
   sample <path.json>                           write a sample specification file
@@ -60,8 +72,12 @@ commands:
   audit <spec.json|name> [--no-reconfig]       synthesize + independent re-verify
   inject <spec.json|name> [--seeds N] [--no-reconfig]
                                                seeded fault-injection campaign
-  explore <spec.json|name> [--jobs N] [--portfolio M] [--no-reconfig]
+  explore <spec.json|name> [--jobs N] [--portfolio M] [--no-reconfig] [--metrics]
                                                parallel multi-start exploration
+  trace <spec.json|name> [--out trace.jsonl] [--jobs N] [--portfolio M] [--no-reconfig]
+                                               explore, then replay the winner
+                                               with the event observer attached
+                                               and emit the JSONL trace
 
 exit codes (lint, audit):
   0  clean — no findings (informational bounds do not count)
@@ -90,11 +106,23 @@ fn options(args: &[String]) -> CosynOptions {
 fn cmd_synth(args: &[String]) -> Result<u8, String> {
     let path = args.first().ok_or("usage: crusade synth <spec.json>")?;
     let file = load(path)?;
+    let mut opts = options(args);
+    let metrics = args.iter().any(|a| a == "--metrics").then(|| {
+        let metrics = std::sync::Arc::new(crusade::obs::Metrics::new());
+        opts = opts.clone().with_observer(metrics.clone());
+        metrics
+    });
     let result = CoSynthesis::new(&file.spec, &file.library)
-        .with_options(options(args))
+        .with_options(opts)
         .run()
         .map_err(|e| e.to_string())?;
     print!("{}", describe(&result, &file.spec, &file.library));
+    if let Some(metrics) = metrics {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&metrics.snapshot()).map_err(|e| e.to_string())?
+        );
+    }
     Ok(EXIT_CLEAN)
 }
 
@@ -357,7 +385,13 @@ fn cmd_explore(args: &[String]) -> Result<u8, String> {
     };
     let portfolio = flag_usize(args, "--portfolio")?.unwrap_or(8).max(1);
     let (library, spec) = load_or_example(arg)?;
-    let config = crusade::explore::ExploreConfig::new(portfolio, jobs).with_base(options(args));
+    let mut base = options(args);
+    let metrics = args.iter().any(|a| a == "--metrics").then(|| {
+        let metrics = std::sync::Arc::new(crusade::obs::Metrics::new());
+        base = base.clone().with_observer(metrics.clone());
+        metrics
+    });
+    let config = crusade::explore::ExploreConfig::new(portfolio, jobs).with_base(base);
     let outcome = crusade::explore::explore(&spec, &library, &config).map_err(|e| e.to_string())?;
     println!(
         "explore: winner policy #{} -> {} PEs, {} links, {} ({} multi-mode devices)",
@@ -382,6 +416,68 @@ fn cmd_explore(args: &[String]) -> Result<u8, String> {
         stats.cache_hits,
         stats.cache_lookups,
         stats.cost_lower_bound,
+    );
+    if let Some(metrics) = metrics {
+        // Aggregated over every portfolio member: schedule-dependent, so
+        // it goes to stdout only on explicit request.
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&metrics.snapshot()).map_err(|e| e.to_string())?
+        );
+    }
+    Ok(EXIT_CLEAN)
+}
+
+/// Parses an optional `--name <string>` flag.
+fn flag_str<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or(format!("{name} needs a value")),
+        None => Ok(None),
+    }
+}
+
+/// Explores, then replays the winning policy solo with a trace + metrics
+/// observer attached, and emits the replay's JSONL trace.
+///
+/// The trace is deterministic: byte-identical for any `--jobs` value,
+/// because the racing portfolio members are never traced — only the solo
+/// replay of the deterministic winner is.
+fn cmd_trace(args: &[String]) -> Result<u8, String> {
+    let arg = args.first().ok_or(
+        "usage: crusade trace <spec.json|example-name> [--out trace.jsonl] [--jobs N] \
+         [--portfolio M] [--no-reconfig]",
+    )?;
+    let jobs = match flag_usize(args, "--jobs")? {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, usize::from),
+    };
+    let portfolio = flag_usize(args, "--portfolio")?.unwrap_or(8).max(1);
+    let out = flag_str(args, "--out")?;
+    let (library, spec) = load_or_example(arg)?;
+    let config = crusade::explore::ExploreConfig::new(portfolio, jobs).with_base(options(args));
+    let traced =
+        crusade::explore::explore_traced(&spec, &library, &config).map_err(|e| e.to_string())?;
+    let records = traced.trace_jsonl.lines().count();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &traced.trace_jsonl)
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("trace: {records} record(s) -> {path}");
+        }
+        None => print!("{}", traced.trace_jsonl),
+    }
+    let m = &traced.metrics;
+    eprintln!(
+        "trace: winner policy #{} -> {} ({} attempts, {} rejected, {} placements, {} span pairs)",
+        traced.outcome.policy.id,
+        traced.outcome.winner.report.cost,
+        m.attempts,
+        m.rejected,
+        m.placements,
+        m.events_by_kind.get("SpanOpen").copied().unwrap_or(0),
     );
     Ok(EXIT_CLEAN)
 }
@@ -462,6 +558,7 @@ fn main() -> ExitCode {
             "audit" => cmd_audit(rest),
             "inject" => cmd_inject(rest),
             "explore" => cmd_explore(rest),
+            "trace" => cmd_trace(rest),
             "help" => {
                 println!("{USAGE}");
                 Ok(EXIT_CLEAN)

@@ -14,6 +14,8 @@
 //!   reconfiguration generation;
 //! * [`lint`] — the pre-synthesis static analyzer: infeasibility proofs
 //!   and lower bounds over a specification, without running synthesis;
+//! * [`obs`] — structured synthesis observability: the event taxonomy,
+//!   observer handle, metrics accumulator and JSONL trace sink;
 //! * [`ft`] — the CRUSADE-FT fault-tolerance extension;
 //! * [`verify`] — the independent architecture auditor and the seeded
 //!   fault-injection engine;
@@ -52,6 +54,7 @@ pub use crusade_fabric as fabric;
 pub use crusade_ft as ft;
 pub use crusade_lint as lint;
 pub use crusade_model as model;
+pub use crusade_obs as obs;
 pub use crusade_sched as sched;
 pub use crusade_verify as verify;
 pub use crusade_workloads as workloads;

@@ -54,7 +54,7 @@
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use serde::Serialize;
@@ -65,6 +65,7 @@ use crusade_core::{
 };
 use crusade_lint::cost_lower_bound;
 use crusade_model::{Dollars, ResourceLibrary, SystemSpec};
+use crusade_obs::{Event, Fanout, Metrics, MetricsSnapshot, TraceSink};
 
 pub use crusade_core::splitmix64;
 
@@ -205,6 +206,15 @@ pub enum ExploreError {
         /// `policy-id: status/detail` lines, in policy order.
         details: Vec<String>,
     },
+    /// The winner-policy replay of [`explore_traced`] failed — an
+    /// internal inconsistency, since the same deterministic policy just
+    /// completed audit-clean inside the portfolio.
+    ReplayFailed {
+        /// The winning policy id.
+        policy: u32,
+        /// The synthesis error.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ExploreError {
@@ -222,6 +232,9 @@ impl std::fmt::Display for ExploreError {
                     write!(f, "; …")?;
                 }
                 Ok(())
+            }
+            ExploreError::ReplayFailed { policy, detail } => {
+                write!(f, "winner-policy {policy} replay failed: {detail}")
             }
         }
     }
@@ -339,6 +352,72 @@ pub fn explore_portfolio(
     reduce(policies, outcomes, config, &cache, floor)
 }
 
+/// The result of [`explore_traced`]: the exploration outcome plus the
+/// deterministic winner-replay trace and its metrics.
+#[derive(Debug)]
+pub struct TracedExplore {
+    /// The exploration outcome. Its winner is the replayed architecture —
+    /// bit-identical to the portfolio's copy by the determinism
+    /// guarantee (debug builds assert the costs agree).
+    pub outcome: ExploreOutcome,
+    /// JSONL trace of the winner replay, one record per line, ending in
+    /// a newline. Byte-identical for any `jobs` value.
+    pub trace_jsonl: String,
+    /// Metrics snapshot of the winner replay.
+    pub metrics: MetricsSnapshot,
+}
+
+/// [`explore`] followed by a *winner replay*: the winning policy is
+/// re-run solo — no portfolio hooks, no sibling threads — with a trace
+/// and metrics observer attached. Every policy is deterministic, so the
+/// replay reproduces the winner exactly, and the returned trace is
+/// byte-identical for any `jobs` value: exploration scheduling noise
+/// (domination aborts, cache hits, member interleaving) never reaches
+/// the trace.
+///
+/// # Errors
+///
+/// [`ExploreError::NoFeasibleMember`] as for [`explore`], and
+/// [`ExploreError::ReplayFailed`] if the replay diverges (which would be
+/// a determinism bug, not a property of the input).
+pub fn explore_traced(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    config: &ExploreConfig,
+) -> Result<TracedExplore, ExploreError> {
+    let mut outcome = explore(spec, lib, config)?;
+    let trace = Arc::new(TraceSink::new());
+    let metrics = Arc::new(Metrics::new());
+    let fanout = Fanout::new().with(trace.clone()).with(metrics.clone());
+    let options = config
+        .base
+        .clone()
+        .with_policy(outcome.policy.clone())
+        .with_observer(Arc::new(fanout));
+    let replay = CoSynthesis::new(spec, lib)
+        .with_options(options)
+        .run()
+        .map_err(|e| ExploreError::ReplayFailed {
+            policy: outcome.policy.id,
+            detail: e.to_string(),
+        })?;
+    if replay.report.cost != outcome.winner.report.cost {
+        return Err(ExploreError::ReplayFailed {
+            policy: outcome.policy.id,
+            detail: format!(
+                "replay cost {} != portfolio winner cost {}",
+                replay.report.cost, outcome.winner.report.cost
+            ),
+        });
+    }
+    outcome.winner = replay;
+    Ok(TracedExplore {
+        outcome,
+        trace_jsonl: trace.to_jsonl(),
+        metrics: metrics.snapshot(),
+    })
+}
+
 /// What one worker records for one member.
 enum MemberOutcome {
     Clean(Box<SynthesisResult>),
@@ -372,6 +451,9 @@ fn run_member(
             .map(|b| b.is_some_and(|(c, id)| c == floor.amount() && id < policy.id))
             .unwrap_or(false);
         if beaten {
+            config.base.observer.emit(|| Event::MemberSkipped {
+                policy: u64::from(policy.id),
+            });
             return MemberOutcome::SkippedByBound;
         }
     }
@@ -393,6 +475,12 @@ fn run_member(
             let violations = crusade_verify::audit(spec, lib, &options.effective(), &result);
             if violations.is_empty() {
                 let cost = result.report.cost.amount();
+                if cost < incumbent.get() {
+                    config.base.observer.emit(|| Event::IncumbentUpdate {
+                        policy: u64::from(policy.id),
+                        cost,
+                    });
+                }
                 incumbent.observe(cost);
                 if let Ok(mut b) = best_clean.lock() {
                     if b.map_or(true, |(c, id)| (cost, policy.id) < (c, id)) {
@@ -404,7 +492,12 @@ fn run_member(
                 MemberOutcome::AuditRejected(violations.iter().map(|v| v.to_string()).collect())
             }
         }
-        Err(SynthesisError::Dominated { .. }) => MemberOutcome::Dominated,
+        Err(SynthesisError::Dominated { .. }) => {
+            config.base.observer.emit(|| Event::DominationAbort {
+                policy: u64::from(policy.id),
+            });
+            MemberOutcome::Dominated
+        }
         Err(SynthesisError::Cancelled) => MemberOutcome::Cancelled,
         Err(e) => MemberOutcome::Failed(e.to_string()),
     }

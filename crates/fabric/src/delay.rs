@@ -11,6 +11,8 @@
 //! EPUF = 0.80 — to guarantee that scheduled execution times remain valid
 //! after synthesis.
 
+use crusade_obs::{Event, ObserverHandle};
+
 use crate::device::{Fabric, Site};
 use crate::netlist::Netlist;
 use crate::place::place;
@@ -134,6 +136,7 @@ pub struct UtilisationExperiment<'a> {
     seed: u64,
     model: DelayModel,
     router: Router,
+    observer: ObserverHandle,
 }
 
 impl<'a> UtilisationExperiment<'a> {
@@ -146,12 +149,23 @@ impl<'a> UtilisationExperiment<'a> {
             seed,
             model: DelayModel::default(),
             router: Router::default(),
+            observer: ObserverHandle::none(),
         }
     }
 
     /// Overrides the delay model.
     pub fn with_model(mut self, model: DelayModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Installs a structured-event observer: every
+    /// [`measure`](Self::measure) call emits one
+    /// [`DelayEvaluated`](crusade_obs::Event::DelayEvaluated) with the
+    /// probed ERUF/EPUF point and the measured (or unroutable) outcome.
+    #[must_use]
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
         self
     }
 
@@ -174,10 +188,25 @@ impl<'a> UtilisationExperiment<'a> {
     ///
     /// See [`MeasureError`]; `Unroutable` corresponds to the paper's
     /// "Not routable" entries.
+    pub fn measure(&self, eruf: f64, epuf: f64) -> Result<DelayMeasurement, MeasureError> {
+        let result = self.measure_uninstrumented(eruf, epuf);
+        self.observer.emit(|| Event::DelayEvaluated {
+            eruf,
+            epuf,
+            delay: result.as_ref().map(|m| m.delay).unwrap_or(0),
+            routable: result.is_ok(),
+        });
+        result
+    }
+
     // Utilisation fractions scale bounded site/pin counts, so the rounded
     // casts cannot truncate.
     #[allow(clippy::cast_possible_truncation)]
-    pub fn measure(&self, eruf: f64, epuf: f64) -> Result<DelayMeasurement, MeasureError> {
+    fn measure_uninstrumented(
+        &self,
+        eruf: f64,
+        epuf: f64,
+    ) -> Result<DelayMeasurement, MeasureError> {
         let fabric = self.device();
         let capacity = fabric.site_count();
         let target = (eruf * capacity as f64).round() as usize;

@@ -12,6 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use crusade_model::{Dollars, Nanos};
+use crusade_obs::{Event, ObserverHandle};
 
 use crate::boot::boot_time;
 
@@ -151,6 +152,18 @@ pub struct SynthesizedInterface {
 /// assert!(s.worst_boot_time <= Nanos::from_millis(50));
 /// ```
 pub fn synthesize_interface(req: &InterfaceRequirement) -> Option<SynthesizedInterface> {
+    synthesize_interface_observed(req, &ObserverHandle::none())
+}
+
+/// [`synthesize_interface`] with structured-event reporting: once the
+/// cheapest feasible option is known, one
+/// [`BootCharge`](crusade_obs::Event::BootCharge) is emitted per chained
+/// device with the boot time that option charges it. With a disabled
+/// handle this is exactly `synthesize_interface`.
+pub fn synthesize_interface_observed(
+    req: &InterfaceRequirement,
+    observer: &ObserverHandle,
+) -> Option<SynthesizedInterface> {
     let mut options = option_array();
     options.sort_by_key(|o| o.cost(req.image_bytes));
     for option in options {
@@ -166,6 +179,18 @@ pub fn synthesize_interface(req: &InterfaceRequirement) -> Option<SynthesizedInt
             .max()
             .unwrap_or(Nanos::ZERO);
         if worst <= req.boot_time_requirement {
+            if observer.is_enabled() {
+                for (i, &bits) in req.device_config_bits.iter().enumerate() {
+                    // Device counts on one bus are tiny.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let boot_ns = option.boot_time(bits, i as u32).as_nanos();
+                    observer.emit(|| Event::BootCharge {
+                        chain_index: i as u64,
+                        config_bits: bits,
+                        boot_ns,
+                    });
+                }
+            }
             return Some(SynthesizedInterface {
                 option,
                 cost: option.cost(req.image_bytes),

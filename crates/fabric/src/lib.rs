@@ -51,8 +51,8 @@ pub use delay::{
 };
 pub use device::{Channel, Fabric, Site};
 pub use interface::{
-    option_array, synthesize_interface, ControllerKind, InterfaceOption, InterfaceRequirement,
-    ProgrammingMode, SynthesizedInterface,
+    option_array, synthesize_interface, synthesize_interface_observed, ControllerKind,
+    InterfaceOption, InterfaceRequirement, ProgrammingMode, SynthesizedInterface,
 };
 pub use netlist::{CellId, Net, Netlist};
 pub use place::{place, Placement};

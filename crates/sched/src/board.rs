@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crusade_model::Nanos;
+use crusade_obs::{Event, ObserverHandle};
 
 use crate::{Occupant, PeriodicInterval, Timeline, Window};
 
@@ -74,12 +75,23 @@ pub struct ScheduleBoard {
     // the serialized form are deterministic — the engine's winners must
     // encode bit-identically run to run.
     index: BTreeMap<Occupant, (ResourceId, PeriodicInterval)>,
+    // Disabled by default; serializes as `null` and deserializes back to
+    // disabled, so persisted boards stay pure data.
+    observer: ObserverHandle,
 }
 
 impl ScheduleBoard {
     /// An empty board.
     pub fn new() -> Self {
         ScheduleBoard::default()
+    }
+
+    /// Installs (or clears) the structured-event observer. Every
+    /// subsequent [`place`](Self::place) and [`record`](Self::record) —
+    /// including ones on scratch clones of this board, which share the
+    /// handle — emits a `Placement` event with the slot that was chosen.
+    pub fn set_observer(&mut self, observer: ObserverHandle) {
+        self.observer = observer;
     }
 
     /// Registers a new resource and returns its id.
@@ -130,6 +142,14 @@ impl ScheduleBoard {
             occupant,
             (resource, PeriodicInterval::new(start, duration, period)),
         );
+        self.observer.emit(|| Event::Placement {
+            occupant: occupant.to_string(),
+            resource: resource.index() as u64,
+            start: start.as_nanos(),
+            duration: duration.as_nanos(),
+            period: period.as_nanos(),
+            spatial: false,
+        });
         Some(start)
     }
 
@@ -161,6 +181,14 @@ impl ScheduleBoard {
         );
         self.timelines[resource.index()].record(occupant, interval);
         self.index.insert(occupant, (resource, interval));
+        self.observer.emit(|| Event::Placement {
+            occupant: occupant.to_string(),
+            resource: resource.index() as u64,
+            start: interval.start().as_nanos(),
+            duration: interval.duration().as_nanos(),
+            period: interval.period().as_nanos(),
+            spatial: true,
+        });
     }
 
     /// Removes an occupant's placement; returns `true` if it was placed.

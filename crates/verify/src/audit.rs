@@ -99,10 +99,10 @@ fn check_placement_and_timing(
         }
         for (t, _) in graph.tasks() {
             let gt = GlobalTaskId::new(g, t);
-            let w = arch
-                .board
-                .window(Occupant::Task(gt))
-                .expect("checked above");
+            // Present by the completeness check above; stay graceful anyway.
+            let Some(w) = arch.board.window(Occupant::Task(gt)) else {
+                continue;
+            };
             if let Some(d) = graph.effective_deadline(t) {
                 let absolute = graph.est() + d;
                 if w.finish > absolute {
@@ -116,14 +116,17 @@ fn check_placement_and_timing(
         }
         for (eid, edge) in graph.edges() {
             let ge = GlobalEdgeId::new(g, eid);
-            let wu = arch
+            let endpoints = arch
                 .board
                 .window(Occupant::Task(GlobalTaskId::new(g, edge.from)))
-                .expect("checked above");
-            let wv = arch
-                .board
-                .window(Occupant::Task(GlobalTaskId::new(g, edge.to)))
-                .expect("checked above");
+                .zip(
+                    arch.board
+                        .window(Occupant::Task(GlobalTaskId::new(g, edge.to))),
+                );
+            // Present by the completeness check above; stay graceful anyway.
+            let Some((wu, wv)) = endpoints else {
+                continue;
+            };
             let available = match arch.board.window(Occupant::Edge(ge)) {
                 Some(we) => {
                     if we.start < wu.finish {

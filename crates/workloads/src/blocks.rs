@@ -17,6 +17,16 @@ use crusade_model::{
 
 use crate::library::PaperLibrary;
 
+/// Finishes a generated graph. Every generator adds edges only from an
+/// earlier-created task to a later one, so the result is a DAG by
+/// construction and validation cannot fail.
+pub(crate) fn built(b: TaskGraphBuilder) -> TaskGraph {
+    match b.build() {
+        Ok(g) => g,
+        Err(e) => unreachable!("generator produced an invalid graph: {e}"),
+    }
+}
+
 /// Execution vector of a software task: `base` scaled by each CPU's speed
 /// factor.
 pub fn cpu_exec(lib: &PaperLibrary, base: Nanos) -> ExecutionTimes {
@@ -95,9 +105,7 @@ pub fn sw_pipeline(
         }
         spine.push(id);
     }
-    b.deadline(period * 4 / 5)
-        .build()
-        .expect("generated graph is a DAG")
+    built(b.deadline(period * 4 / 5))
 }
 
 /// A hardware datapath pipeline (framing / cell processing / codec
@@ -139,10 +147,7 @@ pub fn hw_pipeline(
         }
         prev = Some(id);
     }
-    b.est(est)
-        .deadline(span)
-        .build()
-        .expect("generated graph is a DAG")
+    built(b.est(est).deadline(span))
 }
 
 /// A small control-glue block on CPLDs (protection switching, scan
@@ -184,10 +189,7 @@ pub fn cpld_glue(
         }
         prev = Some(id);
     }
-    b.est(est)
-        .deadline(span)
-        .build()
-        .expect("generated graph is a DAG")
+    built(b.est(est).deadline(span))
 }
 
 /// A line-interface function bound to a specific ASIC, bracketed by
@@ -224,9 +226,7 @@ pub fn asic_interface(
     egress.memory = MemoryVector::new(4_000, 1_000, 400);
     let id = b.add_task(egress);
     b.add_edge(prev, id, rng.gen_range(128..4096));
-    b.deadline(period * 4 / 5)
-        .build()
-        .expect("generated graph is a DAG")
+    built(b.deadline(period * 4 / 5))
 }
 
 #[cfg(test)]

@@ -33,8 +33,10 @@ mod circuits;
 mod examples;
 mod ft_annotations;
 mod library;
+mod showcase;
 
 pub use circuits::{table1_circuits, Table1Circuit, TABLE1_EPUF, TABLE1_ERUFS};
 pub use examples::{paper_examples, random_example, PaperExample};
 pub use ft_annotations::{paper_ft_annotations, paper_ft_config};
 pub use library::{paper_library, PaperLibrary};
+pub use showcase::{motivating_example, video_router};

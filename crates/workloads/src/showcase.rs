@@ -1,0 +1,209 @@
+//! The two worked showcase systems shared by the repository's examples,
+//! the golden-trace test harness, and the CLI documentation.
+//!
+//! Both builders are fully deterministic — same spec, task for task, on
+//! every call — which is what makes their synthesis traces goldenable.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crusade_model::{
+    Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass, PeType, PeTypeId,
+    PpeAttrs, PpeKind, Preference, ResourceLibrary, SystemConstraints, SystemSpec, Task, TaskGraph,
+    TaskGraphBuilder,
+};
+
+use crate::blocks::{asic_interface, built, hw_pipeline, sw_pipeline};
+use crate::library::PaperLibrary;
+
+/// One task graph of the motivating example, occupying the window
+/// `[est, est + span)` of a 100 ms frame on an FPGA, using `pfus` PFUs.
+fn figure2_graph(
+    name: &str,
+    fpgas: &[PeTypeId],
+    est_ms: u64,
+    span_ms: u64,
+    pfus: u32,
+) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new(name, Nanos::from_millis(100));
+    let mut prev = None;
+    for i in 0..3 {
+        let mut t = Task::new(
+            format!("{name}-t{i}"),
+            ExecutionTimes::from_entries(
+                fpgas.iter().map(|f| f.index()).max().map_or(0, |m| m + 1),
+                // Three tasks stretched across the whole window: the graph is
+                // genuinely busy for its entire span.
+                fpgas
+                    .iter()
+                    .map(|&f| (f, Nanos::from_millis(span_ms * 10 / 32))),
+            ),
+        );
+        t.preference = Preference::Only(fpgas.to_vec());
+        t.hw = HwDemand::new(0, pfus / 3, pfus / 3, 4);
+        let id = b.add_task(t);
+        if let Some(p) = prev {
+            b.add_edge(p, id, 64);
+        }
+        prev = Some(id);
+    }
+    built(
+        b.est(Nanos::from_millis(est_ms))
+            .deadline(Nanos::from_millis(span_ms)),
+    )
+}
+
+/// The paper's motivating example (Figure 2): three task graphs T1, T2
+/// and T3 whose execution never fully overlaps, and a library with a
+/// small FPGA F1 (holds any two of the graphs) and a big FPGA F2 (holds
+/// all three at once). With dynamic reconfiguration a single F1
+/// suffices, operated in two modes with a reboot between them.
+pub fn motivating_example() -> (ResourceLibrary, SystemSpec) {
+    let mut lib = ResourceLibrary::new();
+    // F1: holds T1 plus either T2 or T3 (ERUF cap 0.7 * 840 = 588 PFUs,
+    // T1+T2 = 580) but not all three, nor T2+T3 together (600).
+    let f1 = lib.add_pe(PeType::new(
+        "F1",
+        Dollars::new(200),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 840,
+            flip_flops: 1800,
+            pins: 160,
+            boot_memory_bytes: 20 << 10,
+            config_bits_per_pfu: 150,
+            // XC6200 / AT6000 class: the resident region keeps running
+            // while the differing region is rewritten — the property that
+            // lets T1 stay alive across both modes.
+            partial_reconfig: true,
+        }),
+    ));
+    // F2: can hold all three graphs spatially, but costs much more.
+    let f2 = lib.add_pe(PeType::new(
+        "F2",
+        Dollars::new(520),
+        PeClass::Ppe(PpeAttrs {
+            kind: PpeKind::Fpga,
+            pfus: 2000,
+            flip_flops: 4000,
+            pins: 240,
+            boot_memory_bytes: 40 << 10,
+            config_bits_per_pfu: 150,
+            partial_reconfig: true,
+        }),
+    ));
+    lib.add_link(LinkType::new(
+        "bus",
+        Dollars::new(10),
+        LinkClass::Bus,
+        4,
+        vec![Nanos::from_nanos(300)],
+        64,
+        Nanos::from_micros(1),
+    ));
+
+    // T1 is always active (both halves of the frame); T2 runs early, T3
+    // late: T2 and T3 never overlap and each switch gap exceeds the 10 ms
+    // boot budget (Figure 2(c)).
+    let both = [f1, f2];
+    let t1 = figure2_graph("T1", &both, 0, 95, 280);
+    let t2 = figure2_graph("T2", &both, 0, 38, 300);
+    let t3 = figure2_graph("T3", &both, 50, 38, 300);
+    let spec = SystemSpec::new(vec![t1, t2, t3]).with_constraints(SystemConstraints {
+        boot_time_requirement: Nanos::from_millis(10),
+        preemption_overhead: Nanos::from_micros(50),
+        average_link_ports: 2,
+    });
+    (lib, spec)
+}
+
+/// A video distribution router (the paper's VDRTX-style system): MPEG
+/// encode/decode datapaths on FPGAs in staggered phase windows, line
+/// interfaces on ASICs, and a software control plane. Deterministic —
+/// the generator seed is fixed.
+pub fn video_router(lib: &PaperLibrary) -> SystemSpec {
+    let mut rng = SmallRng::seed_from_u64(0x71DE0);
+    let mut graphs = Vec::new();
+
+    // Four MPEG processing chains per phase, two phases: encode runs in
+    // the first half of the 100 ms frame, decode in the second.
+    let frame = Nanos::from_millis(100);
+    let span = Nanos::from_millis(27);
+    for ch in 0..4 {
+        graphs.push(hw_pipeline(
+            lib,
+            &mut rng,
+            &format!("mpeg-encode-{ch}"),
+            6,
+            frame,
+            Nanos::ZERO,
+            span,
+            420,
+        ));
+        graphs.push(hw_pipeline(
+            lib,
+            &mut rng,
+            &format!("mpeg-decode-{ch}"),
+            6,
+            frame,
+            Nanos::from_millis(50),
+            span,
+            420,
+        ));
+    }
+    // Two SONET-style line interfaces on dedicated ASICs.
+    for port in 0..2 {
+        graphs.push(asic_interface(
+            lib,
+            &mut rng,
+            &format!("line-{port}"),
+            5,
+            lib.asics[port],
+            Nanos::from_secs(1),
+        ));
+    }
+    // Control and provisioning software.
+    graphs.push(sw_pipeline(
+        lib,
+        &mut rng,
+        "routing-ctl",
+        10,
+        Nanos::from_millis(10),
+    ));
+    graphs.push(sw_pipeline(
+        lib,
+        &mut rng,
+        "provisioning",
+        8,
+        Nanos::from_secs(1),
+    ));
+
+    SystemSpec::new(graphs).with_constraints(SystemConstraints {
+        boot_time_requirement: Nanos::from_millis(5),
+        preemption_overhead: Nanos::from_micros(60),
+        average_link_ports: 4,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::paper_library;
+
+    #[test]
+    fn motivating_example_is_deterministic() {
+        let (_, a) = motivating_example();
+        let (_, b) = motivating_example();
+        assert_eq!(a, b);
+        assert_eq!(a.graph_count(), 3);
+    }
+
+    #[test]
+    fn video_router_is_deterministic() {
+        let lib = paper_library();
+        let a = video_router(&lib);
+        let b = video_router(&lib);
+        assert_eq!(a, b);
+        assert_eq!(a.graph_count(), 12);
+    }
+}

@@ -8,107 +8,17 @@
 //! two modes — mode 1 serving T1 + T2, mode 2 serving T1 + T3 — with a
 //! `reboot` between them.
 //!
+//! The specification itself is built by
+//! [`crusade::workloads::motivating_example`], shared with the
+//! golden-trace test harness.
+//!
 //! Run with `cargo run -p crusade --example motivating_example`.
 
 use crusade::core::{CoSynthesis, CosynOptions};
-use crusade::model::{
-    Dollars, ExecutionTimes, HwDemand, LinkClass, LinkType, Nanos, PeClass, PeType, PeTypeId,
-    PpeAttrs, PpeKind, Preference, ResourceLibrary, SystemConstraints, SystemSpec, Task, TaskGraph,
-    TaskGraphBuilder,
-};
-
-/// One task graph occupying the window `[est, est + span)` of a 100 ms
-/// frame on an FPGA, using `pfus` PFUs.
-fn graph(name: &str, fpgas: &[PeTypeId], est_ms: u64, span_ms: u64, pfus: u32) -> TaskGraph {
-    let mut b = TaskGraphBuilder::new(name, Nanos::from_millis(100));
-    let mut prev = None;
-    for i in 0..3 {
-        let mut t = Task::new(
-            format!("{name}-t{i}"),
-            ExecutionTimes::from_entries(
-                fpgas
-                    .iter()
-                    .map(|f| f.index())
-                    .max()
-                    .expect("non-empty FPGA list")
-                    + 1,
-                // Three tasks stretched across the whole window: the graph is
-                // genuinely busy for its entire span.
-                fpgas
-                    .iter()
-                    .map(|&f| (f, Nanos::from_millis(span_ms * 10 / 32))),
-            ),
-        );
-        t.preference = Preference::Only(fpgas.to_vec());
-        t.hw = HwDemand::new(0, pfus / 3, pfus / 3, 4);
-        let id = b.add_task(t);
-        if let Some(p) = prev {
-            b.add_edge(p, id, 64);
-        }
-        prev = Some(id);
-    }
-    b.est(Nanos::from_millis(est_ms))
-        .deadline(Nanos::from_millis(span_ms))
-        .build()
-        .expect("chain is a DAG")
-}
+use crusade::workloads::motivating_example;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut lib = ResourceLibrary::new();
-    // F1: holds T1 plus either T2 or T3 (ERUF cap 0.7 * 840 = 588 PFUs,
-    // T1+T2 = 580) but not all three, nor T2+T3 together (600).
-    let f1 = lib.add_pe(PeType::new(
-        "F1",
-        Dollars::new(200),
-        PeClass::Ppe(PpeAttrs {
-            kind: PpeKind::Fpga,
-            pfus: 840,
-            flip_flops: 1800,
-            pins: 160,
-            boot_memory_bytes: 20 << 10,
-            config_bits_per_pfu: 150,
-            // XC6200 / AT6000 class: the resident region keeps running
-            // while the differing region is rewritten — the property that
-            // lets T1 stay alive across both modes.
-            partial_reconfig: true,
-        }),
-    ));
-    // F2: can hold all three graphs spatially, but costs much more.
-    let f2 = lib.add_pe(PeType::new(
-        "F2",
-        Dollars::new(520),
-        PeClass::Ppe(PpeAttrs {
-            kind: PpeKind::Fpga,
-            pfus: 2000,
-            flip_flops: 4000,
-            pins: 240,
-            boot_memory_bytes: 40 << 10,
-            config_bits_per_pfu: 150,
-            partial_reconfig: true,
-        }),
-    ));
-    lib.add_link(LinkType::new(
-        "bus",
-        Dollars::new(10),
-        LinkClass::Bus,
-        4,
-        vec![Nanos::from_nanos(300)],
-        64,
-        Nanos::from_micros(1),
-    ));
-
-    // T1 is always active (both halves of the frame); T2 runs early, T3
-    // late: T2 and T3 never overlap and each switch gap exceeds the 10 ms
-    // boot budget (Figure 2(c)).
-    let both = [f1, f2];
-    let t1 = graph("T1", &both, 0, 95, 280);
-    let t2 = graph("T2", &both, 0, 38, 300);
-    let t3 = graph("T3", &both, 50, 38, 300);
-    let spec = SystemSpec::new(vec![t1, t2, t3]).with_constraints(SystemConstraints {
-        boot_time_requirement: Nanos::from_millis(10),
-        preemption_overhead: Nanos::from_micros(50),
-        average_link_ports: 2,
-    });
+    let (lib, spec) = motivating_example();
 
     let without = CoSynthesis::new(&spec, &lib)
         .with_options(CosynOptions::without_reconfiguration())

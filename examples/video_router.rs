@@ -2,82 +2,19 @@
 //! encode/decode datapaths on FPGAs in staggered phase windows, line
 //! interfaces on ASICs, and a software control plane.
 //!
-//! Demonstrates building a realistic specification from the workload
-//! blocks and comparing architectures with and without dynamic
-//! reconfiguration.
+//! Demonstrates comparing architectures with and without dynamic
+//! reconfiguration. The specification itself is built by
+//! [`crusade::workloads::video_router`], shared with the golden-trace
+//! test harness.
 //!
 //! Run with `cargo run --release -p crusade --example video_router`.
 
 use crusade::core::{CoSynthesis, CosynOptions};
-use crusade::model::{Nanos, SystemConstraints, SystemSpec};
-use crusade::workloads::blocks::{asic_interface, hw_pipeline, sw_pipeline};
-use crusade::workloads::paper_library;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crusade::workloads::{paper_library, video_router};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = paper_library();
-    let mut rng = SmallRng::seed_from_u64(0x71DE0);
-    let mut graphs = Vec::new();
-
-    // Four MPEG processing chains per phase, two phases: encode runs in
-    // the first half of the 100 ms frame, decode in the second.
-    let frame = Nanos::from_millis(100);
-    let span = Nanos::from_millis(27);
-    for ch in 0..4 {
-        graphs.push(hw_pipeline(
-            &lib,
-            &mut rng,
-            &format!("mpeg-encode-{ch}"),
-            6,
-            frame,
-            Nanos::ZERO,
-            span,
-            420,
-        ));
-        graphs.push(hw_pipeline(
-            &lib,
-            &mut rng,
-            &format!("mpeg-decode-{ch}"),
-            6,
-            frame,
-            Nanos::from_millis(50),
-            span,
-            420,
-        ));
-    }
-    // Two SONET-style line interfaces on dedicated ASICs.
-    for port in 0..2 {
-        graphs.push(asic_interface(
-            &lib,
-            &mut rng,
-            &format!("line-{port}"),
-            5,
-            lib.asics[port],
-            Nanos::from_secs(1),
-        ));
-    }
-    // Control and provisioning software.
-    graphs.push(sw_pipeline(
-        &lib,
-        &mut rng,
-        "routing-ctl",
-        10,
-        Nanos::from_millis(10),
-    ));
-    graphs.push(sw_pipeline(
-        &lib,
-        &mut rng,
-        "provisioning",
-        8,
-        Nanos::from_secs(1),
-    ));
-
-    let spec = SystemSpec::new(graphs).with_constraints(SystemConstraints {
-        boot_time_requirement: Nanos::from_millis(5),
-        preemption_overhead: Nanos::from_micros(60),
-        average_link_ports: 4,
-    });
+    let spec = video_router(&lib);
     println!(
         "video router: {} graphs, {} tasks",
         spec.graph_count(),

@@ -30,9 +30,9 @@ fi
 echo "==> cargo doc -D warnings"
 # Only the crusade crates: the vendored stand-ins don't hold doc-clean.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
-    -p crusade-model -p crusade-fabric -p crusade-sched -p crusade-lint \
-    -p crusade-core -p crusade-ft -p crusade-verify -p crusade-explore \
-    -p crusade-workloads -p crusade-bench -p crusade
+    -p crusade-model -p crusade-obs -p crusade-fabric -p crusade-sched \
+    -p crusade-lint -p crusade-core -p crusade-ft -p crusade-verify \
+    -p crusade-explore -p crusade-workloads -p crusade-bench -p crusade
 
 echo "==> explore smoke (2 examples, portfolio 4, jobs 2)"
 cargo run --release -q -p crusade-bench --bin explore -- \
@@ -47,6 +47,10 @@ if [[ "${1:-}" == "--full" ]]; then
     cargo run --release -q -p crusade-bench --bin pruning
     echo "==> exploration determinism (8 examples, jobs 1/2/8 bit-identical)"
     cargo test --release -q -p crusade-explore --test determinism -- --ignored
+    echo "==> trace acceptance sweep (8 examples, metrics vs audit, jobs-invariant)"
+    cargo test --release -q -p crusade --test trace_examples -- --ignored
+    echo "==> line-coverage ratchet (crates/core + crates/sched)"
+    scripts/coverage.sh
 fi
 
 echo "CI: all checks passed"

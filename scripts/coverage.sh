@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Line-coverage ratchet for the synthesis core.
+#
+# Measures line coverage of `crates/core` and `crates/sched` with
+# `cargo llvm-cov` and compares each against the figure recorded in
+# scripts/coverage-baseline.txt. A measurement below its baseline fails
+# the gate; a higher one prints a reminder to ratchet the baseline up.
+# A baseline recorded as `unset` is initialised from the measurement
+# (commit the rewritten file to arm the ratchet).
+#
+# Skips cleanly when cargo-llvm-cov is not installed, so the gate never
+# blocks environments without the tool.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! cargo llvm-cov --version >/dev/null 2>&1; then
+    echo "coverage: cargo-llvm-cov unavailable; skipping ratchet"
+    exit 0
+fi
+
+BASELINE=scripts/coverage-baseline.txt
+CRATES=(core sched)
+
+json=$(cargo llvm-cov --workspace --json --quiet)
+
+# Aggregate line coverage (percent, one decimal) of one crate's sources.
+measure() {
+    jq -r --arg dir "crates/$1/src" '
+        [.data[0].files[] | select(.filename | contains($dir)) | .summary.lines]
+        | { count: (map(.count) | add // 0), covered: (map(.covered) | add // 0) }
+        | if .count == 0 then "0.0"
+          else (.covered * 1000 / .count | round / 10 | tostring) end
+    ' <<<"$json"
+}
+
+# Baseline for a crate, or `unset` when the file lacks an entry.
+baseline_of() {
+    awk -v crate="$1" '$1 == crate { print $2; found = 1 } END { if (!found) print "unset" }' \
+        "$BASELINE" 2>/dev/null || echo "unset"
+}
+
+fail=0
+initialised=0
+: >"$BASELINE.new"
+for crate in "${CRATES[@]}"; do
+    measured=$(measure "$crate")
+    recorded=$(baseline_of "$crate")
+    if [[ "$recorded" == "unset" ]]; then
+        echo "$crate $measured" >>"$BASELINE.new"
+        echo "coverage: crates/$crate at ${measured}% (baseline initialised; commit $BASELINE)"
+        initialised=1
+        continue
+    fi
+    echo "$crate $recorded" >>"$BASELINE.new"
+    below=$(awk -v m="$measured" -v b="$recorded" 'BEGIN { print (m < b) ? 1 : 0 }')
+    if [[ "$below" == "1" ]]; then
+        echo "coverage: crates/$crate dropped to ${measured}% (baseline ${recorded}%)" >&2
+        fail=1
+    else
+        echo "coverage: crates/$crate at ${measured}% (baseline ${recorded}%)"
+        above=$(awk -v m="$measured" -v b="$recorded" 'BEGIN { print (m > b) ? 1 : 0 }')
+        if [[ "$above" == "1" ]]; then
+            echo "coverage: consider ratcheting the crates/$crate baseline up to ${measured}%"
+        fi
+    fi
+done
+
+if [[ $initialised -eq 1 ]]; then
+    mv "$BASELINE.new" "$BASELINE"
+else
+    rm -f "$BASELINE.new"
+fi
+
+exit $fail

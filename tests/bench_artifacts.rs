@@ -1,0 +1,119 @@
+//! Consistency checks over the committed machine-readable benchmark
+//! artifacts (`BENCH_explore.json`, `BENCH_pruning.json`): the figures
+//! regression tooling consumes must be internally coherent — winner-cost
+//! parity for the exploration engine, attempt reduction in the right
+//! direction for the pruning oracle — without re-running the (minutes-
+//! long) benchmarks themselves.
+
+// Test code: parsing committed artifacts unwraps freely.
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+
+use serde::Value;
+
+fn load_records(name: &str) -> Vec<Value> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let parsed: Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+    match parsed {
+        Value::Seq(records) => records,
+        other => panic!("{name}: expected a top-level array, got {other:?}"),
+    }
+}
+
+fn field<'a>(record: &'a Value, key: &str) -> &'a Value {
+    match record {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("record missing field {key}: {record:?}")),
+        other => panic!("expected a record object, got {other:?}"),
+    }
+}
+
+fn u64_field(record: &Value, key: &str) -> u64 {
+    match field(record, key) {
+        Value::U64(v) => *v,
+        Value::I64(v) if *v >= 0 => *v as u64,
+        other => panic!("field {key}: expected unsigned integer, got {other:?}"),
+    }
+}
+
+fn f64_field(record: &Value, key: &str) -> f64 {
+    match field(record, key) {
+        Value::F64(v) => *v,
+        Value::U64(v) => *v as f64,
+        Value::I64(v) => *v as f64,
+        other => panic!("field {key}: expected number, got {other:?}"),
+    }
+}
+
+fn str_field(record: &Value, key: &str) -> String {
+    match field(record, key) {
+        Value::Str(s) => s.clone(),
+        other => panic!("field {key}: expected string, got {other:?}"),
+    }
+}
+
+#[test]
+fn explore_artifact_winner_cost_parity() {
+    let records = load_records("BENCH_explore.json");
+    assert!(!records.is_empty(), "BENCH_explore.json has no rows");
+    for r in &records {
+        let example = str_field(r, "example");
+        let sequential = u64_field(r, "sequential_cost");
+        let best = u64_field(r, "best_cost");
+        let saved = u64_field(r, "saved");
+        // The portfolio contains the baseline policy, so the engine can
+        // never lose to sequential CRUSADE.
+        assert!(
+            best <= sequential,
+            "{example}: best_cost {best} exceeds sequential_cost {sequential}"
+        );
+        assert_eq!(
+            saved,
+            sequential - best,
+            "{example}: saved is not sequential_cost - best_cost"
+        );
+        let hit_rate = f64_field(r, "cache_hit_rate");
+        assert!(
+            (0.0..=1.0).contains(&hit_rate),
+            "{example}: cache_hit_rate {hit_rate} out of range"
+        );
+    }
+}
+
+#[test]
+fn pruning_artifact_attempt_reduction_sign() {
+    let records = load_records("BENCH_pruning.json");
+    assert!(!records.is_empty(), "BENCH_pruning.json has no rows");
+    for r in &records {
+        let example = str_field(r, "example");
+        let off = u64_field(r, "scheduling_attempts_off");
+        let on = u64_field(r, "scheduling_attempts_on");
+        // The lint pruning oracle only ever removes provably-failing
+        // candidates: attempts with it on can never exceed attempts with
+        // it off, and the saving percentage follows the same sign.
+        assert!(
+            on <= off,
+            "{example}: pruning increased attempts ({on} on vs {off} off)"
+        );
+        let saved_percent = f64_field(r, "saved_percent");
+        assert!(
+            saved_percent >= 0.0,
+            "{example}: saved_percent {saved_percent} is negative"
+        );
+        assert!(
+            saved_percent <= 100.0,
+            "{example}: saved_percent {saved_percent} exceeds 100"
+        );
+        assert!(u64_field(r, "pes") > 0, "{example}: zero PEs");
+        assert!(u64_field(r, "cost") > 0, "{example}: zero cost");
+    }
+}

@@ -1,0 +1,122 @@
+//! Golden-trace harness: the structured synthesis trace of the two
+//! showcase systems is committed under `tests/golden/` and must stay
+//! byte-identical — across runs, across `--jobs` values, and across
+//! refactors that do not intend to change synthesis behaviour.
+//!
+//! The traces come from [`explore_traced`]: the exploration winner is
+//! replayed solo with the observer attached, so worker count and thread
+//! schedule can never leak into the trace bytes.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! CRUSADE_REGEN_GOLDEN=1 cargo test --test golden_trace
+//! git diff tests/golden/   # review the behavioural delta
+//! ```
+
+use std::path::PathBuf;
+
+use crusade::explore::{explore_traced, ExploreConfig};
+use crusade::model::{ResourceLibrary, SystemSpec};
+use crusade::obs::{check_span_nesting, parse_jsonl, Event, MetricsSnapshot};
+use crusade::workloads::{motivating_example, paper_library, video_router};
+
+/// Portfolio size of the golden runs — fixed, because the winning policy
+/// (and hence the replayed trace) depends on it.
+const PORTFOLIO: usize = 4;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+fn trace_at(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    jobs: usize,
+) -> (String, MetricsSnapshot, u64, u64) {
+    let traced = explore_traced(spec, lib, &ExploreConfig::new(PORTFOLIO, jobs))
+        .expect("showcase systems are feasible");
+    let cost = traced.outcome.winner.report.cost.amount();
+    let attempts = traced.outcome.winner.report.candidates_tried as u64;
+    (traced.trace_jsonl, traced.metrics, cost, attempts)
+}
+
+/// Shared body: jobs-invariance, structural invariants, metrics
+/// agreement with the replay report, and the committed-golden comparison.
+fn check_golden(name: &str, spec: &SystemSpec, lib: &ResourceLibrary) {
+    let (trace, metrics, cost, attempts) = trace_at(spec, lib, 1);
+    for jobs in [2, 8] {
+        let (other, ..) = trace_at(spec, lib, jobs);
+        assert_eq!(
+            trace, other,
+            "{name}: trace differs between --jobs 1 and --jobs {jobs}"
+        );
+    }
+
+    let records = parse_jsonl(&trace)
+        .unwrap_or_else(|(line, e)| panic!("{name}: line {line} is not a trace record: {e}"));
+    assert!(!records.is_empty(), "{name}: empty trace");
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "{name}: seq numbers must be dense");
+    }
+    let depth = check_span_nesting(&records)
+        .unwrap_or_else(|e| panic!("{name}: span nesting violated: {e}"));
+    assert!(depth >= 1, "{name}: no phase spans recorded");
+
+    // The metrics sink saw the same stream: its counters must agree with
+    // both the trace and the replay's synthesis report.
+    let rejected_in_trace = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::CandidateRejected { .. }))
+        .count() as u64;
+    assert_eq!(
+        metrics.rejected, rejected_in_trace,
+        "{name}: rejection counter"
+    );
+    assert_eq!(
+        metrics.attempts, attempts,
+        "{name}: attempts vs report.candidates_tried"
+    );
+    assert_eq!(metrics.final_cost, Some(cost), "{name}: final cost");
+    assert_eq!(
+        metrics.final_attempts,
+        Some(attempts),
+        "{name}: final attempts"
+    );
+
+    let golden = golden_path(name);
+    if std::env::var_os("CRUSADE_REGEN_GOLDEN").is_some() {
+        std::fs::write(&golden, &trace)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", golden.display()));
+        return;
+    }
+    let committed = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e}\nregenerate with: CRUSADE_REGEN_GOLDEN=1 cargo test --test golden_trace",
+            golden.display()
+        )
+    });
+    assert!(
+        committed == trace,
+        "{name}: trace diverged from the committed golden ({} vs {} bytes). If the \
+         behaviour change is intentional, regenerate with CRUSADE_REGEN_GOLDEN=1 and \
+         review the diff.",
+        committed.len(),
+        trace.len()
+    );
+}
+
+#[test]
+fn motivating_example_golden_trace() {
+    let (lib, spec) = motivating_example();
+    check_golden("motivating_example.trace.jsonl", &spec, &lib);
+}
+
+#[test]
+fn video_router_golden_trace() {
+    let lib = paper_library();
+    let spec = video_router(&lib);
+    check_golden("video_router.trace.jsonl", &spec, &lib.lib);
+}

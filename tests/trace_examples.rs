@@ -1,0 +1,85 @@
+//! Acceptance sweep for the observability layer: `crusade trace`
+//! semantics (via [`explore_traced`]) on all eight Table-2 examples.
+//!
+//! For every example the emitted trace must be valid JSONL with dense
+//! sequence numbers and balanced spans, bit-identical across `--jobs`
+//! settings, and its metrics snapshot must agree with the audit-clean
+//! replay report (attempt count and final cost).
+//!
+//! Minutes of release-mode synthesis — `#[ignore]`d out of tier 1 and
+//! run by `scripts/ci.sh --full`.
+
+// Test code: sweep helpers unwrap freely on controlled inputs.
+#![allow(clippy::unwrap_used)]
+
+use crusade::core::CosynOptions;
+use crusade::explore::{explore_traced, ExploreConfig};
+use crusade::obs::{check_span_nesting, parse_jsonl, Event};
+use crusade::workloads::{paper_examples, paper_library};
+
+#[test]
+#[ignore = "release-mode sweep over all 8 examples; run via scripts/ci.sh --full"]
+fn all_examples_trace_coherently_across_jobs() {
+    let lib = paper_library();
+    for ex in paper_examples() {
+        let spec = ex.build(&lib);
+        let traced = explore_traced(&spec, &lib.lib, &ExploreConfig::new(4, 1))
+            .unwrap_or_else(|e| panic!("{}: {e}", ex.name));
+
+        for jobs in [2, 8] {
+            let other = explore_traced(&spec, &lib.lib, &ExploreConfig::new(4, jobs))
+                .unwrap_or_else(|e| panic!("{}: {e}", ex.name));
+            assert_eq!(
+                traced.trace_jsonl, other.trace_jsonl,
+                "{}: trace differs between --jobs 1 and --jobs {jobs}",
+                ex.name
+            );
+        }
+
+        let records = parse_jsonl(&traced.trace_jsonl)
+            .unwrap_or_else(|(line, e)| panic!("{}: line {line}: {e}", ex.name));
+        assert!(!records.is_empty(), "{}: empty trace", ex.name);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "{}: sparse seq numbers", ex.name);
+        }
+        check_span_nesting(&records)
+            .unwrap_or_else(|e| panic!("{}: span nesting violated: {e}", ex.name));
+
+        // The replayed winner must be audit-clean, making its report the
+        // ground truth the metrics snapshot is held to.
+        let winner = &traced.outcome.winner;
+        let violations = crusade::verify::audit(
+            &spec,
+            &lib.lib,
+            &CosynOptions::default()
+                .with_policy(traced.outcome.policy.clone())
+                .effective(),
+            winner,
+        );
+        assert!(violations.is_empty(), "{}: {violations:?}", ex.name);
+
+        let m = &traced.metrics;
+        assert_eq!(
+            m.attempts, winner.report.candidates_tried as u64,
+            "{}: metrics attempts vs audited scheduling attempts",
+            ex.name
+        );
+        assert_eq!(
+            m.final_attempts,
+            Some(winner.report.candidates_tried as u64),
+            "{}: final attempts",
+            ex.name
+        );
+        assert_eq!(
+            m.final_cost,
+            Some(winner.report.cost.amount()),
+            "{}: final cost",
+            ex.name
+        );
+        let considered = records
+            .iter()
+            .filter(|r| matches!(r.event, Event::CandidateConsidered { .. }))
+            .count() as u64;
+        assert_eq!(m.attempts, considered, "{}: trace attempt events", ex.name);
+    }
+}

@@ -60,6 +60,18 @@ impl Value {
     }
 }
 
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Deserialization failure: what was expected and what was found.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeError {
