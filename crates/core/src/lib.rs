@@ -43,6 +43,7 @@ mod portfolio;
 mod reconfig;
 mod repair;
 mod report;
+mod resyn;
 mod synthesis;
 mod upgrade;
 
@@ -60,6 +61,10 @@ pub use reconfig::ReconfigReport;
 pub use repair::{repair, Damage, RepairError, RepairOptions, RepairOutcome};
 pub use report::{
     describe, describe_architecture, describe_schedule, describe_timing, graph_timings, GraphTiming,
+};
+pub use resyn::{
+    admission_check, exact_deadlines_ok, warm_resynthesize, widened_resynthesize, Admission,
+    WarmFailure, WarmOutcome,
 };
 pub use synthesis::{CoSynthesis, SynthesisReport, SynthesisResult};
 pub use upgrade::{hardware_shell, upgrade_in_field, UpgradeResult};

@@ -18,6 +18,8 @@
 
 use std::collections::BTreeSet;
 
+use serde::{Deserialize, Serialize};
+
 use crusade_model::{Dollars, GlobalEdgeId, GlobalTaskId, PeClass, ResourceLibrary, SystemSpec};
 use crusade_obs::Event;
 use crusade_sched::Occupant;
@@ -39,7 +41,7 @@ use crate::synthesis::{resynthesize_interface, SynthesisResult};
 /// and a [`crusade_fabric::fault::with_boot_slowdown`] guard wrapped
 /// around the [`repair`] call for [`BootDegraded`](Damage::BootDegraded).
 /// This keeps `repair` a pure function of its arguments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Damage {
     /// A PE instance failed permanently; everything resident on it must
     /// move.
@@ -99,6 +101,10 @@ pub enum RepairError {
     /// The surviving multi-mode devices cannot be booted by any
     /// programming interface, even after un-merging.
     InterfaceInfeasible,
+    /// The clustering handed in does not describe the spec handed in —
+    /// repairing with it would corrupt the schedule board. Raised by the
+    /// pre-flight consistency check instead of panicking mid-eviction.
+    StaleClustering(String),
     /// An internal invariant was violated (a bug, not a property of the
     /// input).
     Internal(String),
@@ -120,6 +126,9 @@ impl std::fmt::Display for RepairError {
                     f,
                     "no feasible programming interface for the repaired system"
                 )
+            }
+            RepairError::StaleClustering(msg) => {
+                write!(f, "clustering does not match the specification: {msg}")
             }
             RepairError::Internal(msg) => write!(f, "internal repair error: {msg}"),
         }
@@ -143,7 +152,7 @@ impl Default for RepairOptions {
 }
 
 /// A successful repair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RepairOutcome {
     /// The repaired architecture (deadline-verified re-placement).
     pub architecture: Architecture,
@@ -195,6 +204,7 @@ pub fn repair(
     ropts: &RepairOptions,
 ) -> Result<RepairOutcome, RepairError> {
     let clustering = &deployed.clustering;
+    check_clustering(spec, clustering)?;
     let mut arch = deployed.architecture.clone();
     let base_pe_slots = arch.pe_slots();
     let base_link_slots = arch.link_slots();
@@ -208,15 +218,106 @@ pub fn repair(
         Damage::BootDegraded => BTreeSet::new(),
     };
 
-    // Phase 2: the bounded retry loop. Each attempt replays from the
-    // damaged snapshot, evicting the victim set accumulated so far, and
-    // re-allocates everything evicted in id order. A failed allocation
-    // nominates one more victim (the lowest-priority placed cluster the
-    // failed one could displace) and retries.
-    let snapshot = arch;
-    let mut victims: BTreeSet<ClusterId> = BTreeSet::new();
+    // Phases 2 and 3: bounded victim-retry re-placement, then interface
+    // re-synthesis with un-merge fallback (shared with the online
+    // re-synthesis engine in `resyn`).
     let mut retries_used = 0usize;
-    let (mut repaired, moved, added_cost) = loop {
+    let (mut repaired, moved, added_cost, _counters) = place_with_retry(
+        spec,
+        lib,
+        options,
+        clustering,
+        arch,
+        &orphans,
+        &mut retries_used,
+        ropts.retry_budget,
+    )?;
+    ensure_interface_with_unmerge(
+        spec,
+        lib,
+        options,
+        clustering,
+        &mut repaired,
+        &mut retries_used,
+        ropts.retry_budget,
+    )?;
+
+    let new_pes = repaired
+        .pes()
+        .filter(|(id, _)| id.index() >= base_pe_slots)
+        .count();
+    let new_links = repaired
+        .links()
+        .filter(|(id, _)| id.index() >= base_link_slots)
+        .count();
+    Ok(RepairOutcome {
+        architecture: repaired,
+        moved_clusters: moved,
+        new_pes,
+        new_links,
+        added_cost,
+        retries_used,
+    })
+}
+
+/// Pre-flight guard: every cluster must reference a graph and tasks that
+/// exist in `spec`. A stale clustering (one computed against a different
+/// revision of the spec) would otherwise panic deep inside eviction.
+pub(crate) fn check_clustering(
+    spec: &SystemSpec,
+    clustering: &Clustering,
+) -> Result<(), RepairError> {
+    for (cid, cluster) in clustering.clusters() {
+        if cluster.graph.index() >= spec.graph_count() {
+            return Err(RepairError::StaleClustering(format!(
+                "cluster {cid} references graph {:?} but the spec has {} graphs",
+                cluster.graph,
+                spec.graph_count()
+            )));
+        }
+        let graph = spec.graph(cluster.graph);
+        if let Some(&t) = cluster
+            .tasks
+            .iter()
+            .find(|t| t.index() >= graph.task_count())
+        {
+            return Err(RepairError::StaleClustering(format!(
+                "cluster {cid} references task {t:?} beyond graph \"{}\" ({} tasks)",
+                graph.name(),
+                graph.task_count()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The bounded victim-retry loop shared by [`repair`] and the online
+/// re-synthesis engine. Each attempt replays from the damaged `snapshot`,
+/// evicting the victim set accumulated so far, and re-allocates
+/// everything evicted in id order. A failed allocation nominates one more
+/// victim (the lowest-priority placed cluster the failed one could
+/// displace) and retries, charging `retries_used` against `retry_budget`.
+///
+/// A successful bounded placement: the repaired architecture, the
+/// clusters re-placed in allocation order, the incremental dollar cost
+/// of new parts, and the allocator's candidate counters.
+pub(crate) type Placement = (Architecture, Vec<ClusterId>, Dollars, (usize, usize));
+
+/// On success returns the architecture, the clusters re-placed (in
+/// allocation order) and the incremental dollar cost of new parts.
+#[allow(clippy::too_many_arguments)] // internal seam; callers are the two engines
+pub(crate) fn place_with_retry(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    clustering: &Clustering,
+    snapshot: Architecture,
+    orphans: &BTreeSet<ClusterId>,
+    retries_used: &mut usize,
+    retry_budget: usize,
+) -> Result<Placement, RepairError> {
+    let mut victims: BTreeSet<ClusterId> = BTreeSet::new();
+    loop {
         let mut attempt = snapshot.clone();
         for &cid in &victims {
             options.observer.emit(|| Event::Eviction {
@@ -241,16 +342,17 @@ pub fn repair(
                     .flatten()
                     .map(|d| d.added_cost)
                     .sum();
-                break (allocator.arch, to_place, added);
+                let counters = allocator.candidate_counters();
+                return Ok((allocator.arch, to_place, added, counters));
             }
             Some((cid, reason)) => {
-                if retries_used >= ropts.retry_budget {
+                if *retries_used >= retry_budget {
                     return Err(RepairError::RetryBudgetExhausted {
-                        retries: retries_used,
+                        retries: *retries_used,
                     });
                 }
-                retries_used += 1;
-                match pick_victim(&snapshot, clustering, cid, &orphans, &victims) {
+                *retries_used += 1;
+                match pick_victim(&snapshot, clustering, cid, orphans, &victims) {
                     Some(victim) => {
                         victims.insert(victim);
                     }
@@ -263,26 +365,39 @@ pub fn repair(
                 }
             }
         }
-    };
+    }
+}
 
-    // Phase 3: the programming interface must still boot every surviving
-    // multi-mode device within the requirement (under any active
-    // boot-slowdown fault). When it cannot, un-merge the worst multi-mode
-    // device — evict its beyond-first-image clusters back onto the open
-    // market — and try again, still under the retry budget.
+/// The programming interface must boot every surviving multi-mode device
+/// within the requirement (under any active boot-slowdown fault). When it
+/// cannot, un-merge the worst multi-mode device — evict its
+/// beyond-first-image clusters back onto the open market — and try again,
+/// still under the retry budget. Shared by [`repair`] and the online
+/// re-synthesis engine.
+#[allow(clippy::too_many_arguments)] // internal seam; callers are the two engines
+pub(crate) fn ensure_interface_with_unmerge(
+    spec: &SystemSpec,
+    lib: &ResourceLibrary,
+    options: &CosynOptions,
+    clustering: &Clustering,
+    arch: &mut Architecture,
+    retries_used: &mut usize,
+    retry_budget: usize,
+) -> Result<(), RepairError> {
     loop {
-        match resynthesize_interface(spec, lib, &mut repaired, &options.observer) {
-            Ok(()) => break,
+        match resynthesize_interface(spec, lib, arch, &options.observer) {
+            Ok(()) => return Ok(()),
             Err(SynthesisError::NoFeasibleInterface) => {
-                if retries_used >= ropts.retry_budget {
+                if *retries_used >= retry_budget {
                     return Err(RepairError::RetryBudgetExhausted {
-                        retries: retries_used,
+                        retries: *retries_used,
                     });
                 }
-                retries_used += 1;
-                let displaced = unmerge_worst_device(&mut repaired, clustering, spec)
+                *retries_used += 1;
+                let displaced = unmerge_worst_device(arch, clustering, spec)
                     .ok_or(RepairError::InterfaceInfeasible)?;
-                let mut allocator = Allocator::resume(spec, lib, options, clustering, repaired);
+                let shell = std::mem::take(arch);
+                let mut allocator = Allocator::resume(spec, lib, options, clustering, shell);
                 for cid in displaced {
                     allocator
                         .allocate(cid)
@@ -291,34 +406,17 @@ pub fn repair(
                             reason: e.to_string(),
                         })?;
                 }
-                repaired = allocator.arch;
+                *arch = allocator.arch;
             }
             Err(e) => return Err(RepairError::Internal(e.to_string())),
         }
     }
-
-    let new_pes = repaired
-        .pes()
-        .filter(|(id, _)| id.index() >= base_pe_slots)
-        .count();
-    let new_links = repaired
-        .links()
-        .filter(|(id, _)| id.index() >= base_link_slots)
-        .count();
-    Ok(RepairOutcome {
-        architecture: repaired,
-        moved_clusters: moved,
-        new_pes,
-        new_links,
-        added_cost,
-        retries_used,
-    })
 }
 
 /// Removes a cluster's every trace from the architecture: task windows,
 /// edge transfers (and their CPU-side driving occupants), mode
 /// membership, and memory accounting.
-fn evict_cluster(
+pub(crate) fn evict_cluster(
     arch: &mut Architecture,
     clustering: &Clustering,
     spec: &SystemSpec,
@@ -363,7 +461,11 @@ fn evict_cluster(
 
 /// Recomputes a PE's per-mode hardware demand, per-mode graph list and
 /// total memory use from its (possibly just edited) cluster lists.
-fn rebuild_pe_accounting(arch: &mut Architecture, clustering: &Clustering, pid: PeInstanceId) {
+pub(crate) fn rebuild_pe_accounting(
+    arch: &mut Architecture,
+    clustering: &Clustering,
+    pid: PeInstanceId,
+) {
     let pe = arch.pe_mut(pid);
     let mut all: BTreeSet<ClusterId> = BTreeSet::new();
     for mode in &mut pe.modes {
@@ -388,7 +490,7 @@ fn rebuild_pe_accounting(arch: &mut Architecture, clustering: &Clustering, pid: 
 
 /// Kills a PE: evicts everything resident on it, retires it, and prunes
 /// links that lose their second port.
-fn kill_pe(
+pub(crate) fn kill_pe(
     arch: &mut Architecture,
     clustering: &Clustering,
     spec: &SystemSpec,
@@ -421,7 +523,7 @@ fn kill_pe(
 /// Kills a link: every transfer routed over it is orphaned by evicting
 /// the *consuming* cluster (re-allocating it re-routes the edge over the
 /// surviving fabric).
-fn kill_link(
+pub(crate) fn kill_link(
     arch: &mut Architecture,
     clustering: &Clustering,
     spec: &SystemSpec,

@@ -23,6 +23,12 @@
 //!                                             policy with the structured-event
 //!                                             observer attached and emit the
 //!                                             JSONL trace
+//! crusade resyn <spec.json|name> --deltas deltas.json [--jobs N] [--portfolio M]
+//!               [--retry-budget K] [--out report.json]
+//!                                             synthesize the system cold, then
+//!                                             drive a JSON sequence of spec
+//!                                             deltas through the online
+//!                                             re-synthesis escalation ladder
 //! ```
 //!
 //! `synth` and `explore` accept `--metrics`: a metrics accumulator is
@@ -78,11 +84,25 @@ commands:
                                                explore, then replay the winner
                                                with the event observer attached
                                                and emit the JSONL trace
+  resyn <spec.json|name> --deltas <deltas.json> [--jobs N] [--portfolio M]
+        [--retry-budget K] [--from-rung R] [--out report.json] [--no-reconfig]
+                                               online re-synthesis: apply a JSON
+                                               sequence of spec deltas to the
+                                               deployed system via warm-start
+                                               repair with graceful degradation
+                                               (--from-rung warm|widened|portfolio|cold
+                                               skips the cheaper rungs — a forced
+                                               restart)
 
 exit codes (lint, audit):
   0  clean — no findings (informational bounds do not count)
   1  warnings only — synthesis may still succeed
-  2  errors — proved infeasibility / audit violation / operational error";
+  2  errors — proved infeasibility / audit violation / operational error
+
+exit codes (resyn):
+  0  every delta admitted and repaired on a warm rung (in-place/warm/widened)
+  1  repaired, but at least one delta degraded to a portfolio or cold restart
+  2  a delta was rejected, invalid, or infeasible even for cold synthesis";
 
 #[derive(Serialize, Deserialize)]
 struct SpecFile {
@@ -542,6 +562,108 @@ fn cmd_inject(args: &[String]) -> Result<u8, String> {
     }
 }
 
+/// Online re-synthesis: cold-synthesizes the incumbent, then drives a
+/// JSON sequence of spec deltas through the escalation ladder.
+///
+/// Exit codes: **0** — every delta served by a warm rung (in-place, warm
+/// or widened); **1** — repaired, but at least one delta degraded to a
+/// portfolio or cold restart; **2** — a delta was rejected by admission,
+/// malformed, an invalid fault, or infeasible even cold.
+fn cmd_resyn(args: &[String]) -> Result<u8, String> {
+    let arg = args.first().ok_or(
+        "usage: crusade resyn <spec.json|example-name> --deltas <deltas.json> [--jobs N] \
+         [--portfolio M] [--retry-budget K] [--out report.json] [--no-reconfig]",
+    )?;
+    let deltas_path = flag_str(args, "--deltas")?.ok_or("resyn needs --deltas <deltas.json>")?;
+    let jobs = match flag_usize(args, "--jobs")? {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, usize::from),
+    };
+    let portfolio = flag_usize(args, "--portfolio")?.unwrap_or(4).max(1);
+    let retry_budget = flag_usize(args, "--retry-budget")?.unwrap_or(8);
+    let start = match flag_str(args, "--from-rung")? {
+        Some(tag) => crusade::explore::Rung::parse(tag).ok_or(format!(
+            "--from-rung: unknown rung {tag} (warm|widened|portfolio|cold)"
+        ))?,
+        None => crusade::explore::Rung::Warm,
+    };
+    let out = flag_str(args, "--out")?;
+    let (library, spec) = load_or_example(arg)?;
+    let text =
+        std::fs::read_to_string(deltas_path).map_err(|e| format!("reading {deltas_path}: {e}"))?;
+    let deltas: Vec<crusade::model::SpecDelta> =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {deltas_path}: {e}"))?;
+
+    crusade::verify::install_auditor();
+    let base = options(args);
+    let incumbent = CoSynthesis::new(&spec, &library)
+        .with_options(base.clone())
+        .run()
+        .map_err(|e| format!("cold-synthesizing the incumbent: {e}"))?;
+    println!(
+        "deployed: {} PEs, {} links, {}",
+        incumbent.report.pe_count, incumbent.report.link_count, incumbent.report.cost
+    );
+
+    let config = crusade::explore::ResynConfig {
+        jobs,
+        portfolio,
+        retry_budget,
+        start,
+        base,
+    };
+    match crusade::explore::resynthesize_sequence(&spec, &library, incumbent, &deltas, &config) {
+        Ok(outcome) => {
+            for step in &outcome.report.steps {
+                println!(
+                    "delta {:>3}  {:<18} -> {:<9} (moved {}, +${}, cost ${}, {} retries)",
+                    step.index,
+                    step.kind,
+                    step.rung.tag(),
+                    step.moved_clusters,
+                    step.added_cost,
+                    step.cost,
+                    step.retries,
+                );
+                for trigger in &step.triggers {
+                    println!("            escalated: {trigger}");
+                }
+            }
+            let histogram: Vec<String> = outcome
+                .report
+                .rung_histogram()
+                .into_iter()
+                .map(|(tag, n)| format!("{tag} {n}"))
+                .collect();
+            println!(
+                "resyn: {} delta(s), final cost ${} — rungs: {}",
+                outcome.report.steps.len(),
+                outcome.report.final_cost,
+                histogram.join(", "),
+            );
+            if let Some(path) = out {
+                let json =
+                    serde_json::to_string_pretty(&outcome.report).map_err(|e| e.to_string())?;
+                std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("resyn: report -> {path}");
+            }
+            if outcome.report.degraded {
+                println!("resyn: degraded — at least one delta needed a restart rung");
+                Ok(EXIT_WARNINGS)
+            } else {
+                Ok(EXIT_CLEAN)
+            }
+        }
+        // Ladder errors are findings about the delta sequence, not
+        // operational errors: report them on stdout like `audit` does and
+        // exit 2 through the shared convention.
+        Err(e) => {
+            println!("resyn: {e}");
+            Ok(EXIT_ERRORS)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -559,6 +681,7 @@ fn main() -> ExitCode {
             "inject" => cmd_inject(rest),
             "explore" => cmd_explore(rest),
             "trace" => cmd_trace(rest),
+            "resyn" => cmd_resyn(rest),
             "help" => {
                 println!("{USAGE}");
                 Ok(EXIT_CLEAN)

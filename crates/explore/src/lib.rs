@@ -69,6 +69,12 @@ use crusade_obs::{Event, Fanout, Metrics, MetricsSnapshot, TraceSink};
 
 pub use crusade_core::splitmix64;
 
+mod resyn;
+
+pub use resyn::{
+    resynthesize_sequence, DeltaStep, ResynConfig, ResynError, ResynOutcome, ResynReport, Rung,
+};
+
 /// Configuration of one exploration.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {

@@ -1,0 +1,439 @@
+//! Typed specification deltas for online re-synthesis.
+//!
+//! A deployed system evolves: task graphs are added or retired, deadlines
+//! tighten as requirements harden, rates scale with input load, and
+//! hardware fails or returns from the repair depot. [`SpecDelta`] is the
+//! closed vocabulary of such changes. Each delta either rewrites the
+//! [`SystemSpec`] (the *spec-level* variants) or marks a structural event
+//! on the deployed architecture (the *fault* variants `FailPe`,
+//! `RestorePe` and `RetireLink`, which leave the spec untouched — the
+//! re-synthesis engine in `crusade-core`/`crusade-explore` interprets
+//! them against the incumbent architecture).
+//!
+//! Deltas are plain serializable data so that a `deltas.json` file drives
+//! the `crusade resyn` CLI command, and application is deterministic: the
+//! same delta sequence applied to the same spec always yields the same
+//! spec.
+//!
+//! # Examples
+//!
+//! ```
+//! use crusade_model::{
+//!     ExecutionTimes, Nanos, SpecDelta, SystemSpec, Task, TaskGraphBuilder,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = TaskGraphBuilder::new("g", Nanos::from_millis(2));
+//! b.add_task(Task::new("t", ExecutionTimes::uniform(1, Nanos::from_micros(10))));
+//! let spec = SystemSpec::new(vec![b.build()?]);
+//!
+//! let tighter = SpecDelta::TightenDeadline {
+//!     graph: crusade_model::GraphId::new(0),
+//!     deadline: Nanos::from_millis(1),
+//! };
+//! let after = tighter.apply(&spec)?;
+//! assert_eq!(after.graph(crusade_model::GraphId::new(0)).deadline(), Nanos::from_millis(1));
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphId, Nanos, SystemSpec, TaskGraph, ValidateSpecError};
+
+/// One change to a deployed system's specification or platform.
+///
+/// Instance indices in the fault variants (`pe`, `link`) refer to PE and
+/// link *instances* of the incumbent architecture, in instantiation
+/// order — the model layer does not know the architecture types, so the
+/// indices stay raw here and are validated by the re-synthesis engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpecDelta {
+    /// Append a new task graph to the specification. The graph receives
+    /// the next free [`GraphId`]; existing ids are unaffected.
+    AddTaskGraph {
+        /// The graph to add (must validate on its own).
+        graph: TaskGraph,
+    },
+    /// Remove a task graph. Graphs after it shift down one id.
+    RemoveTaskGraph {
+        /// The graph to remove.
+        graph: GraphId,
+    },
+    /// Replace a graph's end-to-end deadline with a strictly tighter one.
+    TightenDeadline {
+        /// The graph whose deadline tightens.
+        graph: GraphId,
+        /// The new (smaller) deadline.
+        deadline: Nanos,
+    },
+    /// Scale a graph's period, deadline and earliest start time by
+    /// `percent`/100 (a rate change: 50 doubles the rate, 200 halves it).
+    ScaleRate {
+        /// The graph whose rate changes.
+        graph: GraphId,
+        /// Scale factor in percent; must be non-zero.
+        percent: u64,
+    },
+    /// A PE instance of the incumbent architecture failed permanently.
+    FailPe {
+        /// Instance index in instantiation order.
+        pe: u32,
+    },
+    /// A previously failed PE instance returned to service.
+    RestorePe {
+        /// Instance index of the earlier [`SpecDelta::FailPe`].
+        pe: u32,
+    },
+    /// A link instance of the incumbent architecture was retired.
+    RetireLink {
+        /// Instance index in instantiation order.
+        link: u32,
+    },
+}
+
+/// Why a delta cannot be applied to a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The named graph id is out of range.
+    NoSuchGraph(GraphId),
+    /// Removing the graph would leave an empty (invalid) specification.
+    WouldEmptySpec,
+    /// The requested deadline does not tighten the current one.
+    NotTighter {
+        /// The graph addressed.
+        graph: GraphId,
+        /// Its current deadline.
+        current: Nanos,
+        /// The requested (not smaller) deadline.
+        requested: Nanos,
+    },
+    /// A rate scale of zero percent (or one overflowing the time type).
+    BadScale {
+        /// The graph addressed.
+        graph: GraphId,
+        /// The offending percentage.
+        percent: u64,
+    },
+    /// The delta produced a graph that fails validation.
+    InvalidGraph(ValidateSpecError),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::NoSuchGraph(g) => write!(f, "no graph {g:?} in the specification"),
+            DeltaError::WouldEmptySpec => {
+                write!(f, "removing the last graph would empty the specification")
+            }
+            DeltaError::NotTighter {
+                graph,
+                current,
+                requested,
+            } => write!(
+                f,
+                "deadline {requested} does not tighten {current} on graph {graph:?}"
+            ),
+            DeltaError::BadScale { graph, percent } => {
+                write!(f, "cannot scale graph {graph:?} rate by {percent}%")
+            }
+            DeltaError::InvalidGraph(e) => write!(f, "delta produced an invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<ValidateSpecError> for DeltaError {
+    fn from(e: ValidateSpecError) -> Self {
+        DeltaError::InvalidGraph(e)
+    }
+}
+
+impl std::fmt::Display for SpecDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecDelta::AddTaskGraph { graph } => {
+                write!(f, "add-task-graph \"{}\"", graph.name())
+            }
+            SpecDelta::RemoveTaskGraph { graph } => write!(f, "remove-task-graph {graph:?}"),
+            SpecDelta::TightenDeadline { graph, deadline } => {
+                write!(f, "tighten-deadline {graph:?} to {deadline}")
+            }
+            SpecDelta::ScaleRate { graph, percent } => {
+                write!(f, "scale-rate {graph:?} by {percent}%")
+            }
+            SpecDelta::FailPe { pe } => write!(f, "fail-pe {pe}"),
+            SpecDelta::RestorePe { pe } => write!(f, "restore-pe {pe}"),
+            SpecDelta::RetireLink { link } => write!(f, "retire-link {link}"),
+        }
+    }
+}
+
+impl SpecDelta {
+    /// Short kebab-case tag of the variant (stable across releases; used
+    /// in traces and benchmark records).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SpecDelta::AddTaskGraph { .. } => "add-task-graph",
+            SpecDelta::RemoveTaskGraph { .. } => "remove-task-graph",
+            SpecDelta::TightenDeadline { .. } => "tighten-deadline",
+            SpecDelta::ScaleRate { .. } => "scale-rate",
+            SpecDelta::FailPe { .. } => "fail-pe",
+            SpecDelta::RestorePe { .. } => "restore-pe",
+            SpecDelta::RetireLink { .. } => "retire-link",
+        }
+    }
+
+    /// Whether this delta leaves the [`SystemSpec`] untouched and instead
+    /// describes a structural event on the incumbent architecture.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            SpecDelta::FailPe { .. } | SpecDelta::RestorePe { .. } | SpecDelta::RetireLink { .. }
+        )
+    }
+
+    /// The graph a spec-level delta rewrites, if any. For
+    /// [`SpecDelta::AddTaskGraph`] this is the id the new graph *will*
+    /// receive; the fault variants return `None`.
+    pub fn touched_graph(&self, spec: &SystemSpec) -> Option<GraphId> {
+        match self {
+            SpecDelta::AddTaskGraph { .. } => Some(GraphId::new(spec.graph_count())),
+            SpecDelta::RemoveTaskGraph { graph }
+            | SpecDelta::TightenDeadline { graph, .. }
+            | SpecDelta::ScaleRate { graph, .. } => Some(*graph),
+            _ => None,
+        }
+    }
+
+    /// Applies the delta, returning the updated specification. Fault
+    /// variants return a clone of the input unchanged.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`DeltaError`] when the delta does not apply (unknown
+    /// graph, non-tightening deadline, degenerate scale, or a rewrite
+    /// that fails graph validation).
+    pub fn apply(&self, spec: &SystemSpec) -> Result<SystemSpec, DeltaError> {
+        match self {
+            SpecDelta::AddTaskGraph { graph } => {
+                graph.validate()?;
+                let mut next = spec.clone();
+                next.push_graph(graph.clone());
+                Ok(next)
+            }
+            SpecDelta::RemoveTaskGraph { graph } => {
+                if graph.index() >= spec.graph_count() {
+                    return Err(DeltaError::NoSuchGraph(*graph));
+                }
+                if spec.graph_count() == 1 {
+                    return Err(DeltaError::WouldEmptySpec);
+                }
+                let mut next = spec.clone();
+                next.remove_graph(*graph);
+                Ok(next)
+            }
+            SpecDelta::TightenDeadline { graph, deadline } => {
+                if graph.index() >= spec.graph_count() {
+                    return Err(DeltaError::NoSuchGraph(*graph));
+                }
+                let current = spec.graph(*graph).deadline();
+                if *deadline >= current {
+                    return Err(DeltaError::NotTighter {
+                        graph: *graph,
+                        current,
+                        requested: *deadline,
+                    });
+                }
+                let mut next = spec.clone();
+                let rebuilt = next
+                    .remove_graph(*graph)
+                    .into_builder()
+                    .deadline(*deadline)
+                    .build()?;
+                next.insert_graph(*graph, rebuilt);
+                Ok(next)
+            }
+            SpecDelta::ScaleRate { graph, percent } => {
+                if graph.index() >= spec.graph_count() {
+                    return Err(DeltaError::NoSuchGraph(*graph));
+                }
+                let bad = || DeltaError::BadScale {
+                    graph: *graph,
+                    percent: *percent,
+                };
+                if *percent == 0 {
+                    return Err(bad());
+                }
+                let scale = |t: Nanos| -> Result<Nanos, DeltaError> {
+                    let scaled = t
+                        .as_nanos()
+                        .checked_mul(*percent)
+                        .ok_or_else(bad)?
+                        .checked_div(100)
+                        .ok_or_else(bad)?;
+                    Ok(Nanos::from_nanos(scaled))
+                };
+                let g = spec.graph(*graph);
+                let (period, deadline, est) =
+                    (scale(g.period())?, scale(g.deadline())?, scale(g.est())?);
+                if period.is_zero() || deadline.is_zero() {
+                    return Err(bad());
+                }
+                let mut next = spec.clone();
+                let rebuilt = next
+                    .remove_graph(*graph)
+                    .into_builder()
+                    .period(period)
+                    .deadline(deadline)
+                    .est(est)
+                    .build()?;
+                next.insert_graph(*graph, rebuilt);
+                Ok(next)
+            }
+            SpecDelta::FailPe { .. }
+            | SpecDelta::RestorePe { .. }
+            | SpecDelta::RetireLink { .. } => Ok(spec.clone()),
+        }
+    }
+
+    /// The delta undoing this one against `spec_before` (the spec this
+    /// delta is *about to be applied to*), where an inverse exists:
+    /// adding a graph is undone by removing the id it will receive,
+    /// failing a PE is undone by restoring it. Deadline tightening, rate
+    /// scaling (information loss under integer division), graph removal
+    /// and link retirement have no general inverse and return `None`.
+    pub fn inverse(&self, spec_before: &SystemSpec) -> Option<SpecDelta> {
+        match self {
+            SpecDelta::AddTaskGraph { .. } => Some(SpecDelta::RemoveTaskGraph {
+                graph: GraphId::new(spec_before.graph_count()),
+            }),
+            SpecDelta::FailPe { pe } => Some(SpecDelta::RestorePe { pe: *pe }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionTimes, Task, TaskGraphBuilder};
+
+    fn graph(name: &str, period_us: u64) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new(name, Nanos::from_micros(period_us));
+        b.add_task(Task::new(
+            "t",
+            ExecutionTimes::uniform(1, Nanos::from_micros(1)),
+        ));
+        b.build().unwrap()
+    }
+
+    fn spec2() -> SystemSpec {
+        SystemSpec::new(vec![graph("a", 100), graph("b", 200)])
+    }
+
+    #[test]
+    fn add_then_inverse_restores_graph_count() {
+        let spec = spec2();
+        let add = SpecDelta::AddTaskGraph {
+            graph: graph("c", 400),
+        };
+        let inverse = add.inverse(&spec).unwrap();
+        let grown = add.apply(&spec).unwrap();
+        assert_eq!(grown.graph_count(), 3);
+        let back = inverse.apply(&grown).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn tighten_rejects_looser_deadline() {
+        let spec = spec2();
+        let d = SpecDelta::TightenDeadline {
+            graph: GraphId::new(0),
+            deadline: Nanos::from_micros(500),
+        };
+        assert!(matches!(d.apply(&spec), Err(DeltaError::NotTighter { .. })));
+    }
+
+    #[test]
+    fn scale_rate_scales_period_and_deadline() {
+        let spec = spec2();
+        let d = SpecDelta::ScaleRate {
+            graph: GraphId::new(1),
+            percent: 150,
+        };
+        let after = d.apply(&spec).unwrap();
+        let g = after.graph(GraphId::new(1));
+        assert_eq!(g.period(), Nanos::from_micros(300));
+        assert_eq!(g.deadline(), Nanos::from_micros(300));
+        // The untouched graph is bit-identical.
+        assert_eq!(after.graph(GraphId::new(0)), spec.graph(GraphId::new(0)));
+    }
+
+    #[test]
+    fn zero_scale_and_unknown_graph_are_typed_errors() {
+        let spec = spec2();
+        assert!(matches!(
+            SpecDelta::ScaleRate {
+                graph: GraphId::new(0),
+                percent: 0
+            }
+            .apply(&spec),
+            Err(DeltaError::BadScale { .. })
+        ));
+        assert!(matches!(
+            SpecDelta::RemoveTaskGraph {
+                graph: GraphId::new(7)
+            }
+            .apply(&spec),
+            Err(DeltaError::NoSuchGraph(_))
+        ));
+    }
+
+    #[test]
+    fn remove_last_graph_refused() {
+        let spec = SystemSpec::new(vec![graph("only", 100)]);
+        assert_eq!(
+            SpecDelta::RemoveTaskGraph {
+                graph: GraphId::new(0)
+            }
+            .apply(&spec),
+            Err(DeltaError::WouldEmptySpec)
+        );
+    }
+
+    #[test]
+    fn fault_deltas_leave_spec_untouched() {
+        let spec = spec2();
+        for d in [
+            SpecDelta::FailPe { pe: 0 },
+            SpecDelta::RestorePe { pe: 0 },
+            SpecDelta::RetireLink { link: 1 },
+        ] {
+            assert_eq!(d.apply(&spec).unwrap(), spec);
+            assert!(d.is_fault());
+        }
+        assert_eq!(
+            SpecDelta::FailPe { pe: 3 }.inverse(&spec),
+            Some(SpecDelta::RestorePe { pe: 3 })
+        );
+    }
+
+    #[test]
+    fn deltas_round_trip_through_json() {
+        let deltas = vec![
+            SpecDelta::AddTaskGraph {
+                graph: graph("new", 800),
+            },
+            SpecDelta::TightenDeadline {
+                graph: GraphId::new(0),
+                deadline: Nanos::from_micros(50),
+            },
+            SpecDelta::FailPe { pe: 2 },
+        ];
+        let json = serde_json::to_string(&deltas).unwrap();
+        let back: Vec<SpecDelta> = serde_json::from_str(&json).unwrap();
+        assert_eq!(deltas, back);
+    }
+}

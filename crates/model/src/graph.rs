@@ -283,6 +283,14 @@ impl TaskGraphBuilder {
         self
     }
 
+    /// Replaces the activation period (rate changes rebuild graphs through
+    /// [`TaskGraph::into_builder`]). The deadline is left as previously
+    /// set; callers scaling the rate normally rescale it alongside.
+    pub fn period(mut self, period: Nanos) -> Self {
+        self.period = period;
+        self
+    }
+
     /// Adds a task, returning its id.
     pub fn add_task(&mut self, task: Task) -> TaskId {
         let id = TaskId::new(self.tasks.len());

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 mod cost;
+mod delta;
 mod error;
 mod graph;
 pub mod hyperperiod;
@@ -58,6 +59,7 @@ mod time;
 mod vectors;
 
 pub use cost::Dollars;
+pub use delta::{DeltaError, SpecDelta};
 pub use error::ValidateSpecError;
 pub use graph::{Edge, Task, TaskGraph, TaskGraphBuilder};
 pub use ids::{EdgeId, GlobalEdgeId, GlobalTaskId, GraphId, LinkTypeId, PeTypeId, TaskId};

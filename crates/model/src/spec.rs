@@ -70,6 +70,30 @@ impl CompatibilityMatrix {
         self.bits[a.index() * self.n + b.index()]
     }
 
+    /// Rebuilds the matrix for a graph list that dropped `removed` (or
+    /// merely grew, when `removed` is `None`) to `new_count` graphs.
+    /// Surviving pairwise compatibility is preserved under the id shift;
+    /// any new graph starts incompatible with every other.
+    pub(crate) fn resized_without(
+        &self,
+        removed: Option<GraphId>,
+        new_count: usize,
+    ) -> CompatibilityMatrix {
+        let mut next = CompatibilityMatrix::incompatible(new_count);
+        let old_id = |k: usize| match removed {
+            Some(r) if k >= r.index() => GraphId::new(k + 1),
+            _ => GraphId::new(k),
+        };
+        for i in 0..new_count {
+            for j in (i + 1)..new_count {
+                if self.compatible(old_id(i), old_id(j)) {
+                    next.set_compatible(GraphId::new(i), GraphId::new(j));
+                }
+            }
+        }
+        next
+    }
+
     /// Validates internal symmetry (matrices built through
     /// [`set_compatible`](Self::set_compatible) are symmetric by
     /// construction, but deserialised ones may not be).
@@ -204,6 +228,63 @@ impl SystemSpec {
     /// The optional a-priori compatibility matrix.
     pub fn compatibility(&self) -> Option<&CompatibilityMatrix> {
         self.compatibility.as_ref()
+    }
+
+    /// Appends a graph; it receives the next free [`GraphId`] and existing
+    /// ids are unaffected. An a-priori compatibility matrix grows by one
+    /// graph declared incompatible with every other (the conservative
+    /// default — co-synthesis may still detect non-overlap from the
+    /// schedule).
+    pub fn push_graph(&mut self, graph: TaskGraph) {
+        self.graphs.push(graph);
+        if let Some(m) = self.compatibility.take() {
+            self.compatibility = Some(m.resized_without(None, self.graphs.len()));
+        }
+    }
+
+    /// Removes and returns a graph; graphs after it shift down one id.
+    /// The compatibility matrix, when present, drops the corresponding
+    /// row and column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn remove_graph(&mut self, id: GraphId) -> TaskGraph {
+        let removed = self.graphs.remove(id.index());
+        if let Some(m) = self.compatibility.take() {
+            self.compatibility = Some(m.resized_without(Some(id), self.graphs.len()));
+        }
+        removed
+    }
+
+    /// Inserts a graph at `id`, shifting later graphs up one id — the
+    /// inverse of [`remove_graph`](Self::remove_graph) used to rewrite a
+    /// graph in place. The reinserted graph is declared incompatible with
+    /// every other in an a-priori matrix (its timing changed; prior
+    /// non-overlap knowledge no longer applies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is beyond the current graph count.
+    pub fn insert_graph(&mut self, id: GraphId, graph: TaskGraph) {
+        self.graphs.insert(id.index(), graph);
+        if let Some(m) = self.compatibility.take() {
+            // Shift the surviving pairs around the inserted row/column.
+            let mut grown = CompatibilityMatrix::incompatible(self.graphs.len());
+            for i in 0..self.graphs.len() {
+                for j in (i + 1)..self.graphs.len() {
+                    let skip = |k: usize| k == id.index();
+                    if skip(i) || skip(j) {
+                        continue;
+                    }
+                    let old = |k: usize| GraphId::new(if k > id.index() { k - 1 } else { k });
+                    if m.compatible(old(i), old(j)) {
+                        grown.set_compatible(GraphId::new(i), GraphId::new(j));
+                    }
+                }
+            }
+            self.compatibility = Some(grown);
+        }
     }
 
     /// System-wide constraints.

@@ -272,6 +272,42 @@ pub enum Event {
         /// Allocation candidates pruned before scheduling.
         pruned: u64,
     },
+    /// Online re-synthesis applied one specification delta.
+    DeltaApplied {
+        /// Position in the delta sequence.
+        delta: u64,
+        /// Stable kebab-case delta kind (`"fail-pe"`, …).
+        kind: String,
+    },
+    /// The online admission check ruled on a delta.
+    AdmissionChecked {
+        /// Position in the delta sequence.
+        delta: u64,
+        /// `true` when the conservative bound admits the delta.
+        admitted: bool,
+        /// Rejection reason, empty when admitted.
+        reason: String,
+    },
+    /// The re-synthesis ladder escalated to a higher rung.
+    EscalationStep {
+        /// Position in the delta sequence.
+        delta: u64,
+        /// Rung entered (`"warm"`, `"widened"`, `"portfolio"`, `"cold"`).
+        rung: String,
+        /// Why the previous rung was abandoned.
+        trigger: String,
+    },
+    /// Online re-synthesis absorbed one delta.
+    ResynStepComplete {
+        /// Position in the delta sequence.
+        delta: u64,
+        /// Rung that produced the accepted architecture.
+        rung: String,
+        /// Architecture dollar cost after the delta.
+        cost: u64,
+        /// Clusters re-placed while absorbing the delta.
+        moved: u64,
+    },
 }
 
 impl Event {
@@ -300,6 +336,10 @@ impl Event {
             Event::DominationAbort { .. } => "DominationAbort",
             Event::MemberSkipped { .. } => "MemberSkipped",
             Event::SynthesisComplete { .. } => "SynthesisComplete",
+            Event::DeltaApplied { .. } => "DeltaApplied",
+            Event::AdmissionChecked { .. } => "AdmissionChecked",
+            Event::EscalationStep { .. } => "EscalationStep",
+            Event::ResynStepComplete { .. } => "ResynStepComplete",
         }
     }
 }

@@ -74,39 +74,58 @@ pub fn inject(
     let (scenario, outcome) = match seed % 5 {
         0 => {
             let pes: Vec<_> = deployed.architecture.pes().map(|(id, _)| id).collect();
-            let dead = pes[rng.gen_range(0..pes.len())];
-            let r = repair(spec, lib, options, deployed, &Damage::PeLost(dead), &ropts);
-            (
-                format!("pe-lost {dead}"),
-                classify(spec, lib, options, deployed, r),
-            )
+            match pick(&mut rng, &pes) {
+                None => (
+                    "pe-lost (no live PE instances)".to_string(),
+                    Outcome::FailedGracefully("architecture has no live PE to strike".into()),
+                ),
+                Some(dead) => {
+                    let r = repair(spec, lib, options, deployed, &Damage::PeLost(dead), &ropts);
+                    (
+                        format!("pe-lost {dead}"),
+                        classify(spec, lib, options, deployed, r),
+                    )
+                }
+            }
         }
         1 => {
             let links: Vec<_> = deployed.architecture.links().map(|(id, _)| id).collect();
-            if links.is_empty() {
-                // Single-device systems have no link to sever: strike a
-                // PE instead so every seed still exercises a fault.
-                let pes: Vec<_> = deployed.architecture.pes().map(|(id, _)| id).collect();
-                let dead = pes[rng.gen_range(0..pes.len())];
-                let r = repair(spec, lib, options, deployed, &Damage::PeLost(dead), &ropts);
-                (
-                    format!("link-lost (no links; pe-lost {dead})"),
-                    classify(spec, lib, options, deployed, r),
-                )
-            } else {
-                let dead = links[rng.gen_range(0..links.len())];
-                let r = repair(
-                    spec,
-                    lib,
-                    options,
-                    deployed,
-                    &Damage::LinkLost(dead),
-                    &ropts,
-                );
-                (
-                    format!("link-lost {dead}"),
-                    classify(spec, lib, options, deployed, r),
-                )
+            match pick(&mut rng, &links) {
+                None => {
+                    // Single-device systems have no link to sever: strike
+                    // a PE instead so every seed still exercises a fault.
+                    let pes: Vec<_> = deployed.architecture.pes().map(|(id, _)| id).collect();
+                    match pick(&mut rng, &pes) {
+                        None => (
+                            "link-lost (no links, no live PEs)".to_string(),
+                            Outcome::FailedGracefully(
+                                "architecture has neither links nor live PEs to strike".into(),
+                            ),
+                        ),
+                        Some(dead) => {
+                            let r =
+                                repair(spec, lib, options, deployed, &Damage::PeLost(dead), &ropts);
+                            (
+                                format!("link-lost (no links; pe-lost {dead})"),
+                                classify(spec, lib, options, deployed, r),
+                            )
+                        }
+                    }
+                }
+                Some(dead) => {
+                    let r = repair(
+                        spec,
+                        lib,
+                        options,
+                        deployed,
+                        &Damage::LinkLost(dead),
+                        &ropts,
+                    );
+                    (
+                        format!("link-lost {dead}"),
+                        classify(spec, lib, options, deployed, r),
+                    )
+                }
             }
         }
         2 => {
@@ -155,6 +174,17 @@ pub fn inject(
         seed,
         scenario,
         outcome,
+    }
+}
+
+/// Picks one element uniformly, consuming rng entropy only when there is
+/// a choice to make — an empty candidate list is a graceful `None`, never
+/// a panic (campaign seeds must not be able to crash the engine).
+fn pick<T: Copy>(rng: &mut SmallRng, items: &[T]) -> Option<T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[rng.gen_range(0..items.len())])
     }
 }
 

@@ -38,6 +38,28 @@ echo "==> explore smoke (2 examples, portfolio 4, jobs 2)"
 cargo run --release -q -p crusade-bench --bin explore -- \
     --examples A1TR,VDRTX --jobs 2 --portfolio 4
 
+echo "==> resyn smoke (2 examples, exit-code convention)"
+# Exit 0: a lone PE fault must be warm-repairable on both examples.
+RESYN_DELTAS="$(mktemp)"
+trap 'rm -f "$RESYN_DELTAS"' EXIT
+echo '[{"FailPe":{"pe":0}}]' > "$RESYN_DELTAS"
+for example in a1tr vdrtx; do
+    cargo run --release -q -p crusade --bin crusade -- \
+        resyn "$example" --deltas "$RESYN_DELTAS"
+done
+# Exit 2: an impossible deadline must be rejected by admission, not
+# synthesized — and must report through findings, not `error:`.
+echo '[{"TightenDeadline":{"graph":0,"deadline":1}}]' > "$RESYN_DELTAS"
+set +e
+cargo run --release -q -p crusade --bin crusade -- \
+    resyn a1tr --deltas "$RESYN_DELTAS"
+resyn_code=$?
+set -e
+if [[ $resyn_code -ne 2 ]]; then
+    echo "resyn smoke: impossible tighten must exit 2, got $resyn_code" >&2
+    exit 1
+fi
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full audit sweep (8 examples, both modes + FT)"
     cargo test --release -q -p crusade-verify --test audit_examples -- --ignored
@@ -49,6 +71,9 @@ if [[ "${1:-}" == "--full" ]]; then
     cargo test --release -q -p crusade-explore --test determinism -- --ignored
     echo "==> trace acceptance sweep (8 examples, metrics vs audit, jobs-invariant)"
     cargo test --release -q -p crusade --test trace_examples -- --ignored
+    echo "==> online re-synthesis soak (8 examples, warm vs cold, soundness counters)"
+    cargo run --release -q -p crusade-bench --bin warmstart
+    cargo test --release -q -p crusade --test bench_artifacts warmstart
     echo "==> line-coverage ratchet (crates/core + crates/sched)"
     scripts/coverage.sh
 fi

@@ -146,3 +146,114 @@ fn unknown_command_exits_two() {
     let out = crusade(&["frobnicate"]);
     assert_eq!(exit_code(&out), 2);
 }
+
+/// Writes a JSON delta sequence next to the spec and returns its path.
+fn deltas_file(dir: &std::path::Path, name: &str, json: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, json).expect("writing deltas file");
+    path
+}
+
+#[test]
+fn resyn_warm_repair_exits_zero() {
+    let dir = temp_dir("resyn-warm");
+    let spec = sample_spec(&dir);
+    let deltas = deltas_file(&dir, "deltas.json", r#"[{"FailPe":{"pe":0}}]"#);
+    let out = crusade(&[
+        "resyn",
+        spec.to_str().expect("utf-8 temp path"),
+        "--deltas",
+        deltas.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "a lone PE failure must be warm-repairable: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("-> warm") || stdout.contains("-> in-place"),
+        "the accepted rung must be reported: {stdout}"
+    );
+}
+
+#[test]
+fn resyn_forced_restart_exits_one() {
+    let dir = temp_dir("resyn-degraded");
+    let spec = sample_spec(&dir);
+    let deltas = deltas_file(
+        &dir,
+        "deltas.json",
+        r#"[{"ScaleRate":{"graph":0,"percent":90}}]"#,
+    );
+    let out = crusade(&[
+        "resyn",
+        spec.to_str().expect("utf-8 temp path"),
+        "--deltas",
+        deltas.to_str().expect("utf-8 temp path"),
+        "--from-rung",
+        "portfolio",
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        1,
+        "a forced restart is graceful degradation: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("degraded"),
+        "degradation must be called out on stdout"
+    );
+}
+
+#[test]
+fn resyn_rejected_delta_exits_two() {
+    let dir = temp_dir("resyn-rejected");
+    let spec = sample_spec(&dir);
+    let deltas = deltas_file(
+        &dir,
+        "deltas.json",
+        r#"[{"TightenDeadline":{"graph":0,"deadline":1}}]"#,
+    );
+    let out = crusade(&[
+        "resyn",
+        spec.to_str().expect("utf-8 temp path"),
+        "--deltas",
+        deltas.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        2,
+        "an impossible deadline must be rejected by admission: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("rejected by admission"),
+        "the rejection reason belongs on stdout"
+    );
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "admission rejections are findings, not operational errors"
+    );
+}
+
+#[test]
+fn resyn_missing_deltas_file_exits_two() {
+    let dir = temp_dir("resyn-missing");
+    let spec = sample_spec(&dir);
+    let out = crusade(&[
+        "resyn",
+        spec.to_str().expect("utf-8 temp path"),
+        "--deltas",
+        "/nonexistent/deltas.json",
+    ]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "an unreadable deltas file is an operational error"
+    );
+}

@@ -1,0 +1,154 @@
+//! Property tests for the online re-synthesis ladder:
+//!
+//! * a delta followed by its inverse restores the specification, and the
+//!   ladder's final architecture is audit-clean at every point;
+//! * warm-start results are always audit-clean and never cheaper than
+//!   the sound `crusade-lint` cost lower bound — a warm result below the
+//!   bound would mean the repair path fabricated capacity.
+//!
+//! Every case runs full synthesis, so the case counts are deliberately
+//! small; the seeds still vary the workload shape (40–120 tasks, random
+//! graph structure) across runs of the suite.
+
+// Test code: controlled inputs unwrap freely.
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+
+use crusade::core::{CoSynthesis, CosynOptions};
+use crusade::explore::{resynthesize_sequence, ResynConfig};
+use crusade::lint::cost_lower_bound;
+use crusade::model::{Nanos, SpecDelta};
+use crusade::workloads::{blocks::sw_pipeline, paper_library, random_example};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A small deterministic late-arriving task graph.
+fn feature_graph(seed: u64) -> crusade::model::TaskGraph {
+    let paper = paper_library();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    sw_pipeline(&paper, &mut rng, "prop-feature", 4, Nanos::from_millis(20))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// AddTaskGraph followed by its inverse (RemoveTaskGraph of the new
+    /// id) restores the specification exactly, and the ladder's final
+    /// architecture passes an independent audit.
+    #[test]
+    fn add_then_inverse_restores_spec_audit_clean(seed in 0u64..1000) {
+        crusade::verify::install_auditor();
+        let paper = paper_library();
+        let spec = random_example(seed).build(&paper);
+        let options = CosynOptions::default();
+        let incumbent = CoSynthesis::new(&spec, &paper.lib)
+            .with_options(options.clone())
+            .run()
+            .unwrap();
+
+        let add = SpecDelta::AddTaskGraph { graph: feature_graph(seed) };
+        let remove = add.inverse(&spec).expect("AddTaskGraph has an inverse");
+        let deltas = vec![add, remove];
+        let out = resynthesize_sequence(
+            &spec,
+            &paper.lib,
+            incumbent,
+            &deltas,
+            &ResynConfig::default(),
+        )
+        .unwrap();
+
+        prop_assert_eq!(&out.spec, &spec, "delta+inverse must restore the spec");
+        let violations = crusade::verify::audit(
+            &out.spec,
+            &paper.lib,
+            &options.effective(),
+            &out.incumbent,
+        );
+        prop_assert!(
+            violations.is_empty(),
+            "final architecture is audit-dirty: {:?}",
+            violations
+        );
+    }
+
+    /// FailPe followed by its inverse (RestorePe) keeps every step on the
+    /// ladder audit-clean, and the final architecture passes an
+    /// independent audit of the unchanged specification.
+    #[test]
+    fn fault_then_inverse_stays_audit_clean(seed in 0u64..1000) {
+        crusade::verify::install_auditor();
+        let paper = paper_library();
+        let spec = random_example(seed).build(&paper);
+        let options = CosynOptions::default();
+        let incumbent = CoSynthesis::new(&spec, &paper.lib)
+            .with_options(options.clone())
+            .run()
+            .unwrap();
+        let dead = incumbent
+            .architecture
+            .pes()
+            .map(|(id, _)| u32::try_from(id.index()).unwrap())
+            .next()
+            .expect("a deployed architecture has a live PE");
+
+        let fail = SpecDelta::FailPe { pe: dead };
+        let restore = fail.inverse(&spec).expect("FailPe has an inverse");
+        let deltas = vec![fail, restore];
+        let out = resynthesize_sequence(
+            &spec,
+            &paper.lib,
+            incumbent,
+            &deltas,
+            &ResynConfig::default(),
+        )
+        .unwrap();
+
+        prop_assert_eq!(&out.spec, &spec, "faults must not change the spec");
+        let violations = crusade::verify::audit(
+            &out.spec,
+            &paper.lib,
+            &options.effective(),
+            &out.incumbent,
+        );
+        prop_assert!(
+            violations.is_empty(),
+            "final architecture is audit-dirty: {:?}",
+            violations
+        );
+    }
+
+    /// A warm-start result can be more expensive than a cold one — it
+    /// preserves the incumbent — but it can never beat the sound
+    /// bin-packing cost lower bound for the new specification.
+    #[test]
+    fn warm_results_never_beat_the_cost_lower_bound(seed in 0u64..1000) {
+        crusade::verify::install_auditor();
+        let paper = paper_library();
+        let spec = random_example(seed).build(&paper);
+        let options = CosynOptions::default();
+        let incumbent = CoSynthesis::new(&spec, &paper.lib)
+            .with_options(options.clone())
+            .run()
+            .unwrap();
+
+        let deltas = vec![SpecDelta::AddTaskGraph { graph: feature_graph(seed ^ 0xA5A5) }];
+        let out = resynthesize_sequence(
+            &spec,
+            &paper.lib,
+            incumbent,
+            &deltas,
+            &ResynConfig::default(),
+        )
+        .unwrap();
+
+        let floor = cost_lower_bound(&out.spec, &paper.lib, &options.lint_options());
+        prop_assert!(
+            out.incumbent.report.cost >= floor,
+            "warm result {} beats the sound lower bound {}",
+            out.incumbent.report.cost,
+            floor
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Golden-trace harness for the online re-synthesis ladder: the
+//! structured trace of a warm-start repair sequence on the video-router
+//! showcase is committed under `tests/golden/` and must stay
+//! byte-identical — across runs, across `--jobs` values, and across
+//! refactors that do not intend to change re-synthesis behaviour.
+//!
+//! The traced sequence (a PE failure, a deadline tighten within slack,
+//! and the PE's restoration) stays on the warm rungs, which are
+//! single-threaded by design — so worker count can never leak into the
+//! trace bytes.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! CRUSADE_REGEN_GOLDEN=1 cargo test --test resyn_warmstart
+//! git diff tests/golden/   # review the behavioural delta
+//! ```
+
+// Test code: controlled inputs unwrap freely.
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crusade::core::{CoSynthesis, CosynOptions};
+use crusade::explore::{resynthesize_sequence, ResynConfig, ResynOutcome, Rung};
+use crusade::model::{GraphId, Nanos, SpecDelta};
+use crusade::obs::{check_span_nesting, parse_jsonl, Event, TraceSink};
+use crusade::workloads::{paper_library, video_router};
+
+const GOLDEN: &str = "video_router.warmstart.jsonl";
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(GOLDEN)
+}
+
+/// The golden delta sequence: fault, tighten-within-slack, restore.
+fn deltas(spec: &crusade::model::SystemSpec, dead: u32) -> Vec<SpecDelta> {
+    let current = spec.graph(GraphId::new(0)).deadline();
+    vec![
+        SpecDelta::FailPe { pe: dead },
+        SpecDelta::TightenDeadline {
+            graph: GraphId::new(0),
+            deadline: Nanos::from_nanos(current.as_nanos() * 99 / 100),
+        },
+        SpecDelta::RestorePe { pe: dead },
+    ]
+}
+
+/// Runs the golden sequence at the given job count with a trace sink
+/// attached to the ladder (the incumbent synthesis is untraced).
+fn warm_trace(jobs: usize) -> (String, ResynOutcome) {
+    crusade::verify::install_auditor();
+    let paper = paper_library();
+    let spec = video_router(&paper);
+    let incumbent = CoSynthesis::new(&spec, &paper.lib).run().unwrap();
+    let dead = incumbent
+        .architecture
+        .pes()
+        .map(|(id, _)| u32::try_from(id.index()).unwrap())
+        .next()
+        .expect("video router deploys at least one PE");
+    let sink = Arc::new(TraceSink::new());
+    let config = ResynConfig {
+        jobs,
+        base: CosynOptions::default().with_observer(sink.clone()),
+        ..ResynConfig::default()
+    };
+    let out = resynthesize_sequence(&spec, &paper.lib, incumbent, &deltas(&spec, dead), &config)
+        .expect("the golden sequence is warm-repairable");
+    (sink.to_jsonl(), out)
+}
+
+#[test]
+fn warmstart_trace_is_golden_and_jobs_invariant() {
+    let (trace, out) = warm_trace(1);
+
+    // The premise behind byte-stability: every delta stays on the
+    // single-threaded warm rungs.
+    for step in &out.report.steps {
+        assert!(
+            matches!(step.rung, Rung::InPlace | Rung::Warm | Rung::Widened),
+            "golden sequence degraded at delta {}: {:?}",
+            step.index,
+            step.rung
+        );
+    }
+    assert!(!out.report.degraded);
+
+    for jobs in [2, 8] {
+        let (other, other_out) = warm_trace(jobs);
+        assert_eq!(
+            trace, other,
+            "trace differs between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(
+            out.incumbent.report.cost, other_out.incumbent.report.cost,
+            "final cost differs at --jobs {jobs}"
+        );
+        assert_eq!(
+            out.incumbent.report.pe_count, other_out.incumbent.report.pe_count,
+            "final PE count differs at --jobs {jobs}"
+        );
+    }
+
+    // Structural invariants: dense sequence numbers, balanced spans, and
+    // the resyn vocabulary actually present.
+    let records = parse_jsonl(&trace)
+        .unwrap_or_else(|(line, e)| panic!("line {line} is not a trace record: {e}"));
+    assert!(!records.is_empty(), "empty warm-start trace");
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "seq numbers must be dense");
+    }
+    check_span_nesting(&records).unwrap_or_else(|e| panic!("span nesting violated: {e}"));
+    let applied = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::DeltaApplied { .. }))
+        .count();
+    let admitted = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::AdmissionChecked { admitted: true, .. }))
+        .count();
+    let completed = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::ResynStepComplete { .. }))
+        .count();
+    assert_eq!(applied, 3, "one DeltaApplied per delta");
+    assert_eq!(admitted, 3, "every golden delta is admissible");
+    assert_eq!(completed, 3, "one ResynStepComplete per delta");
+
+    let golden = golden_path();
+    if std::env::var_os("CRUSADE_REGEN_GOLDEN").is_some() {
+        std::fs::write(&golden, &trace)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", golden.display()));
+        return;
+    }
+    let committed = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e}\nregenerate with: CRUSADE_REGEN_GOLDEN=1 cargo test --test resyn_warmstart",
+            golden.display()
+        )
+    });
+    assert!(
+        committed == trace,
+        "warm-start trace diverged from the committed golden ({} vs {} bytes). If the \
+         behaviour change is intentional, regenerate with CRUSADE_REGEN_GOLDEN=1 and \
+         review the diff.",
+        committed.len(),
+        trace.len()
+    );
+}

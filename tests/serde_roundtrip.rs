@@ -42,3 +42,53 @@ fn malformed_spec_is_rejected_cleanly() {
     let err = serde_json::from_str::<SystemSpec>("{\"graphs\": 3}").unwrap_err();
     assert!(err.to_string().contains("invalid"));
 }
+
+#[test]
+fn damage_round_trips() {
+    use crusade::core::Damage;
+    let damages = [
+        Damage::ExecInflated,
+        Damage::ErufTightened,
+        Damage::BootDegraded,
+    ];
+    for damage in damages {
+        let json = serde_json::to_string(&damage).unwrap();
+        let back: Damage = serde_json::from_str(&json).unwrap();
+        assert_eq!(damage, back, "{json}");
+    }
+}
+
+#[test]
+fn repair_outcome_round_trips() {
+    use crusade::core::{repair, CoSynthesis, CosynOptions, Damage, RepairOptions, RepairOutcome};
+    let lib = paper_library();
+    let spec = paper_examples()[0].build(&lib);
+    let options = CosynOptions::default();
+    let deployed = CoSynthesis::new(&spec, &lib.lib)
+        .with_options(options.clone())
+        .run()
+        .unwrap();
+    let dead = deployed
+        .architecture
+        .pes()
+        .map(|(id, _)| id)
+        .next()
+        .expect("deployed architecture has a live PE");
+    let outcome = repair(
+        &spec,
+        &lib.lib,
+        &options,
+        &deployed,
+        &Damage::PeLost(dead),
+        &RepairOptions::default(),
+    )
+    .expect("a lone PE loss is repairable");
+    // `RepairOutcome` carries the full architecture, which has no
+    // `PartialEq`: a faithful round-trip re-serializes to the same JSON.
+    let json = serde_json::to_string(&outcome).unwrap();
+    let back: RepairOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(json, serde_json::to_string(&back).unwrap());
+    assert_eq!(outcome.moved_clusters, back.moved_clusters);
+    assert_eq!(outcome.added_cost, back.added_cost);
+    assert_eq!(outcome.new_pes, back.new_pes);
+}
