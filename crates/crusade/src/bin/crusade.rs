@@ -29,6 +29,12 @@
 //!                                             drive a JSON sequence of spec
 //!                                             deltas through the online
 //!                                             re-synthesis escalation ladder
+//! crusade serve [--addr HOST:PORT] [--workers N]
+//!                                             run the synthesis-as-a-service
+//!                                             daemon until a Shutdown request
+//! crusade client <verb> --addr HOST:PORT     submit / status / cancel / resyn /
+//!                                             stats / shutdown against a
+//!                                             running daemon
 //! ```
 //!
 //! `synth` and `explore` accept `--metrics`: a metrics accumulator is
@@ -93,6 +99,15 @@ commands:
                                                (--from-rung warm|widened|portfolio|cold
                                                skips the cheaper rungs — a forced
                                                restart)
+  serve [--addr HOST:PORT] [--workers N] [--jobs N] [--queue-cap N] [--quota N]
+        [--port-file path]                     synthesis-as-a-service daemon:
+                                               newline-delimited JSON over TCP,
+                                               spec-fingerprint result cache,
+                                               graceful drain via a Shutdown
+                                               request (exit 0)
+  client <submit|status|cancel|resyn|stats|shutdown> --addr HOST:PORT ...
+                                               talk to a running daemon (see
+                                               `crusade client` for verb usage)
 
 exit codes (lint, audit):
   0  clean — no findings (informational bounds do not count)
@@ -664,6 +679,188 @@ fn cmd_resyn(args: &[String]) -> Result<u8, String> {
     }
 }
 
+/// Runs the synthesis-as-a-service daemon until a `Shutdown` request
+/// drains it. Signal-free by design: the drain is part of the protocol,
+/// so a clean exit is always exit code 0.
+fn cmd_serve(args: &[String]) -> Result<u8, String> {
+    let addr = flag_str(args, "--addr")?
+        .unwrap_or("127.0.0.1:0")
+        .to_string();
+    let workers = flag_usize(args, "--workers")?.unwrap_or(2).max(1);
+    let jobs = flag_usize(args, "--jobs")?.unwrap_or(1).max(1);
+    let queue_cap = flag_usize(args, "--queue-cap")?.unwrap_or(64).max(1);
+    let quota = flag_usize(args, "--quota")?.unwrap_or(8).max(1);
+    let port_file = flag_str(args, "--port-file")?.map(str::to_string);
+    let config = crusade::serve::ServeConfig {
+        addr,
+        workers,
+        jobs_per_explore: jobs,
+        queue_cap,
+        client_quota: quota,
+        ..crusade::serve::ServeConfig::default()
+    };
+    let report = crusade::serve::serve(config, |addr| {
+        println!("serve: listening on {addr} ({workers} workers)");
+        if let Some(path) = &port_file {
+            if let Err(e) = std::fs::write(path, addr.to_string()) {
+                eprintln!("serve: writing {path}: {e}");
+            }
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    println!(
+        "serve: drained — {} running job(s) finished, {} queued job(s) cancelled",
+        report.drained, report.cancelled
+    );
+    Ok(EXIT_CLEAN)
+}
+
+/// Builds the wire payload a client sends: the same shape a spec file
+/// holds, resolved locally so the server needs no benchmark knowledge.
+fn client_payload(arg: &str) -> Result<crusade::serve::SpecPayload, String> {
+    let (library, spec) = load_or_example(arg)?;
+    Ok(crusade::serve::SpecPayload { library, spec })
+}
+
+/// Talks to a running daemon: submit, status, cancel, resyn, stats,
+/// shutdown.
+///
+/// Exit codes: **0** — success (for `resyn`, every delta on a warm
+/// rung); **1** — `resyn` succeeded but degraded to a restart rung;
+/// **2** — refused or failed (admission, infeasibility, transport).
+fn cmd_client(args: &[String]) -> Result<u8, String> {
+    const CLIENT_USAGE: &str = "usage: crusade client <verb> --addr HOST:PORT ...\n\
+         verbs:\n  submit <spec.json|example-name> [--portfolio M] [--no-reconfig] [--stream] [--name ID]\n\
+         \x20 status <job-id>\n  cancel <job-id>\n\
+         \x20 resyn <spec.json|example-name> --deltas <deltas.json> [--portfolio M] [--no-reconfig] [--name ID]\n\
+         \x20 stats\n  shutdown";
+    let (verb, rest) = args.split_first().ok_or(CLIENT_USAGE)?;
+    let addr = flag_str(args, "--addr")?.ok_or("client needs --addr HOST:PORT")?;
+    let name = flag_str(args, "--name")?.unwrap_or("cli");
+    let client = crusade::serve::ServeClient::new(addr, name);
+    match verb.as_str() {
+        "submit" => {
+            let arg = rest.first().ok_or(CLIENT_USAGE)?;
+            let payload = client_payload(arg)?;
+            let portfolio = flag_usize(args, "--portfolio")?.unwrap_or(8).max(1);
+            let reconfiguration = !args.iter().any(|a| a == "--no-reconfig");
+            let stream = args.iter().any(|a| a == "--stream");
+            let result = client
+                .submit(payload, portfolio, reconfiguration, stream, |event| {
+                    eprintln!("event {}: {}", event.seq, event.event.kind());
+                })
+                .map_err(|e| e.to_string())?;
+            println!(
+                "client: job #{} -> {} PEs, {} links, ${} (policy #{}, fingerprint {}{}{})",
+                result.job,
+                result.pes,
+                result.links,
+                result.cost,
+                result.policy,
+                result.fingerprint,
+                if result.cached { ", cached" } else { "" },
+                if result.coalesced { ", coalesced" } else { "" },
+            );
+            Ok(EXIT_CLEAN)
+        }
+        "status" => {
+            let id: u64 = rest
+                .first()
+                .ok_or(CLIENT_USAGE)?
+                .parse()
+                .map_err(|e| format!("job id: {e}"))?;
+            let status = client.status(id).map_err(|e| e.to_string())?;
+            println!(
+                "client: job #{} is {}{}",
+                status.job,
+                status.state,
+                if status.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", status.detail)
+                }
+            );
+            Ok(EXIT_CLEAN)
+        }
+        "cancel" => {
+            let id: u64 = rest
+                .first()
+                .ok_or(CLIENT_USAGE)?
+                .parse()
+                .map_err(|e| format!("job id: {e}"))?;
+            let status = client.cancel(id).map_err(|e| e.to_string())?;
+            println!("client: job #{} is {}", status.job, status.state);
+            Ok(EXIT_CLEAN)
+        }
+        "resyn" => {
+            let arg = rest.first().ok_or(CLIENT_USAGE)?;
+            let payload = client_payload(arg)?;
+            let deltas_path =
+                flag_str(args, "--deltas")?.ok_or("client resyn needs --deltas <deltas.json>")?;
+            let text = std::fs::read_to_string(deltas_path)
+                .map_err(|e| format!("reading {deltas_path}: {e}"))?;
+            let deltas: Vec<crusade::model::SpecDelta> =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {deltas_path}: {e}"))?;
+            let portfolio = flag_usize(args, "--portfolio")?.unwrap_or(4).max(1);
+            let reconfiguration = !args.iter().any(|a| a == "--no-reconfig");
+            let result = client
+                .resyn(payload, deltas, portfolio, reconfiguration)
+                .map_err(|e| e.to_string())?;
+            for step in &result.steps {
+                println!(
+                    "delta {:>3}  {:<18} -> {:<9} (cost ${})",
+                    step.index, step.kind, step.rung, step.cost
+                );
+            }
+            println!(
+                "client: resyn job #{} — incumbent ${}{}, final ${}{}",
+                result.job,
+                result.incumbent_cost,
+                if result.incumbent_cached {
+                    " (cached)"
+                } else {
+                    " (cold)"
+                },
+                result.final_cost,
+                if result.degraded { ", degraded" } else { "" },
+            );
+            Ok(if result.degraded {
+                EXIT_WARNINGS
+            } else {
+                EXIT_CLEAN
+            })
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "client: {} submitted, {} completed, {} cancelled, {} failed; cache {} hit(s) / \
+                 {} miss(es), {} coalesced; {} rejected; queue {} deep, {} running{}",
+                stats.submitted,
+                stats.completed,
+                stats.cancelled,
+                stats.failed,
+                stats.cache_hits,
+                stats.cache_misses,
+                stats.coalesced,
+                stats.rejected,
+                stats.queue_len,
+                stats.running,
+                if stats.draining { ", draining" } else { "" },
+            );
+            Ok(EXIT_CLEAN)
+        }
+        "shutdown" => {
+            let report = client.shutdown().map_err(|e| e.to_string())?;
+            println!(
+                "client: server drained — {} finished, {} cancelled",
+                report.drained, report.cancelled
+            );
+            Ok(EXIT_CLEAN)
+        }
+        other => Err(format!("unknown client verb {other}\n{CLIENT_USAGE}")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -682,6 +879,8 @@ fn main() -> ExitCode {
             "explore" => cmd_explore(rest),
             "trace" => cmd_trace(rest),
             "resyn" => cmd_resyn(rest),
+            "serve" => cmd_serve(rest),
+            "client" => cmd_client(rest),
             "help" => {
                 println!("{USAGE}");
                 Ok(EXIT_CLEAN)

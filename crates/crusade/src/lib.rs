@@ -22,6 +22,9 @@
 //! * [`explore`] — parallel multi-start design-space exploration over
 //!   policy portfolios, with a shared evaluation cache and cost lower
 //!   bounds;
+//! * [`serve`] — synthesis as a service: a batched co-synthesis daemon
+//!   with admission queueing, a spec-fingerprint architecture cache and
+//!   warm-start re-synthesis against cached incumbents;
 //! * [`workloads`] — deterministic reconstructions of the paper's
 //!   benchmarks.
 //!
@@ -56,6 +59,7 @@ pub use crusade_lint as lint;
 pub use crusade_model as model;
 pub use crusade_obs as obs;
 pub use crusade_sched as sched;
+pub use crusade_serve as serve;
 pub use crusade_verify as verify;
 pub use crusade_workloads as workloads;
 

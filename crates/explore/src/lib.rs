@@ -40,14 +40,17 @@
 //! # Examples
 //!
 //! ```
-//! use crusade_explore::{explore, ExploreConfig};
+//! use crusade_explore::{explore, ExploreConfig, ExploreError};
 //! use crusade_workloads::{paper_library, random_example};
 //!
+//! # fn main() -> Result<(), ExploreError> {
 //! let lib = paper_library();
 //! let spec = random_example(7).build(&lib);
-//! let outcome = explore(&spec, &lib.lib, &ExploreConfig::new(4, 2)).expect("feasible");
+//! let outcome = explore(&spec, &lib.lib, &ExploreConfig::new(4, 2))?;
 //! assert_eq!(outcome.stats.portfolio, 4);
 //! // The winner is audit-clean by construction.
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -89,6 +92,11 @@ pub struct ExploreConfig {
     pub base: CosynOptions,
     /// Whether members share the negative evaluation cache.
     pub share_cache: bool,
+    /// External cooperative-cancellation token. When set, raising the
+    /// flag aborts every member at its next allocation step (status
+    /// [`MemberStatus::Cancelled`]); when `None` the exploration owns a
+    /// private, never-raised flag.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl ExploreConfig {
@@ -99,12 +107,19 @@ impl ExploreConfig {
             jobs,
             base: CosynOptions::default(),
             share_cache: true,
+            cancel: None,
         }
     }
 
     /// Replaces the base synthesis options (builder style).
     pub fn with_base(mut self, base: CosynOptions) -> Self {
         self.base = base;
+        self
+    }
+
+    /// Attaches an external cancellation token (builder style).
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -309,7 +324,8 @@ pub fn explore_portfolio(
 ) -> Result<ExploreOutcome, ExploreError> {
     let incumbent = CostIncumbent::new();
     let cache = EvalCache::new();
-    let cancel = AtomicBool::new(false);
+    let local_cancel = AtomicBool::new(false);
+    let cancel: &AtomicBool = config.cancel.as_deref().unwrap_or(&local_cancel);
     let floor = cost_lower_bound(spec, lib, &config.base.lint_options());
     // Best (cost, policy-id) achieved by an audit-clean member so far;
     // feeds the lint-floor skip rule only — the final reduction re-scans
@@ -335,7 +351,7 @@ pub fn explore_portfolio(
                     floor,
                     &incumbent,
                     &cache,
-                    &cancel,
+                    cancel,
                     &best_clean,
                 );
                 if let Ok(mut slot) = slots[i].lock() {

@@ -407,6 +407,7 @@ pub fn resynthesize_sequence(
                     jobs: config.jobs,
                     base: config.base.clone(),
                     share_cache: true,
+                    cancel: None,
                 };
                 crate::explore_portfolio(
                     &spec_after,

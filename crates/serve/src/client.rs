@@ -1,0 +1,210 @@
+//! A blocking client for the `crusade-serve` protocol.
+//!
+//! Each call opens one TCP connection, writes one request frame, and
+//! reads response frames until the final (non-event) one — mirroring the
+//! server's one-request-per-connection model. The client is what the
+//! `crusade client` subcommand and the serve soak bench are built on.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crusade_model::SpecDelta;
+
+use crate::dto::{
+    decode_response, encode_frame, DrainReport, JobEvent, JobRef, JobResult, JobStatus,
+    ProtocolError, Request, RequestBody, ResponseBody, ResynRequest, ResynResult, ServerStats,
+    ShutdownRequest, SpecPayload, StatsRequest, SubmitRequest, PROTOCOL_VERSION,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, writing or reading the socket failed.
+    Io(String),
+    /// The server's bytes did not decode as a protocol frame.
+    Protocol(ProtocolError),
+    /// The server answered with a typed error frame.
+    Server(ProtocolError),
+    /// The server answered with a frame of the wrong shape for the call.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(d) => write!(f, "i/o: {d}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(e) => write!(f, "server refused: {e}"),
+            ClientError::Unexpected(d) => write!(f, "unexpected response: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A handle on a running `crusade-serve` daemon.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: String,
+    client: String,
+}
+
+impl ServeClient {
+    /// A client of the daemon at `addr`, identifying as `client` (the
+    /// admission-quota unit).
+    pub fn new(addr: impl Into<String>, client: impl Into<String>) -> Self {
+        ServeClient {
+            addr: addr.into(),
+            client: client.into(),
+        }
+    }
+
+    /// One round trip: connect, send, read frames until a non-event
+    /// response, handing each event frame to `on_event`.
+    fn call(
+        &self,
+        body: RequestBody,
+        mut on_event: impl FnMut(&JobEvent),
+    ) -> Result<ResponseBody, ClientError> {
+        let stream = TcpStream::connect(&self.addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let request = Request {
+            v: PROTOCOL_VERSION,
+            client: self.client.clone(),
+            body,
+        };
+        let line = encode_frame(&request).map_err(ClientError::Protocol)?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        writer
+            .write_all(line.as_bytes())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        writer.flush().map_err(|e| ClientError::Io(e.to_string()))?;
+        let reader = BufReader::new(stream);
+        for frame in reader.lines() {
+            let frame = frame.map_err(|e| ClientError::Io(e.to_string()))?;
+            if frame.trim().is_empty() {
+                continue;
+            }
+            let response = decode_response(&frame).map_err(ClientError::Protocol)?;
+            match response.body {
+                ResponseBody::Event(event) => on_event(&event),
+                other => return Ok(other),
+            }
+        }
+        Err(ClientError::Io(
+            "connection closed before a final response frame".to_string(),
+        ))
+    }
+
+    /// Submits a specification and blocks until the winner (or a cache
+    /// hit). `on_event` receives streamed progress frames when `stream`
+    /// is set.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or a server refusal
+    /// (admission, infeasibility, cancellation).
+    pub fn submit(
+        &self,
+        payload: SpecPayload,
+        portfolio: usize,
+        reconfiguration: bool,
+        stream: bool,
+        on_event: impl FnMut(&JobEvent),
+    ) -> Result<JobResult, ClientError> {
+        let body = RequestBody::Submit(SubmitRequest {
+            payload,
+            portfolio,
+            reconfiguration,
+            stream,
+        });
+        match self.call(body, on_event)? {
+            ResponseBody::Result(result) => Ok(result),
+            ResponseBody::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Queries a job's state.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; unknown job ids come back as a server refusal.
+    pub fn status(&self, job: u64) -> Result<JobStatus, ClientError> {
+        match self.call(RequestBody::Status(JobRef { job }), |_| {})? {
+            ResponseBody::Status(status) => Ok(status),
+            ResponseBody::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Requests cooperative cancellation of a job.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; unknown job ids come back as a server refusal.
+    pub fn cancel(&self, job: u64) -> Result<JobStatus, ClientError> {
+        match self.call(RequestBody::Cancel(JobRef { job }), |_| {})? {
+            ResponseBody::Cancelled(status) => Ok(status),
+            ResponseBody::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Applies spec deltas against the (cached) incumbent of `payload`
+    /// via the warm-start escalation ladder; blocks until the ladder
+    /// finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; rejected or infeasible deltas come back as a
+    /// server refusal of kind `Infeasible`.
+    pub fn resyn(
+        &self,
+        payload: SpecPayload,
+        deltas: Vec<SpecDelta>,
+        portfolio: usize,
+        reconfiguration: bool,
+    ) -> Result<ResynResult, ClientError> {
+        let body = RequestBody::Resyn(ResynRequest {
+            payload,
+            deltas,
+            portfolio,
+            reconfiguration,
+        });
+        match self.call(body, |_| {})? {
+            ResponseBody::Resyn(result) => Ok(result),
+            ResponseBody::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure.
+    pub fn stats(&self) -> Result<ServerStats, ClientError> {
+        match self.call(RequestBody::Stats(StatsRequest {}), |_| {})? {
+            ResponseBody::Stats(stats) => Ok(stats),
+            ResponseBody::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit; blocks until the drain is
+    /// complete.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; a second shutdown while one is draining comes
+    /// back as a server refusal of kind `Draining`.
+    pub fn shutdown(&self) -> Result<DrainReport, ClientError> {
+        match self.call(RequestBody::Shutdown(ShutdownRequest {}), |_| {})? {
+            ResponseBody::ShuttingDown(report) => Ok(report),
+            ResponseBody::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Spec fingerprinting: the cache key of the architecture cache.
+//!
+//! The fingerprint is a 64-bit FNV-1a hash of the *canonical JSON* of
+//! the submission's semantic inputs: the resource library, the system
+//! specification, the portfolio size and the reconfiguration flag.
+//! Canonical JSON here means the vendored serializer's output over the
+//! derive-generated [`serde::Value`] tree — struct fields serialize in
+//! declaration order and maps preserve insertion order, so the byte
+//! string (and therefore the hash) is stable across runs, platforms and
+//! `--jobs` values. Two submissions collide on a fingerprint exactly
+//! when synthesis would be handed identical inputs, which is what makes
+//! returning the cached winner sound: synthesis is deterministic in
+//! those inputs.
+
+use serde::{Serialize, Value};
+
+use crate::dto::SpecPayload;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Computes the spec fingerprint (16 hex digits) of a submission.
+///
+/// # Errors
+///
+/// Propagates a serialization failure of the payload (non-finite floats
+/// in the specification) as the serializer's error message.
+pub fn fingerprint(
+    payload: &SpecPayload,
+    portfolio: usize,
+    reconfiguration: bool,
+) -> Result<String, String> {
+    let canonical = Value::Map(vec![
+        ("payload".to_string(), payload.serialize_value()),
+        ("portfolio".to_string(), Value::U64(portfolio as u64)),
+        ("reconfiguration".to_string(), Value::Bool(reconfiguration)),
+    ]);
+    let text = serde_json::to_string(&canonical).map_err(|e| e.to_string())?;
+    Ok(format!("{:016x}", fnv1a(text.as_bytes())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusade_workloads::motivating_example;
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let (lib, spec) = motivating_example();
+        let payload = SpecPayload {
+            library: lib,
+            spec: spec.clone(),
+        };
+        let a = fingerprint(&payload, 4, true).unwrap();
+        let b = fingerprint(&payload, 4, true).unwrap();
+        assert_eq!(a, b, "same inputs must fingerprint identically");
+        assert_eq!(a.len(), 16);
+
+        let c = fingerprint(&payload, 8, true).unwrap();
+        assert_ne!(a, c, "portfolio size is part of the key");
+        let d = fingerprint(&payload, 4, false).unwrap();
+        assert_ne!(a, d, "reconfiguration flag is part of the key");
+    }
+}

@@ -32,7 +32,8 @@ echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
     -p crusade-model -p crusade-obs -p crusade-fabric -p crusade-sched \
     -p crusade-lint -p crusade-core -p crusade-ft -p crusade-verify \
-    -p crusade-explore -p crusade-workloads -p crusade-bench -p crusade
+    -p crusade-explore -p crusade-serve -p crusade-workloads -p crusade-bench \
+    -p crusade
 
 echo "==> explore smoke (2 examples, portfolio 4, jobs 2)"
 cargo run --release -q -p crusade-bench --bin explore -- \
@@ -60,6 +61,45 @@ if [[ $resyn_code -ne 2 ]]; then
     exit 1
 fi
 
+echo "==> serve smoke (ephemeral port, submit + cache hit + clean shutdown)"
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SERVE_DIR"; rm -f "$RESYN_DELTAS"' EXIT
+cargo run --release -q -p crusade --bin crusade -- sample "$SERVE_DIR/spec.json"
+cargo run --release -q -p crusade --bin crusade -- \
+    serve --addr 127.0.0.1:0 --workers 1 --port-file "$SERVE_DIR/port.txt" \
+    > "$SERVE_DIR/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$SERVE_DIR/port.txt" ]] && break
+    sleep 0.1
+done
+if [[ ! -s "$SERVE_DIR/port.txt" ]]; then
+    echo "serve smoke: server never wrote its port file" >&2
+    cat "$SERVE_DIR/serve.log" >&2
+    exit 1
+fi
+serve_addr="$(cat "$SERVE_DIR/port.txt")"
+# First submission synthesizes and must report audit-clean figures.
+cargo run --release -q -p crusade --bin crusade -- \
+    client submit "$SERVE_DIR/spec.json" --addr "$serve_addr" --portfolio 2 \
+    | tee "$SERVE_DIR/first.txt"
+# The duplicate must be served from the fingerprint cache.
+cargo run --release -q -p crusade --bin crusade -- \
+    client submit "$SERVE_DIR/spec.json" --addr "$serve_addr" --portfolio 2 \
+    | tee "$SERVE_DIR/second.txt"
+if ! grep -q "cached" "$SERVE_DIR/second.txt"; then
+    echo "serve smoke: duplicate submission missed the cache" >&2
+    exit 1
+fi
+# Graceful drain: the Shutdown request alone must exit the server with 0.
+cargo run --release -q -p crusade --bin crusade -- \
+    client shutdown --addr "$serve_addr"
+if ! wait "$serve_pid"; then
+    echo "serve smoke: server exited non-zero after drain" >&2
+    cat "$SERVE_DIR/serve.log" >&2
+    exit 1
+fi
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full audit sweep (8 examples, both modes + FT)"
     cargo test --release -q -p crusade-verify --test audit_examples -- --ignored
@@ -74,6 +114,9 @@ if [[ "${1:-}" == "--full" ]]; then
     echo "==> online re-synthesis soak (8 examples, warm vs cold, soundness counters)"
     cargo run --release -q -p crusade-bench --bin warmstart
     cargo test --release -q -p crusade --test bench_artifacts warmstart
+    echo "==> serve soak (4 clients x 8 examples, parity + cache + warm resyn)"
+    cargo run --release -q -p crusade-bench --bin serve
+    cargo test --release -q -p crusade --test bench_artifacts serve
     echo "==> line-coverage ratchet (crates/core + crates/sched)"
     scripts/coverage.sh
 fi
