@@ -6,14 +6,109 @@
 //!
 //! ```text
 //! campaign [--seeds N] [--examples M] [--no-reconfig]
+//!          [--gen gen:SEED[:UTIL[:GRAPHS[:TIGHTNESS]]]] [--spec FILE]
 //! ```
 //!
-//! Defaults: 13 seeds across all 8 examples (104 scenarios). Exits
-//! nonzero if any scenario ends audit-dirty.
+//! Defaults: 13 seeds across all 8 examples (104 scenarios). `--gen`
+//! runs the campaign against a `crusade-gen` generated family instead of
+//! the built-ins; `--spec` against an external `{library, spec}` JSON
+//! file. Exits nonzero if any scenario ends audit-dirty.
 
 use crusade_core::{CoSynthesis, CosynOptions};
+use crusade_gen::{generate_payload, GenConfig};
+use crusade_model::{ResourceLibrary, SystemSpec};
 use crusade_verify::{audit, inject, Outcome};
 use crusade_workloads::{paper_examples, paper_library};
+use serde::Deserialize;
+
+/// The on-disk payload `crusade synth` consumes: the campaign accepts
+/// the same files via `--spec`.
+#[derive(Deserialize)]
+struct SpecFile {
+    library: ResourceLibrary,
+    spec: SystemSpec,
+}
+
+/// One campaign target: where the spec came from, the library it is
+/// synthesized against, and the base of its fault-seed stream.
+struct Target {
+    name: String,
+    library: ResourceLibrary,
+    spec: SystemSpec,
+    seed_base: u64,
+}
+
+fn flag_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Resolves `--gen` / `--spec` into explicit targets; defaults to the
+/// first `example_cap` built-in paper examples.
+fn targets(args: &[String], example_cap: usize) -> Vec<Target> {
+    let mut targets = Vec::new();
+    if let Some(reference) = flag_str(args, "--gen") {
+        let config = match GenConfig::from_ref(&reference) {
+            Some(Ok(config)) => config,
+            Some(Err(e)) => {
+                eprintln!("--gen {reference}: {e}");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!(
+                    "--gen {reference}: expected a gen:SEED[:UTIL[:GRAPHS[:TIGHTNESS]]] reference"
+                );
+                std::process::exit(1);
+            }
+        };
+        let (library, spec) = generate_payload(&config);
+        targets.push(Target {
+            name: format!("gen{}", config.seed),
+            library,
+            spec,
+            seed_base: config.seed.wrapping_mul(5),
+        });
+    }
+    if let Some(path) = flag_str(args, "--spec") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("--spec {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let file: SpecFile = match serde_json::from_str(&text) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("--spec {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        targets.push(Target {
+            name: path,
+            library: file.library,
+            spec: file.spec,
+            seed_base: 1,
+        });
+    }
+    if targets.is_empty() {
+        let lib = paper_library();
+        for ex in paper_examples().iter().take(example_cap) {
+            targets.push(Target {
+                name: ex.name.to_string(),
+                library: lib.lib.clone(),
+                spec: ex.build(&lib),
+                // Decorrelate the per-example seed streams so every
+                // example sees all five fault kinds at different
+                // victims/severities (keeps kind = seed % 5 cycling).
+                seed_base: ex.seed.wrapping_mul(5),
+            });
+        }
+    }
+    targets
+}
 
 struct Tally {
     survived: u64,
@@ -40,7 +135,6 @@ fn main() {
         CosynOptions::default()
     };
 
-    let lib = paper_library();
     let mut total = Tally {
         survived: 0,
         degraded: 0,
@@ -49,23 +143,22 @@ fn main() {
     };
     let mut scenarios = 0u64;
 
-    for ex in paper_examples().iter().take(example_cap) {
-        let spec = ex.build(&lib);
-        let deployed = match CoSynthesis::new(&spec, &lib.lib)
+    for target in targets(&args, example_cap) {
+        let (name, spec) = (&target.name, &target.spec);
+        let deployed = match CoSynthesis::new(spec, &target.library)
             .with_options(options.clone())
             .run()
         {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("{}: synthesis failed: {e}", ex.name);
+                eprintln!("{name}: synthesis failed: {e}");
                 std::process::exit(1);
             }
         };
-        let baseline = audit(&spec, &lib.lib, &options, &deployed);
+        let baseline = audit(spec, &target.library, &options, &deployed);
         if !baseline.is_empty() {
             eprintln!(
-                "{}: pre-injection audit dirty ({} violations)",
-                ex.name,
+                "{name}: pre-injection audit dirty ({} violations)",
                 baseline.len()
             );
             for v in &baseline {
@@ -80,12 +173,9 @@ fn main() {
             failed: 0,
             dirty: 0,
         };
-        // Decorrelate the per-example seed streams so every example sees
-        // all five fault kinds at different victims/severities.
-        let base = ex.seed.wrapping_mul(5); // keeps kind = seed % 5 cycling
         for i in 0..seeds {
-            let seed = base.wrapping_add(i);
-            let report = inject(&spec, &lib.lib, &options, &deployed, seed);
+            let seed = target.seed_base.wrapping_add(i);
+            let report = inject(spec, &target.library, &options, &deployed, seed);
             scenarios += 1;
             match &report.outcome {
                 Outcome::Survived => tally.survived += 1,
@@ -94,8 +184,8 @@ fn main() {
                 Outcome::AuditDirty(violations) => {
                     tally.dirty += 1;
                     eprintln!(
-                        "{} seed {seed} ({}): repair passed but audit found:",
-                        ex.name, report.scenario
+                        "{name} seed {seed} ({}): repair passed but audit found:",
+                        report.scenario
                     );
                     for v in violations {
                         eprintln!("  {v}");
@@ -106,7 +196,12 @@ fn main() {
         println!(
             "{:<8} {:>5} tasks  {seeds:>3} scenarios: {:>3} survived, {:>3} degraded, \
              {:>3} failed gracefully, {:>2} audit-dirty",
-            ex.name, ex.task_count, tally.survived, tally.degraded, tally.failed, tally.dirty
+            name,
+            spec.task_count(),
+            tally.survived,
+            tally.degraded,
+            tally.failed,
+            tally.dirty
         );
         total.survived += tally.survived;
         total.degraded += tally.degraded;

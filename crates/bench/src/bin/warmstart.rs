@@ -28,7 +28,11 @@
 //!
 //! ```text
 //! cargo run --release -p crusade-bench --bin warmstart -- [--examples A,B] [--seed N]
+//!                                                         [--gen gen:SEED[:UTIL[...]]]
 //! ```
+//!
+//! `--gen` soaks the ladder on a `crusade-gen` generated family instead
+//! of the built-in examples.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -37,6 +41,7 @@ use std::time::Instant;
 use crusade_bench::json;
 use crusade_core::{CoSynthesis, CosynOptions, SynthesisResult};
 use crusade_explore::{resynthesize_sequence, ResynConfig, ResynError};
+use crusade_gen::GenConfig;
 use crusade_model::{GraphId, Nanos, ResourceLibrary, SpecDelta, SystemSpec};
 use crusade_obs::Metrics;
 use crusade_workloads::{blocks::sw_pipeline, paper_examples, paper_library, PaperLibrary};
@@ -144,6 +149,40 @@ fn main() {
 
     crusade_verify::install_auditor();
     let paper = paper_library();
+    // Soak targets: a generated family when `--gen` is given, the
+    // selected built-in examples otherwise.
+    let targets: Vec<(String, SystemSpec)> = if let Some(reference) = args
+        .iter()
+        .position(|a| a == "--gen")
+        .and_then(|i| args.get(i + 1))
+    {
+        match GenConfig::from_ref(reference) {
+            Some(Ok(cfg)) => vec![(
+                format!("gen{}", cfg.seed),
+                crusade_gen::generate(&paper, &cfg).spec,
+            )],
+            Some(Err(e)) => {
+                eprintln!("--gen {reference}: {e}");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!(
+                    "--gen {reference}: expected a gen:SEED[:UTIL[:GRAPHS[:TIGHTNESS]]] reference"
+                );
+                std::process::exit(1);
+            }
+        }
+    } else {
+        paper_examples()
+            .iter()
+            .filter(|ex| {
+                selected
+                    .as_ref()
+                    .map_or(true, |names| names.iter().any(|n| n == ex.name))
+            })
+            .map(|ex| (ex.name.to_string(), ex.build(&paper)))
+            .collect()
+    };
     let config = ResynConfig::default();
     println!("online re-synthesis soak: seed {seed:#x}\n");
     println!(
@@ -162,15 +201,10 @@ fn main() {
 
     let mut records: Vec<WarmstartRecord> = Vec::new();
     let mut failed = false;
-    for (ex_index, ex) in paper_examples().iter().enumerate() {
-        if let Some(names) = &selected {
-            if !names.iter().any(|n| n == ex.name) {
-                continue;
-            }
-        }
-        let spec = ex.build(&paper);
-        let Some((incumbent, _, incumbent_wall_ms)) = cold(&spec, &paper.lib) else {
-            println!("{:<8} incumbent synthesis failed", ex.name);
+    for (ex_index, (target, spec)) in targets.iter().enumerate() {
+        let target = target.as_str();
+        let Some((incumbent, _, incumbent_wall_ms)) = cold(spec, &paper.lib) else {
+            println!("{target:<8} incumbent synthesis failed");
             failed = true;
             continue;
         };
@@ -188,7 +222,7 @@ fn main() {
             (
                 "add",
                 vec![SpecDelta::AddTaskGraph {
-                    graph: late_feature(&paper, &mut rng, ex.name),
+                    graph: late_feature(&paper, &mut rng, target),
                 }],
             ),
             (
@@ -221,7 +255,7 @@ fn main() {
                 ..config.clone()
             };
             let outcome = match resynthesize_sequence(
-                &spec,
+                spec,
                 &paper.lib,
                 incumbent.clone(),
                 &deltas,
@@ -233,14 +267,14 @@ fn main() {
                     // even cold: the admission check falsely accepted.
                     println!(
                         "{:<8} {name}: FALSE ACCEPT at delta {index}: {detail}",
-                        ex.name
+                        target
                     );
                     false_accepts += 1;
                     failed = true;
                     continue;
                 }
                 Err(e) => {
-                    println!("{:<8} {name}: ladder error: {e}", ex.name);
+                    println!("{:<8} {name}: ladder error: {e}", target);
                     failed = true;
                     continue;
                 }
@@ -254,7 +288,7 @@ fn main() {
             let Some((cold_result, cold_phase_us, _)) = cold(&outcome.spec, &paper.lib) else {
                 println!(
                     "{:<8} {name}: cold baseline failed on the final specification",
-                    ex.name
+                    target
                 );
                 failed = true;
                 continue;
@@ -274,7 +308,7 @@ fn main() {
                 rungs.iter().map(|(tag, n)| format!("{tag} {n}")).collect();
             println!(
                 "{:<8} {:>6} | {:<8} {:>6} | {:>8}$ {:>8}$ {:>6.2} | {:>9} {:>9} {:>7.1}x | {}",
-                ex.name,
+                target,
                 spec.task_count(),
                 name,
                 deltas.len(),
@@ -307,14 +341,14 @@ fn main() {
             graph: GraphId::new(0),
             deadline: Nanos::from_nanos(1),
         }];
-        match resynthesize_sequence(&spec, &paper.lib, incumbent.clone(), &probe, &config) {
+        match resynthesize_sequence(spec, &paper.lib, incumbent.clone(), &probe, &config) {
             Err(ResynError::Rejected { .. }) => {
-                if let Ok(probed) = probe[0].apply(&spec) {
+                if let Ok(probed) = probe[0].apply(spec) {
                     if cold(&probed, &paper.lib).is_some() {
                         println!(
                             "{:<8} probe: UNSOUND REJECTION — cold synthesis satisfied a \
                              rejected delta",
-                            ex.name
+                            target
                         );
                         unsound_rejections += 1;
                         failed = true;
@@ -324,7 +358,7 @@ fn main() {
             other => {
                 println!(
                     "{:<8} probe: expected an admission rejection, got {:?}",
-                    ex.name,
+                    target,
                     other.map(|o| o.report.final_cost),
                 );
                 failed = true;
@@ -342,7 +376,7 @@ fn main() {
             (singles.iter().map(|s| s.ln()).sum::<f64>() / singles.len() as f64).exp()
         };
         records.push(WarmstartRecord {
-            example: ex.name.to_string(),
+            example: target.to_string(),
             tasks: spec.task_count(),
             incumbent_cost: incumbent.report.cost.amount(),
             incumbent_wall_ms,

@@ -43,9 +43,14 @@
 //! `--jobs` value — because the trace comes from a solo replay of the
 //! deterministic winner, never from the racing portfolio members.
 //!
-//! `lint`, `audit`, `inject` and `explore` accept either a specification
-//! file or the name of a built-in paper benchmark (`crusade lint vdrtx`),
-//! resolved through one shared loading path.
+//! `lint`, `audit`, `inject` and `explore` accept a specification file,
+//! the name of a built-in paper benchmark (`crusade lint vdrtx`), or a
+//! generated-family reference (`crusade lint gen:7:2.5` — seed 7 at
+//! total utilization 2.5), resolved through one shared loading path.
+//! `crusade sweep` runs the schedulability-ratio experiment over those
+//! generated families: per utilization point (times an optional
+//! secondary axis) it generates N seeded specs and reports how many
+//! synthesize to an audit-clean architecture.
 //!
 //! Exit codes (shared by `lint` and `audit`): **0** — clean; **1** —
 //! warnings only (lint); **2** — proved infeasibilities, audit
@@ -84,6 +89,13 @@ commands:
   audit <spec.json|name> [--no-reconfig]       synthesize + independent re-verify
   inject <spec.json|name> [--seeds N] [--no-reconfig]
                                                seeded fault-injection campaign
+  sweep [--points U1,U2,...] [--seeds N] [--seed S] [--graphs G] [--tightness T]
+        [--hw-share H] [--comm-density D] [--secondary none|tightness|hw-share]
+        [--secondary-points V1,V2,...] [--out sweep.json] [--no-audit] [--no-reconfig]
+                                               schedulability-ratio sweep over
+                                               generated workload families:
+                                               acceptance ratio and mean cost
+                                               per utilization point
   explore <spec.json|name> [--jobs N] [--portfolio M] [--no-reconfig] [--metrics]
                                                parallel multi-start exploration
   trace <spec.json|name> [--out trace.jsonl] [--jobs N] [--portfolio M] [--no-reconfig]
@@ -297,10 +309,14 @@ fn cmd_sample(args: &[String]) -> Result<u8, String> {
     Ok(EXIT_CLEAN)
 }
 
-/// Resolves the first positional argument of `lint`/`audit`/`inject`:
-/// the name of a built-in benchmark, or a specification file. The single
-/// loading path all three analysis commands share.
+/// Resolves a spec argument: the name of a built-in benchmark, a
+/// generated-family reference (`gen:SEED[:UTIL[:GRAPHS[:TIGHTNESS]]]`),
+/// or a specification file. The single loading path every analysis
+/// command shares.
 fn load_or_example(arg: &str) -> Result<(ResourceLibrary, SystemSpec), String> {
+    if let Some(parsed) = crusade::gen::GenConfig::from_ref(arg) {
+        return Ok(crusade::gen::generate_payload(&parsed?));
+    }
     if let Some(ex) = paper_examples()
         .into_iter()
         .find(|e| e.name.eq_ignore_ascii_case(arg))
@@ -463,6 +479,48 @@ fn cmd_explore(args: &[String]) -> Result<u8, String> {
     Ok(EXIT_CLEAN)
 }
 
+/// Parses an optional `--name <f64>` flag.
+fn flag_f64(args: &[String], name: &str) -> Result<Option<f64>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or(format!("{name} needs a value"))?
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|e| format!("{name}: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// Parses an optional `--name <u64>` flag.
+fn flag_u64(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or(format!("{name} needs a value"))?
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| format!("{name}: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// Parses an optional `--name a,b,c` comma-separated float list.
+fn flag_f64_list(args: &[String], name: &str) -> Result<Option<Vec<f64>>, String> {
+    match flag_str(args, name)? {
+        None => Ok(None),
+        Some(text) => text
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("{name}: {t:?}: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+    }
+}
+
 /// Parses an optional `--name <string>` flag.
 fn flag_str<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
     match args.iter().position(|a| a == name) {
@@ -572,6 +630,93 @@ fn cmd_inject(args: &[String]) -> Result<u8, String> {
     );
     if dirty > 0 {
         Err(format!("{dirty} scenario(s) produced an invalid repair"))
+    } else {
+        Ok(EXIT_CLEAN)
+    }
+}
+
+/// Schedulability-ratio sweep over generated workload families: for
+/// each utilization point (and optional secondary-axis value), generate
+/// N seeded specs, run lint → synthesis → audit on each, and report the
+/// acceptance ratio and mean architecture cost.
+///
+/// Exit codes: **0** — sweep completed with no audit-dirty run; **2** —
+/// at least one synthesized architecture failed the independent audit,
+/// or an operational error.
+fn cmd_sweep(args: &[String]) -> Result<u8, String> {
+    use crusade::gen::{GenConfig, SecondaryAxis, SweepArtifact, SweepConfig};
+    let mut base = GenConfig::default();
+    if let Some(seed) = flag_u64(args, "--seed")? {
+        base.seed = seed;
+    }
+    if let Some(graphs) = flag_usize(args, "--graphs")? {
+        base.graphs = graphs;
+    }
+    if let Some(tightness) = flag_f64(args, "--tightness")? {
+        base.tightness = tightness;
+    }
+    if let Some(hw_share) = flag_f64(args, "--hw-share")? {
+        base.hw_share = hw_share;
+    }
+    if let Some(density) = flag_f64(args, "--comm-density")? {
+        base.comm_density = density;
+    }
+    let secondary_points = flag_f64_list(args, "--secondary-points")?;
+    let secondary = match flag_str(args, "--secondary")? {
+        None | Some("none") => SecondaryAxis::None,
+        Some("tightness") => {
+            SecondaryAxis::Tightness(secondary_points.unwrap_or(vec![0.15, 0.45, 0.75]))
+        }
+        Some("hw-share") => SecondaryAxis::HwShare(secondary_points.unwrap_or(vec![0.0, 0.3, 0.6])),
+        Some(other) => {
+            return Err(format!(
+                "--secondary: unknown axis {other} (none|tightness|hw-share)"
+            ))
+        }
+    };
+    let config = SweepConfig {
+        base,
+        utilizations: flag_f64_list(args, "--points")?.unwrap_or(vec![0.8, 1.6, 2.4, 3.2, 4.0]),
+        secondary,
+        seeds: flag_u64(args, "--seeds")?.unwrap_or(5).max(1),
+        options: options(args),
+        audit: !args.iter().any(|a| a == "--no-audit"),
+    };
+    let lib = paper_library();
+    let points = crusade::gen::run_sweep(&lib, &config, |p| {
+        let secondary = p
+            .secondary
+            .map_or(String::new(), |v| format!(" {}={v:.2}", p.secondary_axis));
+        println!(
+            "sweep: u={:.2}{secondary}  {}/{} accepted ({} lint-rejected, {} infeasible, \
+             {} audit-dirty){}",
+            p.utilization,
+            p.accepted,
+            p.seeds,
+            p.lint_rejected,
+            p.infeasible,
+            p.audit_dirty,
+            p.mean_cost
+                .map_or(String::new(), |c| format!(", mean cost ${c:.0}")),
+        );
+    });
+    let dirty: u64 = points.iter().map(|p| p.audit_dirty).sum();
+    let artifact = SweepArtifact::new(&config, points);
+    println!(
+        "sweep: {} point(s) x {} seed(s) — overall acceptance {:.0}%",
+        artifact.points.len(),
+        artifact.seeds_per_point,
+        100.0 * artifact.points.iter().map(|p| p.accepted).sum::<u64>() as f64
+            / (artifact.points.iter().map(|p| p.seeds).sum::<u64>().max(1) as f64),
+    );
+    if let Some(path) = flag_str(args, "--out")? {
+        let json = serde_json::to_string_pretty(&artifact).map_err(|e| e.to_string())?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        println!("sweep: artifact -> {path}");
+    }
+    if dirty > 0 {
+        println!("sweep: {dirty} audit-dirty run(s) — architectures rejected");
+        Ok(EXIT_ERRORS)
     } else {
         Ok(EXIT_CLEAN)
     }
@@ -876,6 +1021,7 @@ fn main() -> ExitCode {
             "lint" => cmd_lint(rest),
             "audit" => cmd_audit(rest),
             "inject" => cmd_inject(rest),
+            "sweep" => cmd_sweep(rest),
             "explore" => cmd_explore(rest),
             "trace" => cmd_trace(rest),
             "resyn" => cmd_resyn(rest),

@@ -26,7 +26,9 @@
 //!   with admission queueing, a spec-fingerprint architecture cache and
 //!   warm-start re-synthesis against cached incumbents;
 //! * [`workloads`] — deterministic reconstructions of the paper's
-//!   benchmarks.
+//!   benchmarks;
+//! * [`gen`] — utilization-controlled random workload families (UUniFast
+//!   + Weibull draws) and schedulability-ratio sweeps.
 //!
 //! # Examples
 //!
@@ -55,6 +57,7 @@ pub use crusade_core as core;
 pub use crusade_explore as explore;
 pub use crusade_fabric as fabric;
 pub use crusade_ft as ft;
+pub use crusade_gen as gen;
 pub use crusade_lint as lint;
 pub use crusade_model as model;
 pub use crusade_obs as obs;
@@ -67,6 +70,7 @@ pub use crusade_workloads as workloads;
 pub mod prelude {
     pub use crusade_core::{CoSynthesis, CosynOptions, SynthesisError, SynthesisResult};
     pub use crusade_ft::{CrusadeFt, FtAnnotations, FtConfig};
+    pub use crusade_gen::{generate, GenConfig, GeneratedSpec};
     pub use crusade_lint::{Lint, LintOptions, LintReport, Severity};
     pub use crusade_model::{
         CompatibilityMatrix, Dollars, ExecutionTimes, HwDemand, MemoryVector, Nanos, Preference,

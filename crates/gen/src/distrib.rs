@@ -1,0 +1,112 @@
+//! The two random primitives of the generator: UUniFast utilization
+//! partitioning and Weibull execution-time draws.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Classic UUniFast (Bini & Buttazzo): partitions `total` into `n`
+/// non-negative shares whose sum is exactly `total`, uniformly over the
+/// simplex of valid partitions.
+///
+/// Returns an empty vector for `n == 0`.
+pub fn uunifast(rng: &mut SmallRng, n: usize, total: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut shares = Vec::with_capacity(n);
+    let mut sum = total;
+    for remaining in (1..n).rev() {
+        let next = sum * rng.gen::<f64>().powf(1.0 / remaining as f64);
+        shares.push(sum - next);
+        sum = next;
+    }
+    shares.push(sum);
+    shares
+}
+
+/// UUniFast with a per-share cap: redraws (bounded) until every share is
+/// at most `cap`, falling back to the deterministic uniform split when
+/// the bound is exhausted. The caller must ensure `total <= cap * n`,
+/// otherwise no valid partition exists and the uniform fallback would
+/// itself violate the cap.
+pub fn uunifast_capped(rng: &mut SmallRng, n: usize, total: f64, cap: f64) -> Vec<f64> {
+    debug_assert!(
+        n == 0 || total <= cap * n as f64 + 1e-9,
+        "uncappable target: {total} > {cap} * {n}"
+    );
+    for _ in 0..64 {
+        let shares = uunifast(rng, n, total);
+        if shares.iter().all(|&u| u <= cap) {
+            return shares;
+        }
+    }
+    vec![total / n.max(1) as f64; n]
+}
+
+/// One draw from a Weibull distribution with the given `shape` and unit
+/// scale, via the inverse CDF. Shape < 1 gives heavy-tailed draws
+/// (a few dominant tasks), shape > 1 concentrates around the mean.
+///
+/// The result is clamped to a small positive floor so normalized weight
+/// vectors never divide by zero.
+pub fn weibull(rng: &mut SmallRng, shape: f64) -> f64 {
+    let u: f64 = rng.gen();
+    // gen::<f64>() is in [0, 1); keep 1 - u away from 0 anyway.
+    let tail = (1.0 - u).max(1e-12);
+    (-tail.ln()).powf(1.0 / shape).max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uunifast_sums_to_target() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in 1..12 {
+            let shares = uunifast(&mut rng, n, 3.5);
+            assert_eq!(shares.len(), n);
+            let sum: f64 = shares.iter().sum();
+            assert!((sum - 3.5).abs() < 1e-9, "n={n}: sum {sum}");
+            assert!(shares.iter().all(|&u| u >= 0.0));
+        }
+    }
+
+    #[test]
+    fn uunifast_zero_graphs_is_empty() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(uunifast(&mut rng, 0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn capped_variant_respects_the_cap() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for seed in 0..50u64 {
+            let mut rng2 = SmallRng::seed_from_u64(seed);
+            let shares = uunifast_capped(&mut rng2, 4, 3.2, 0.92);
+            assert!(
+                shares.iter().all(|&u| u <= 0.92 + 1e-9),
+                "seed {seed}: {shares:?}"
+            );
+            let sum: f64 = shares.iter().sum();
+            assert!((sum - 3.2).abs() < 1e-9);
+        }
+        // Tight target (total == cap * n) still terminates via fallback.
+        let shares = uunifast_capped(&mut rng, 3, 3.0 * 0.92, 0.92);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 2.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_is_positive_and_shape_sensitive() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let heavy: Vec<f64> = (0..2000).map(|_| weibull(&mut rng, 0.7)).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let light: Vec<f64> = (0..2000).map(|_| weibull(&mut rng, 3.0)).collect();
+        assert!(heavy.iter().all(|&x| x > 0.0));
+        let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+        // Heavy-tailed draws produce far larger extremes than shape 3.
+        assert!(max(&heavy) > 2.0 * max(&light), "tails indistinguishable");
+    }
+}

@@ -1,0 +1,533 @@
+//! Seed-keyed generation of utilization-controlled workload families.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crusade_model::{
+    Dollars, ExecutionTimes, HwDemand, MemoryVector, Nanos, PeClass, PeType, Preference,
+    ResourceLibrary, SystemSpec, Task, TaskGraph, TaskGraphBuilder, TaskId,
+};
+use crusade_workloads::{paper_library, PaperLibrary};
+
+/// Periods are drawn from this menu of divisors of 100 ms, so the
+/// hyperperiod of any generated spec is at most 100 ms — far inside the
+/// checked-arithmetic caps of `SystemSpec::hyperperiod`.
+pub const PERIOD_MENU_MS: [u64; 8] = [2, 4, 5, 10, 20, 25, 50, 100];
+
+/// Ceiling on any single graph's utilization share. UUniFast redraws
+/// until every share is below this, which keeps the per-graph WCET
+/// budget strictly inside the period so a deadline placed at or above
+/// the critical path always exists.
+pub const PER_GRAPH_UTIL_CAP: f64 = 0.92;
+
+/// The device class a generated graph targets: its tasks either run on
+/// every CPU of the paper library (software) or carry PFU demand and a
+/// `Preference::Only` over its FPGAs (hardware). The class split is the
+/// generator's FPGA-vs-CPU cost-ratio knob: hardware graphs pull the
+/// synthesis toward expensive programmable devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GenClass {
+    /// CPU-only execution vectors.
+    Software,
+    /// FPGA-only execution vectors with PFU demand.
+    Hardware,
+}
+
+/// Knobs of one generated workload family. `Default` gives a mid-scale
+/// family; sweeps override [`utilization`](Self::utilization) and one
+/// secondary knob per grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Seed of the family: the same seed reproduces a byte-identical
+    /// spec.
+    pub seed: u64,
+    /// Number of task graphs.
+    pub graphs: usize,
+    /// Minimum tasks per graph (inclusive).
+    pub min_tasks: usize,
+    /// Maximum tasks per graph (inclusive).
+    pub max_tasks: usize,
+    /// Maximum width of a DAG layer — higher values mean more
+    /// parallelism inside a graph and a shorter critical path relative
+    /// to the total WCET.
+    pub max_fan_out: usize,
+    /// Total utilization target partitioned across graphs by UUniFast.
+    /// Clamped to `PER_GRAPH_UTIL_CAP * graphs`.
+    pub utilization: f64,
+    /// Deadline position inside `[critical path, period]`: 0 places the
+    /// deadline exactly on the critical path of the drawn WCETs
+    /// (tightest), 1 on the period (loosest).
+    pub tightness: f64,
+    /// Probability that a graph is [`GenClass::Hardware`].
+    pub hw_share: f64,
+    /// Probability of one extra cross-layer edge per non-source task.
+    pub comm_density: f64,
+    /// Weibull shape of the WCET weight draws: < 1 is heavy-tailed (a
+    /// few dominant tasks), > 1 concentrates around the mean.
+    pub weibull_shape: f64,
+    /// FPGA-vs-CPU cost ratio: a multiplier applied to every
+    /// programmable (FPGA/CPLD) device's dollar cost in the library
+    /// [`generate_payload`] pairs with the spec. Values above 1 make
+    /// reconfigurable hardware comparatively more expensive than CPUs,
+    /// values below 1 cheaper; CPUs, ASICs, and links are untouched.
+    pub fpga_cost_factor: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0xC0DE,
+            graphs: 6,
+            min_tasks: 5,
+            max_tasks: 11,
+            max_fan_out: 3,
+            utilization: 1.5,
+            tightness: 0.5,
+            hw_share: 0.3,
+            comm_density: 0.35,
+            weibull_shape: 1.5,
+            fpga_cost_factor: 1.0,
+        }
+    }
+}
+
+/// Clamps `v` into `[lo, hi]`, substituting `dflt` for NaN/infinite.
+fn clampf(v: f64, lo: f64, hi: f64, dflt: f64) -> f64 {
+    if v.is_finite() {
+        v.clamp(lo, hi)
+    } else {
+        dflt
+    }
+}
+
+impl GenConfig {
+    /// The configuration with every knob clamped to its valid range;
+    /// [`generate`] applies this, so out-of-range knobs degrade softly
+    /// instead of panicking.
+    pub fn normalized(&self) -> GenConfig {
+        let mut c = self.clone();
+        c.graphs = c.graphs.clamp(1, 64);
+        c.min_tasks = c.min_tasks.clamp(1, 64);
+        c.max_tasks = c.max_tasks.clamp(c.min_tasks, 64);
+        c.max_fan_out = c.max_fan_out.clamp(1, 16);
+        let cap_total = PER_GRAPH_UTIL_CAP * c.graphs as f64;
+        c.utilization = clampf(c.utilization, 0.01, cap_total, 1.0_f64.min(cap_total));
+        c.tightness = clampf(c.tightness, 0.0, 1.0, 0.5);
+        c.hw_share = clampf(c.hw_share, 0.0, 1.0, 0.3);
+        c.comm_density = clampf(c.comm_density, 0.0, 1.0, 0.35);
+        c.weibull_shape = clampf(c.weibull_shape, 0.3, 5.0, 1.5);
+        c.fpga_cost_factor = clampf(c.fpga_cost_factor, 0.05, 20.0, 1.0);
+        c
+    }
+
+    /// Parses a generated-spec reference of the form
+    /// `gen:SEED[:UTIL[:GRAPHS[:TIGHTNESS]]]` — the scheme the CLI and
+    /// bench binaries accept wherever a spec file or example name is
+    /// expected. Returns `None` when `arg` does not carry the `gen:`
+    /// prefix (so callers fall through to the other loaders), and
+    /// `Some(Err(..))` when it does but a field is malformed.
+    pub fn from_ref(arg: &str) -> Option<Result<GenConfig, String>> {
+        let rest = arg.strip_prefix("gen:")?;
+        let mut cfg = GenConfig::default();
+        let mut fields = rest.split(':');
+        let parse = |what: &str, field: Option<&str>| -> Result<Option<f64>, String> {
+            match field {
+                None | Some("") => Ok(None),
+                Some(text) => text
+                    .parse::<f64>()
+                    .map(Some)
+                    .map_err(|e| format!("gen ref {what} {text:?}: {e}")),
+            }
+        };
+        let seed = match fields.next() {
+            None | Some("") => return Some(Err("gen ref needs a seed: gen:SEED[...]".into())),
+            Some(text) => match text.parse::<u64>() {
+                Ok(seed) => seed,
+                Err(e) => return Some(Err(format!("gen ref seed {text:?}: {e}"))),
+            },
+        };
+        cfg.seed = seed;
+        let tail = (|| -> Result<(), String> {
+            if let Some(util) = parse("utilization", fields.next())? {
+                cfg.utilization = util;
+            }
+            if let Some(graphs) = parse("graph count", fields.next())? {
+                if graphs < 1.0 || graphs.fract() != 0.0 {
+                    return Err(format!(
+                        "gen ref graph count {graphs} is not a positive integer"
+                    ));
+                }
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                {
+                    cfg.graphs = graphs as usize;
+                }
+            }
+            if let Some(tightness) = parse("tightness", fields.next())? {
+                cfg.tightness = tightness;
+            }
+            if let Some(extra) = fields.next() {
+                return Err(format!(
+                    "gen ref has an unexpected field {extra:?} \
+                     (format: gen:SEED[:UTIL[:GRAPHS[:TIGHTNESS]]])"
+                ));
+            }
+            Ok(())
+        })();
+        Some(tail.map(|()| cfg))
+    }
+}
+
+/// A generated spec plus the ground truth the generator drew for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedSpec {
+    /// The normalized configuration that produced the spec.
+    pub config: GenConfig,
+    /// The specification itself.
+    pub spec: SystemSpec,
+    /// Device class of each graph, parallel to the spec's graphs.
+    pub classes: Vec<GenClass>,
+    /// UUniFast utilization share of each graph, parallel to the spec's
+    /// graphs; sums to the (clamped) utilization target.
+    pub shares: Vec<f64>,
+}
+
+/// The recomputable utilization of a generated graph: the sum of each
+/// task's slowest execution time over the period. Generated execution
+/// vectors are uniform across their device class, so this recovers the
+/// exact drawn WCETs.
+pub fn utilization_of(graph: &TaskGraph) -> f64 {
+    let wcet: u64 = graph
+        .tasks()
+        .map(|(_, t)| t.exec.slowest().unwrap_or(Nanos::ZERO).as_nanos())
+        .sum();
+    wcet as f64 / graph.period().as_nanos() as f64
+}
+
+/// Finishes a generated graph. Edges only ever point from an earlier
+/// layer to a later task, so the result is a DAG by construction.
+fn built(b: TaskGraphBuilder) -> TaskGraph {
+    match b.build() {
+        Ok(g) => g,
+        Err(e) => unreachable!("generator produced an invalid graph: {e}"),
+    }
+}
+
+/// Generates one workload family from the paper's resource library.
+///
+/// Deterministic: the same `(library, config)` pair always produces the
+/// same [`GeneratedSpec`], and all randomness flows from a single
+/// `SmallRng` seeded with [`GenConfig::seed`].
+///
+/// # Panics
+///
+/// Never panics for libraries with at least one CPU and one FPGA type
+/// (the graph construction is a DAG by layering); the paper library
+/// always qualifies.
+pub fn generate(lib: &PaperLibrary, config: &GenConfig) -> GeneratedSpec {
+    let cfg = config.normalized();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let shares =
+        crate::distrib::uunifast_capped(&mut rng, cfg.graphs, cfg.utilization, PER_GRAPH_UTIL_CAP);
+    let mut graphs = Vec::with_capacity(cfg.graphs);
+    let mut classes = Vec::with_capacity(cfg.graphs);
+    for (i, &share) in shares.iter().enumerate() {
+        let class = if rng.gen_bool(cfg.hw_share) {
+            GenClass::Hardware
+        } else {
+            GenClass::Software
+        };
+        graphs.push(generate_graph(lib, &mut rng, &cfg, i, class, share));
+        classes.push(class);
+    }
+    GeneratedSpec {
+        config: cfg,
+        spec: SystemSpec::new(graphs),
+        classes,
+        shares,
+    }
+}
+
+/// [`generate`] against the paper library, in the `(library, spec)`
+/// shape the CLI's spec-loading path returns.
+pub fn generate_payload(config: &GenConfig) -> (ResourceLibrary, SystemSpec) {
+    let lib = paper_library();
+    let generated = generate(&lib, config);
+    let library = scale_ppe_costs(&lib.lib, generated.config.fpga_cost_factor);
+    (library, generated.spec)
+}
+
+/// Rebuilds `lib` with every programmable-PE cost multiplied by
+/// `factor`, rounded and floored at $1; CPU and ASIC types and the link
+/// menu are copied verbatim, so type ids are preserved. A factor of 1
+/// returns the library unchanged.
+fn scale_ppe_costs(lib: &ResourceLibrary, factor: f64) -> ResourceLibrary {
+    if (factor - 1.0).abs() < f64::EPSILON {
+        return lib.clone();
+    }
+    let mut scaled = ResourceLibrary::new();
+    for (_, pe) in lib.pes() {
+        let cost = if matches!(pe.class(), PeClass::Ppe(_)) {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            #[allow(clippy::cast_precision_loss)]
+            Dollars::new((pe.cost().amount() as f64 * factor).round().max(1.0) as u64)
+        } else {
+            pe.cost()
+        };
+        scaled.add_pe(PeType::new(pe.name(), cost, pe.class().clone()));
+    }
+    for (_, link) in lib.links() {
+        scaled.add_link(link.clone());
+    }
+    scaled
+}
+
+/// One layered random DAG with the drawn utilization share.
+fn generate_graph(
+    lib: &PaperLibrary,
+    rng: &mut SmallRng,
+    cfg: &GenConfig,
+    index: usize,
+    class: GenClass,
+    share: f64,
+) -> TaskGraph {
+    let n = rng.gen_range(cfg.min_tasks..=cfg.max_tasks);
+    let period = Nanos::from_millis(PERIOD_MENU_MS[rng.gen_range(0..PERIOD_MENU_MS.len())]);
+    // Split the WCET budget C = share * period across tasks by
+    // normalized Weibull weights (1 ns floor per task).
+    let budget = share * period.as_nanos() as f64;
+    let weights: Vec<f64> = (0..n)
+        .map(|_| crate::distrib::weibull(rng, cfg.weibull_shape))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let wcets: Vec<Nanos> = weights
+        .iter()
+        .map(|w| {
+            // budget <= PER_GRAPH_UTIL_CAP * period keeps this far
+            // inside u64.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let ns = (budget * w / total) as u64;
+            Nanos::from_nanos(ns.max(1))
+        })
+        .collect();
+
+    let name = format!("gen{}-g{}", cfg.seed, index);
+    let mut b = TaskGraphBuilder::new(&name, period);
+    let mut earlier: Vec<TaskId> = Vec::with_capacity(n);
+    let mut prev_layer: Vec<TaskId> = Vec::new();
+    let mut placed = 0;
+    while placed < n {
+        let width = rng.gen_range(1..=cfg.max_fan_out).min(n - placed);
+        let mut layer = Vec::with_capacity(width);
+        for _ in 0..width {
+            let id = b.add_task(make_task(lib, rng, &name, placed, class, wcets[placed]));
+            let parent = if prev_layer.is_empty() {
+                None
+            } else {
+                let p = prev_layer[rng.gen_range(0..prev_layer.len())];
+                b.add_edge(p, id, rng.gen_range(32..2048));
+                Some(p)
+            };
+            // Communication density: one optional extra edge from any
+            // earlier layer, keeping the layering (and acyclicity).
+            if !earlier.is_empty() && rng.gen_bool(cfg.comm_density) {
+                let extra = earlier[rng.gen_range(0..earlier.len())];
+                if Some(extra) != parent {
+                    b.add_edge(extra, id, rng.gen_range(32..2048));
+                }
+            }
+            layer.push(id);
+            placed += 1;
+        }
+        earlier.append(&mut prev_layer);
+        prev_layer = layer;
+    }
+
+    // Place the deadline at `tightness` of the way from the critical
+    // path of the drawn WCETs to the period: deadline >= critical path
+    // always holds, and the WCET budget cap keeps cp < period.
+    let g = built(b.deadline(period));
+    let cp = g.critical_path_with(|_, t| t.exec.slowest().unwrap_or(Nanos::ZERO));
+    let slack = period.saturating_sub(cp);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let give = Nanos::from_nanos((slack.as_nanos() as f64 * cfg.tightness) as u64);
+    built(g.into_builder().deadline((cp + give).min(period)))
+}
+
+/// One task of the drawn WCET, with class-uniform execution vectors so
+/// the utilization is exactly recomputable from the spec.
+fn make_task(
+    lib: &PaperLibrary,
+    rng: &mut SmallRng,
+    graph: &str,
+    index: usize,
+    class: GenClass,
+    wcet: Nanos,
+) -> Task {
+    match class {
+        GenClass::Software => {
+            let exec = ExecutionTimes::from_entries(
+                lib.lib.pe_count(),
+                lib.cpus.iter().map(|&id| (id, wcet)),
+            );
+            let mut t = Task::new(format!("{graph}-t{index}"), exec);
+            t.memory = MemoryVector::new(
+                rng.gen_range(2_000..16_000),
+                rng.gen_range(500..4_000),
+                rng.gen_range(200..1_000),
+            );
+            t.error_transparent = rng.gen_bool(0.25);
+            t
+        }
+        GenClass::Hardware => {
+            let exec = ExecutionTimes::from_entries(
+                lib.lib.pe_count(),
+                lib.fpgas.iter().map(|&id| (id, wcet)),
+            );
+            let mut t = Task::new(format!("{graph}-t{index}"), exec);
+            t.preference = Preference::Only(lib.fpgas.clone());
+            let pfus = rng.gen_range(8..=48);
+            t.hw = HwDemand::new(0, pfus, pfus, rng.gen_range(2..8));
+            t.error_transparent = rng.gen_bool(0.4);
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let lib = paper_library();
+        let cfg = GenConfig::default();
+        let a = generate(&lib, &cfg);
+        let b = generate(&lib, &cfg);
+        assert_eq!(a, b);
+        let c = generate(
+            &lib,
+            &GenConfig {
+                seed: cfg.seed + 1,
+                ..cfg
+            },
+        );
+        assert_ne!(a.spec, c.spec, "seed bump did not change the spec");
+    }
+
+    #[test]
+    fn generated_spec_validates_and_meets_its_target() {
+        let lib = paper_library();
+        let cfg = GenConfig {
+            utilization: 2.8,
+            ..GenConfig::default()
+        };
+        let g = generate(&lib, &cfg);
+        g.spec.validate().unwrap();
+        let recomputed: f64 = g.spec.graphs().map(|(_, gr)| utilization_of(gr)).sum();
+        assert!(
+            (recomputed - 2.8).abs() < 0.01,
+            "recomputed utilization {recomputed} vs target 2.8"
+        );
+        assert!(g.spec.hyperperiod().unwrap() <= Nanos::from_millis(100));
+    }
+
+    #[test]
+    fn deadlines_cover_the_critical_path() {
+        let lib = paper_library();
+        for seed in 0..20 {
+            let cfg = GenConfig {
+                seed,
+                tightness: 0.0,
+                utilization: 4.0,
+                ..GenConfig::default()
+            };
+            let g = generate(&lib, &cfg);
+            for (_, graph) in g.spec.graphs() {
+                let cp = graph.critical_path_with(|_, t| t.exec.slowest().unwrap_or(Nanos::ZERO));
+                assert!(graph.deadline() >= cp, "seed {seed}: deadline under cp");
+                assert!(graph.deadline() <= graph.period());
+            }
+        }
+    }
+
+    #[test]
+    fn gen_refs_parse_and_reject() {
+        assert!(GenConfig::from_ref("vdrtx").is_none());
+        assert!(GenConfig::from_ref("spec.json").is_none());
+        let cfg = GenConfig::from_ref("gen:7").unwrap().unwrap();
+        assert_eq!(cfg.seed, 7);
+        let cfg = GenConfig::from_ref("gen:9:2.5:4:0.25").unwrap().unwrap();
+        assert_eq!((cfg.seed, cfg.graphs), (9, 4));
+        assert!((cfg.utilization - 2.5).abs() < 1e-12);
+        assert!((cfg.tightness - 0.25).abs() < 1e-12);
+        for bad in ["gen:", "gen:x", "gen:1:u", "gen:1:2:0", "gen:1:2:3:0.5:9"] {
+            assert!(
+                GenConfig::from_ref(bad).unwrap().is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn normalization_clamps_everything() {
+        let wild = GenConfig {
+            graphs: 0,
+            min_tasks: 0,
+            max_tasks: 1000,
+            max_fan_out: 0,
+            utilization: f64::NAN,
+            tightness: 7.0,
+            hw_share: -2.0,
+            comm_density: f64::INFINITY,
+            weibull_shape: 0.0,
+            ..GenConfig::default()
+        };
+        let c = wild.normalized();
+        assert_eq!(
+            (c.graphs, c.min_tasks, c.max_tasks, c.max_fan_out),
+            (1, 1, 64, 1)
+        );
+        assert!(c.utilization > 0.0 && c.utilization <= PER_GRAPH_UTIL_CAP);
+        assert_eq!((c.tightness, c.hw_share, c.comm_density), (1.0, 0.0, 0.35));
+        assert!((c.weibull_shape - 0.3).abs() < 1e-12);
+        assert!((wild.normalized().fpga_cost_factor - 1.0).abs() < 1e-12);
+        let steep = GenConfig {
+            fpga_cost_factor: 1e9,
+            ..GenConfig::default()
+        };
+        assert!((steep.normalized().fpga_cost_factor - 20.0).abs() < 1e-12);
+        // Generation under the wild config still succeeds.
+        generate(&paper_library(), &wild).spec.validate().unwrap();
+    }
+
+    #[test]
+    fn fpga_cost_factor_scales_only_ppe_costs_in_the_payload() {
+        let base = GenConfig::default();
+        let steep = GenConfig {
+            fpga_cost_factor: 3.0,
+            ..base.clone()
+        };
+        let (lib_base, spec_base) = generate_payload(&base);
+        let (lib_steep, spec_steep) = generate_payload(&steep);
+        // The spec is library-agnostic: only the payload library moves.
+        assert_eq!(spec_base, spec_steep);
+        assert_eq!(lib_base.pe_count(), lib_steep.pe_count());
+        let mut scaled = 0;
+        for ((id, before), (_, after)) in lib_base.pes().zip(lib_steep.pes()) {
+            assert_eq!(before.name(), after.name());
+            assert_eq!(before.class(), after.class());
+            if matches!(before.class(), PeClass::Ppe(_)) {
+                assert_eq!(after.cost().amount(), before.cost().amount() * 3, "{id:?}");
+                scaled += 1;
+            } else {
+                assert_eq!(after.cost(), before.cost(), "{id:?}");
+            }
+        }
+        assert!(scaled > 0, "the paper library must contain PPE types");
+        assert_eq!(lib_base.link_count(), lib_steep.link_count());
+        // Factor 1 reproduces the paper library exactly.
+        let (lib_unit, _) = generate_payload(&base);
+        assert_eq!(lib_unit, paper_library().lib);
+    }
+}

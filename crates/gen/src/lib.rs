@@ -1,0 +1,44 @@
+//! `crusade-gen`: utilization-controlled random workload families and
+//! schedulability-ratio sweeps.
+//!
+//! The paper's eight Table-2 reconstructions are fixed points; every
+//! performance or robustness claim measured against them rests on an
+//! n = 8 sample. This crate turns that into an unbounded scenario space:
+//! deterministic, seed-keyed random specification generation in the
+//! style the real-time literature uses for schedulability studies —
+//! [UUniFast](distrib::uunifast) partitions a total utilization target
+//! across task graphs, per-task worst-case execution times are drawn
+//! from a [Weibull distribution](distrib::weibull), and the DAG shape,
+//! period/deadline tightness, hardware share and communication density
+//! are explicit knobs of a [`GenConfig`].
+//!
+//! Invariants every generated spec satisfies by construction:
+//!
+//! - structurally valid (`SystemSpec::validate` passes) and free of
+//!   `crusade-lint` Error-level findings;
+//! - acyclic — edges only ever point from an earlier layer to a later
+//!   task;
+//! - deadline ≥ the critical path of the drawn WCETs, with the gap
+//!   controlled by [`GenConfig::tightness`];
+//! - periods drawn from a divisor menu so the hyperperiod never exceeds
+//!   100 ms — far inside the checked-arithmetic caps;
+//! - the same seed reproduces a byte-identical spec.
+//!
+//! On top of the generator, [`sweep`] drives lint → synthesis → audit
+//! over a utilization grid (with one secondary axis) across N seeds per
+//! point and reports acceptance-ratio and cost-vs-utilization curves —
+//! the schedulability-style experiment `crusade sweep` and the bench
+//! `sweep` binary expose.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distrib;
+mod family;
+pub mod sweep;
+
+pub use family::{
+    generate, generate_payload, utilization_of, GenClass, GenConfig, GeneratedSpec, PERIOD_MENU_MS,
+    PER_GRAPH_UTIL_CAP,
+};
+pub use sweep::{run_sweep, SecondaryAxis, SweepArtifact, SweepConfig, SweepPoint, SweepRun};

@@ -1,0 +1,333 @@
+//! Schedulability-ratio sweeps: lint → synthesis → audit over a
+//! utilization grid of generated families, N seeds per point.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crusade_core::CosynOptions;
+use crusade_lint::{lint, LintOptions};
+use crusade_obs::{Metrics, MetricsSnapshot};
+use crusade_workloads::PaperLibrary;
+
+use crate::family::{generate, GenConfig};
+
+/// The sweep's secondary axis: the knob varied alongside utilization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SecondaryAxis {
+    /// No secondary axis: one row per utilization point.
+    None,
+    /// Vary [`GenConfig::tightness`] over these values.
+    Tightness(Vec<f64>),
+    /// Vary [`GenConfig::hw_share`] over these values.
+    HwShare(Vec<f64>),
+}
+
+impl SecondaryAxis {
+    /// Stable name recorded in every sweep point.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SecondaryAxis::None => "none",
+            SecondaryAxis::Tightness(_) => "tightness",
+            SecondaryAxis::HwShare(_) => "hw-share",
+        }
+    }
+
+    /// The grid values; `None` yields a single unset value.
+    pub fn values(&self) -> Vec<Option<f64>> {
+        match self {
+            SecondaryAxis::None => vec![None],
+            SecondaryAxis::Tightness(v) | SecondaryAxis::HwShare(v) => {
+                v.iter().copied().map(Some).collect()
+            }
+        }
+    }
+}
+
+/// Configuration of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Base family knobs; `utilization` (and the secondary knob) are
+    /// overridden per grid point, and the per-run seed is
+    /// `base.seed + k` for `k` in `0..seeds`.
+    pub base: GenConfig,
+    /// The primary axis: total utilization targets.
+    pub utilizations: Vec<f64>,
+    /// The secondary axis.
+    pub secondary: SecondaryAxis,
+    /// Seeds (= generated specs) per grid point.
+    pub seeds: u64,
+    /// Synthesis options for every run.
+    pub options: CosynOptions,
+    /// Whether each successful synthesis is independently re-audited;
+    /// violations count as `audit_dirty` rather than accepted.
+    pub audit: bool,
+}
+
+impl Default for SweepConfig {
+    /// The full grid the bench `sweep` binary runs: 5 utilization
+    /// points × 3 tightness values × 5 seeds.
+    fn default() -> Self {
+        SweepConfig {
+            base: GenConfig::default(),
+            utilizations: vec![0.8, 1.6, 2.4, 3.2, 4.0],
+            secondary: SecondaryAxis::Tightness(vec![0.15, 0.45, 0.75]),
+            seeds: 5,
+            options: CosynOptions::default(),
+            audit: true,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The tier-1 CI smoke: one utilization point, two seeds, no
+    /// secondary axis.
+    pub fn smoke() -> Self {
+        SweepConfig {
+            utilizations: vec![1.6],
+            secondary: SecondaryAxis::None,
+            seeds: 2,
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// One seed's outcome within a grid point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRun {
+    /// The generator seed of this run.
+    pub seed: u64,
+    /// `accepted`, `lint-rejected`, `infeasible` or `audit-dirty`.
+    pub outcome: String,
+    /// Task count of the generated spec.
+    pub tasks: usize,
+    /// Architecture dollar cost, for accepted runs.
+    pub cost: Option<u64>,
+    /// PE count, for accepted runs.
+    pub pes: Option<usize>,
+    /// Scheduling attempts (allocation candidates evaluated), for runs
+    /// that synthesized.
+    pub attempts: Option<usize>,
+    /// Wall-clock of lint + synthesis + audit for this run, in
+    /// milliseconds. Nondeterministic; determinism comparisons strip it.
+    pub wall_ms: f64,
+}
+
+/// One grid point: `seeds` runs at a fixed (utilization, secondary)
+/// pair, with the acceptance-ratio and cost curves' raw material.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Total utilization target of this point.
+    pub utilization: f64,
+    /// Name of the secondary axis (`none` when absent).
+    pub secondary_axis: String,
+    /// Value of the secondary knob at this point, when the axis is set.
+    pub secondary: Option<f64>,
+    /// Number of seeds run.
+    pub seeds: u64,
+    /// Runs that synthesized and (when auditing) audited clean.
+    pub accepted: u64,
+    /// Runs rejected by the lint pre-pass (proved infeasible).
+    pub lint_rejected: u64,
+    /// Runs where synthesis failed to find an architecture.
+    pub infeasible: u64,
+    /// Runs whose architecture failed the independent audit.
+    pub audit_dirty: u64,
+    /// `accepted / seeds` — the schedulability-style acceptance ratio.
+    pub acceptance_ratio: f64,
+    /// Mean architecture cost over accepted runs.
+    pub mean_cost: Option<f64>,
+    /// Mean scheduling attempts over accepted runs.
+    pub mean_attempts: Option<f64>,
+    /// Mean per-run wall-clock in milliseconds. Nondeterministic.
+    pub mean_wall_ms: f64,
+    /// The individual runs.
+    pub runs: Vec<SweepRun>,
+    /// Aggregated obs metrics of every synthesis at this point. The
+    /// `phase_wall_us` field is nondeterministic.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The serialized form of a completed sweep — the payload of
+/// `BENCH_sweep.json` and of `crusade sweep --out`. Everything except
+/// the per-run/per-point wall-clock fields (`wall_ms`, `mean_wall_ms`,
+/// `metrics.phase_wall_us`) is deterministic for a fixed configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepArtifact {
+    /// Base generator knobs (per-point overrides excluded).
+    pub base: GenConfig,
+    /// Seeds per grid point.
+    pub seeds_per_point: u64,
+    /// Name of the secondary axis.
+    pub secondary_axis: String,
+    /// The primary-axis grid.
+    pub utilizations: Vec<f64>,
+    /// Every grid point, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepArtifact {
+    /// Packages a finished sweep with the configuration that ran it.
+    pub fn new(config: &SweepConfig, points: Vec<SweepPoint>) -> Self {
+        SweepArtifact {
+            base: config.base.normalized(),
+            seeds_per_point: config.seeds,
+            secondary_axis: config.secondary.name().to_string(),
+            utilizations: config.utilizations.clone(),
+            points,
+        }
+    }
+}
+
+/// Runs the full sweep grid, invoking `on_point` after each completed
+/// grid point (progress reporting for long sweeps).
+pub fn run_sweep(
+    lib: &PaperLibrary,
+    config: &SweepConfig,
+    mut on_point: impl FnMut(&SweepPoint),
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &utilization in &config.utilizations {
+        for secondary in config.secondary.values() {
+            let point = run_point(lib, config, utilization, secondary);
+            on_point(&point);
+            points.push(point);
+        }
+    }
+    points
+}
+
+fn run_point(
+    lib: &PaperLibrary,
+    config: &SweepConfig,
+    utilization: f64,
+    secondary: Option<f64>,
+) -> SweepPoint {
+    let metrics = Arc::new(Metrics::new());
+    let options = config.options.clone().with_observer(metrics.clone());
+    let mut runs = Vec::with_capacity(usize::try_from(config.seeds).unwrap_or(usize::MAX));
+    let (mut accepted, mut lint_rejected, mut infeasible, mut audit_dirty) = (0, 0, 0, 0);
+    for k in 0..config.seeds {
+        let mut gen_cfg = config.base.clone();
+        gen_cfg.seed = config.base.seed.wrapping_add(k);
+        gen_cfg.utilization = utilization;
+        match (&config.secondary, secondary) {
+            (SecondaryAxis::Tightness(_), Some(v)) => gen_cfg.tightness = v,
+            (SecondaryAxis::HwShare(_), Some(v)) => gen_cfg.hw_share = v,
+            _ => {}
+        }
+        let generated = generate(lib, &gen_cfg);
+        let started = Instant::now();
+        let run = run_one(lib, config, &options, &generated, gen_cfg.seed, started);
+        match run.outcome.as_str() {
+            "accepted" => accepted += 1,
+            "lint-rejected" => lint_rejected += 1,
+            "infeasible" => infeasible += 1,
+            _ => audit_dirty += 1,
+        }
+        runs.push(run);
+    }
+    let mean = |f: &dyn Fn(&SweepRun) -> Option<f64>| -> Option<f64> {
+        let xs: Vec<f64> = runs.iter().filter_map(f).collect();
+        (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
+    };
+    SweepPoint {
+        utilization,
+        secondary_axis: config.secondary.name().to_string(),
+        secondary,
+        seeds: config.seeds,
+        accepted,
+        lint_rejected,
+        infeasible,
+        audit_dirty,
+        acceptance_ratio: if config.seeds == 0 {
+            0.0
+        } else {
+            accepted as f64 / config.seeds as f64
+        },
+        mean_cost: mean(&|r| r.cost.map(|c| c as f64)),
+        mean_attempts: mean(&|r| {
+            (r.outcome == "accepted")
+                .then_some(r.attempts)
+                .flatten()
+                .map(|a| a as f64)
+        }),
+        mean_wall_ms: runs.iter().map(|r| r.wall_ms).sum::<f64>() / runs.len().max(1) as f64,
+        runs,
+        metrics: metrics.snapshot(),
+    }
+}
+
+fn run_one(
+    lib: &PaperLibrary,
+    config: &SweepConfig,
+    options: &CosynOptions,
+    generated: &crate::family::GeneratedSpec,
+    seed: u64,
+    started: Instant,
+) -> SweepRun {
+    let tasks = generated.spec.task_count();
+    let finish = |outcome: &str, cost, pes, attempts| SweepRun {
+        seed,
+        outcome: outcome.to_string(),
+        tasks,
+        cost,
+        pes,
+        attempts,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    };
+    let report = lint(&generated.spec, &lib.lib, &LintOptions::default());
+    if report.has_errors() {
+        return finish("lint-rejected", None, None, None);
+    }
+    match crusade_core::CoSynthesis::new(&generated.spec, &lib.lib)
+        .with_options(options.clone())
+        .run()
+    {
+        Err(_) => finish("infeasible", None, None, None),
+        Ok(result) => {
+            let dirty = config.audit
+                && !crusade_verify::audit(&generated.spec, &lib.lib, options, &result).is_empty();
+            finish(
+                if dirty { "audit-dirty" } else { "accepted" },
+                Some(result.report.cost.amount()),
+                Some(result.report.pe_count),
+                Some(result.report.candidates_tried),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crusade_workloads::paper_library;
+
+    #[test]
+    fn smoke_sweep_accounts_for_every_seed() {
+        let lib = paper_library();
+        let config = SweepConfig::smoke();
+        let mut seen = 0;
+        let points = run_sweep(&lib, &config, |_| seen += 1);
+        assert_eq!(points.len(), 1);
+        assert_eq!(seen, 1);
+        let p = &points[0];
+        assert_eq!(p.seeds, 2);
+        assert_eq!(
+            p.accepted + p.lint_rejected + p.infeasible + p.audit_dirty,
+            p.seeds
+        );
+        assert!((0.0..=1.0).contains(&p.acceptance_ratio));
+        assert_eq!(p.runs.len(), 2);
+        assert_eq!(p.secondary_axis, "none");
+        assert_eq!(p.audit_dirty, 0, "audit rejected a synthesized family");
+        // Deterministic replay: identical outcomes and costs.
+        let again = run_sweep(&lib, &config, |_| {});
+        assert_eq!(p.accepted, again[0].accepted);
+        assert_eq!(p.mean_cost, again[0].mean_cost);
+        for (a, b) in p.runs.iter().zip(&again[0].runs) {
+            assert_eq!((a.outcome.clone(), a.cost), (b.outcome.clone(), b.cost));
+        }
+    }
+}

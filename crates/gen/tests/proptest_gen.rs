@@ -1,0 +1,147 @@
+//! Property suite for the workload generator: every invariant the crate
+//! docs promise holds across the whole knob space, not just the default
+//! configuration.
+//!
+//! - per-graph utilization (and its per-PE-class split) reproduces the
+//!   UUniFast partition of the requested total within tolerance;
+//! - every spec validates structurally and is free of lint errors;
+//! - every deadline covers the critical path of the drawn WCETs;
+//! - the hyperperiod stays inside the 100 ms menu bound;
+//! - the same seed regenerates a byte-identical spec, and specs
+//!   round-trip through serde unchanged.
+
+// Test code: helpers unwrap and cast freely on controlled inputs.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
+use crusade_gen::{
+    generate, utilization_of, GenClass, GenConfig, GeneratedSpec, PER_GRAPH_UTIL_CAP,
+};
+use crusade_lint::{lint, LintOptions};
+use crusade_model::Nanos;
+use crusade_workloads::paper_library;
+use proptest::prelude::*;
+
+/// A [`GenConfig`] strategy spanning the supported knob space.
+fn configs() -> impl Strategy<Value = GenConfig> {
+    (
+        (0u64..1_000_000, 1usize..8, 0.1f64..4.5),
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        0.4f64..4.0,
+    )
+        .prop_map(
+            |((seed, graphs, utilization), (tightness, hw_share, comm_density), weibull_shape)| {
+                GenConfig {
+                    seed,
+                    graphs,
+                    utilization,
+                    tightness,
+                    hw_share,
+                    comm_density,
+                    weibull_shape,
+                    ..GenConfig::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn utilization_matches_the_uunifast_partition(config in configs()) {
+        let lib = paper_library();
+        let generated = generate(&lib, &config);
+        let target = generated.config.utilization;
+        // Each graph realizes its drawn share (WCETs are rounded to
+        // whole nanoseconds, so allow a small absolute slack per graph),
+        // no graph exceeds the per-graph cap, and the total lands on the
+        // UUniFast target.
+        let mut total = 0.0;
+        let mut by_class = [0.0f64; 2];
+        for ((id, graph), (share, class)) in generated
+            .spec
+            .graphs()
+            .zip(generated.shares.iter().zip(&generated.classes))
+        {
+            let realized = utilization_of(graph);
+            prop_assert!(
+                (realized - share).abs() < 1e-3,
+                "graph {id:?}: realized {realized} vs drawn share {share}"
+            );
+            prop_assert!(realized <= PER_GRAPH_UTIL_CAP + 1e-3);
+            total += realized;
+            by_class[usize::from(*class == GenClass::Hardware)] += realized;
+        }
+        prop_assert!(
+            (total - target).abs() < 1e-2,
+            "total utilization {total} vs target {target}"
+        );
+        // The per-class sums are exactly the class-partitioned shares:
+        // together they reconstruct the full partition.
+        prop_assert!((by_class[0] + by_class[1] - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn specs_validate_and_lint_clean(config in configs()) {
+        let lib = paper_library();
+        let generated = generate(&lib, &config);
+        prop_assert!(generated.spec.validate().is_ok(), "seed {}", config.seed);
+        let report = lint(&generated.spec, &lib.lib, &LintOptions::default());
+        prop_assert!(
+            !report.has_errors(),
+            "seed {}: {} lint error(s)",
+            config.seed,
+            report.count(crusade_lint::Severity::Error)
+        );
+    }
+
+    #[test]
+    fn deadlines_cover_the_critical_path(config in configs()) {
+        let lib = paper_library();
+        let generated = generate(&lib, &config);
+        for (id, graph) in generated.spec.graphs() {
+            let cp = graph.critical_path_with(|_, t| t.exec.slowest().unwrap_or(Nanos::ZERO));
+            prop_assert!(
+                graph.deadline() >= cp,
+                "graph {id:?}: deadline {:?} < critical path {cp:?} (seed {})",
+                graph.deadline(),
+                config.seed
+            );
+            prop_assert!(graph.deadline() <= graph.period());
+        }
+    }
+
+    #[test]
+    fn hyperperiod_stays_inside_the_menu_bound(config in configs()) {
+        let lib = paper_library();
+        let generated = generate(&lib, &config);
+        let hyper = generated.spec.hyperperiod().unwrap();
+        prop_assert!(
+            hyper <= Nanos::from_millis(100),
+            "hyperperiod {hyper:?} (seed {})",
+            config.seed
+        );
+    }
+
+    #[test]
+    fn same_seed_regenerates_byte_identically(config in configs()) {
+        let lib = paper_library();
+        let first = generate(&lib, &config);
+        let second = generate(&lib, &config);
+        prop_assert_eq!(&first, &second);
+        let first_json = serde_json::to_string(&first).unwrap();
+        prop_assert_eq!(&first_json, &serde_json::to_string(&second).unwrap());
+        // Serde round-trip: the deserialized form is the original.
+        let back: GeneratedSpec = serde_json::from_str(&first_json).unwrap();
+        prop_assert_eq!(&first, &back);
+        // A seed bump yields a different family.
+        let bumped = generate(
+            &lib,
+            &GenConfig {
+                seed: config.seed.wrapping_add(1),
+                ..config.clone()
+            },
+        );
+        prop_assert_ne!(&first, &bumped);
+    }
+}

@@ -302,3 +302,94 @@ fn every_error_class_has_a_mutation() {
         );
     }
 }
+
+/// Generator-driven cases: the same liveness argument, but the baseline
+/// is a `crusade-gen` random family instead of the hand-built chain —
+/// mutations must be caught on machine-made structure too.
+mod generated {
+    use super::*;
+    use crusade_gen::{generate, GenConfig};
+    use crusade_workloads::paper_library;
+
+    /// Rebuilds graph 0 of a generated spec through `mutate`.
+    fn mutate_first(
+        config: &GenConfig,
+        mutate: impl FnOnce(TaskGraphBuilder) -> TaskGraphBuilder,
+    ) -> (crusade_model::ResourceLibrary, SystemSpec) {
+        let lib = paper_library();
+        let generated = generate(&lib, config);
+        let mut graphs: Vec<TaskGraph> = generated.spec.graphs().map(|(_, g)| g.clone()).collect();
+        let first = graphs.remove(0);
+        graphs.insert(0, mutate(first.into_builder()).build().unwrap());
+        (lib.lib, SystemSpec::new(graphs))
+    }
+
+    #[test]
+    fn generated_families_are_clean_baselines() {
+        let lib = paper_library();
+        for seed in 0..16 {
+            let generated = generate(
+                &lib,
+                &GenConfig {
+                    seed,
+                    ..GenConfig::default()
+                },
+            );
+            let report = lint(&generated.spec, &lib.lib, &LintOptions::default());
+            assert!(
+                !report.has_errors(),
+                "seed {seed}: generated family has lint errors: {:?}",
+                kinds(&report, Severity::Error)
+            );
+        }
+    }
+
+    #[test]
+    fn crushed_generated_deadline_fires_critical_path() {
+        let config = GenConfig {
+            seed: 3,
+            utilization: 2.0,
+            ..GenConfig::default()
+        };
+        let (lib, spec) = mutate_first(&config, |b| b.deadline(Nanos::from_nanos(1)));
+        let report = lint(&spec, &lib, &LintOptions::default());
+        assert!(
+            kinds(&report, Severity::Error).contains(&"critical-path-exceeds-deadline"),
+            "expected `critical-path-exceeds-deadline`, got {:?}",
+            kinds(&report, Severity::Error)
+        );
+    }
+
+    #[test]
+    fn tortoise_task_in_generated_graph_fires_task_exceeds_period() {
+        let config = GenConfig {
+            seed: 11,
+            ..GenConfig::default()
+        };
+        let paper = paper_library();
+        let period = generate(&paper, &config)
+            .spec
+            .graphs()
+            .next()
+            .unwrap()
+            .1
+            .period();
+        let (lib, spec) = mutate_first(&config, |mut b| {
+            // A software task slower than the whole period on every CPU.
+            let exec = ExecutionTimes::from_entries(
+                paper.lib.pe_count(),
+                paper.cpus.iter().map(|&id| (id, period * 2)),
+            );
+            let mut t = Task::new("tortoise", exec);
+            t.memory = crusade_model::MemoryVector::new(1_000, 500, 100);
+            b.add_task(t);
+            b
+        });
+        let report = lint(&spec, &lib, &LintOptions::default());
+        assert!(
+            kinds(&report, Severity::Error).contains(&"task-exceeds-period"),
+            "expected `task-exceeds-period`, got {:?}",
+            kinds(&report, Severity::Error)
+        );
+    }
+}

@@ -221,6 +221,32 @@ impl TaskGraph {
         })
     }
 
+    /// The longest node-weighted path through the graph: the maximum over
+    /// all paths of the sum of `weight(task)` along the path, ignoring
+    /// edge (communication) costs. With per-PE worst-case execution times
+    /// as weights this is the classic critical path — a lower bound on
+    /// any schedule's makespan, and the floor below which no deadline is
+    /// meaningful. Workload generators use it to place deadlines at a
+    /// controlled tightness above the path; analyses use it as a
+    /// best-case finish bound.
+    ///
+    /// Returns [`Nanos::ZERO`] for an empty graph.
+    pub fn critical_path_with(&self, mut weight: impl FnMut(TaskId, &Task) -> Nanos) -> Nanos {
+        let mut finish = vec![Nanos::ZERO; self.tasks.len()];
+        let mut longest = Nanos::ZERO;
+        for &t in &self.topo {
+            let start = self.predecessors[t.index()]
+                .iter()
+                .map(|&e| finish[self.edges[e.index()].from.index()])
+                .max()
+                .unwrap_or(Nanos::ZERO);
+            let f = start + weight(t, &self.tasks[t.index()]);
+            finish[t.index()] = f;
+            longest = longest.max(f);
+        }
+        longest
+    }
+
     /// Re-validates the structural invariants. Builders call this; it is
     /// public so mutated graphs (e.g. after CRUSADE-FT adds check tasks via
     /// a new builder round-trip) can be re-checked.
@@ -536,6 +562,18 @@ mod tests {
         let a = b.add_task(task);
         let g = b.build().unwrap();
         assert_eq!(g.effective_deadline(a), Some(Nanos::from_micros(300)));
+    }
+
+    #[test]
+    fn critical_path_sums_the_longest_chain() {
+        // diamond: a -> {x, y} -> z, each task weighted by its index + 1.
+        let g = diamond();
+        let cp = g.critical_path_with(|id, _| Nanos::from_micros(id.index() as u64 + 1));
+        // Longest path is a(1) -> y(3) -> z(4) = 8 µs.
+        assert_eq!(cp, Nanos::from_micros(8));
+        // Uniform unit weights: path length is the depth (3 tasks).
+        let depth = g.critical_path_with(|_, _| Nanos::from_nanos(1));
+        assert_eq!(depth, Nanos::from_nanos(3));
     }
 
     #[test]

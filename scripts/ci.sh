@@ -32,8 +32,8 @@ echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
     -p crusade-model -p crusade-obs -p crusade-fabric -p crusade-sched \
     -p crusade-lint -p crusade-core -p crusade-ft -p crusade-verify \
-    -p crusade-explore -p crusade-serve -p crusade-workloads -p crusade-bench \
-    -p crusade
+    -p crusade-explore -p crusade-serve -p crusade-gen -p crusade-workloads \
+    -p crusade-bench -p crusade
 
 echo "==> explore smoke (2 examples, portfolio 4, jobs 2)"
 cargo run --release -q -p crusade-bench --bin explore -- \
@@ -60,6 +60,10 @@ if [[ $resyn_code -ne 2 ]]; then
     echo "resyn smoke: impossible tighten must exit 2, got $resyn_code" >&2
     exit 1
 fi
+
+echo "==> sweep smoke (1 utilization point, 2 seeds)"
+cargo run --release -q -p crusade --bin crusade -- \
+    sweep --points 1.6 --seeds 2 --secondary none
 
 echo "==> serve smoke (ephemeral port, submit + cache hit + clean shutdown)"
 SERVE_DIR="$(mktemp -d)"
@@ -117,6 +121,9 @@ if [[ "${1:-}" == "--full" ]]; then
     echo "==> serve soak (4 clients x 8 examples, parity + cache + warm resyn)"
     cargo run --release -q -p crusade-bench --bin serve
     cargo test --release -q -p crusade --test bench_artifacts serve
+    echo "==> schedulability sweep grid (5 utilizations x 3 tightness x 10 seeds)"
+    cargo run --release -q -p crusade-bench --bin sweep
+    cargo test --release -q -p crusade --test bench_artifacts sweep
     echo "==> line-coverage ratchet (crates/core + crates/sched)"
     scripts/coverage.sh
 fi

@@ -294,3 +294,54 @@ fn serve_binary_shuts_down_cleanly_with_exit_zero() {
     let status = server.wait().unwrap();
     assert_eq!(status.code(), Some(0), "server exited non-zero after drain");
 }
+
+#[test]
+fn generated_specs_fingerprint_by_seed() {
+    // Generated families flow through the daemon like any payload: a
+    // resubmission of the same seed is a fingerprint-cache hit, a seed
+    // bump is a miss with a different fingerprint.
+    let (server, addr) = bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let client = ServeClient::new(addr, "e2e-gen");
+    let config = crusade::gen::GenConfig {
+        seed: 7,
+        utilization: 1.2,
+        ..crusade::gen::GenConfig::default()
+    };
+    let payload = |config: &crusade::gen::GenConfig| {
+        let (library, spec) = crusade::gen::generate_payload(config);
+        SpecPayload { library, spec }
+    };
+
+    let first = client
+        .submit(payload(&config), 2, true, false, |_| {})
+        .unwrap();
+    assert!(!first.cached, "first generated submission cannot hit");
+    assert!(first.audit_clean);
+
+    let replay = client
+        .submit(payload(&config), 2, true, false, |_| {})
+        .unwrap();
+    assert!(replay.cached, "same-seed regeneration missed the cache");
+    assert_eq!(replay.fingerprint, first.fingerprint);
+    assert_eq!(replay.cost, first.cost);
+
+    let bumped = crusade::gen::GenConfig {
+        seed: config.seed + 1,
+        ..config
+    };
+    let other = client
+        .submit(payload(&bumped), 2, true, false, |_| {})
+        .unwrap();
+    assert!(!other.cached, "a seed bump must be a distinct spec");
+    assert_ne!(other.fingerprint, first.fingerprint);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 2);
+
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
